@@ -1,0 +1,48 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one paper table or figure at a reduced scale
+(shots and widths) and prints the paper-reported values next to the measured
+ones.  Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to see the
+comparison tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """Scaled-down configuration used by all figure/table benchmarks."""
+    return ExperimentConfig(shots=256, max_qubits=9, seed=2025,
+                            copy_cost_in_gates=10.0)
+
+
+@pytest.fixture(scope="session")
+def fidelity_config() -> ExperimentConfig:
+    """Higher-shot configuration for the fidelity-centric figures."""
+    return ExperimentConfig(shots=512, max_qubits=8, seed=2025,
+                            copy_cost_in_gates=10.0)
+
+
+def print_table(title: str, rows: list[dict]) -> None:
+    """Print a small aligned table of result rows."""
+    if not rows:
+        print(f"\n== {title} == (no rows)")
+        return
+    columns = list(rows[0].keys())
+    widths = {c: max(len(str(c)), *(len(_fmt(r[c])) for r in rows)) for c in columns}
+    header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+    print(f"\n== {title} ==")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("  ".join(_fmt(row[c]).ljust(widths[c]) for c in columns))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,63 @@
+"""Ablation: how the state-copy cost shapes DCP's plans (Section 3.6)."""
+
+from conftest import print_table
+
+from repro.circuits.library import qft_circuit
+from repro.core import DynamicCircuitPartitioner
+from repro.noise import depolarizing_noise_model
+
+
+def _sweep_copy_cost(circuit, shots, copy_costs):
+    noise = depolarizing_noise_model()
+    rows = []
+    for copy_cost in copy_costs:
+        plan = DynamicCircuitPartitioner(copy_cost_in_gates=copy_cost).plan(
+            circuit, shots, noise
+        )
+        rows.append(
+            {
+                "copy_cost_in_gates": copy_cost,
+                "subcircuits": plan.tree.num_subcircuits,
+                "tree": str(plan.tree),
+                "analytic_speedup": plan.theoretical_speedup(copy_cost),
+            }
+        )
+    return rows
+
+
+def test_ablation_copy_cost(benchmark, bench_config):
+    circuit = qft_circuit(12)
+    rows = benchmark(_sweep_copy_cost, circuit, 32_000, (5.0, 10.0, 20.0, 45.0, 90.0))
+    print_table("Ablation — copy cost vs DCP plan on QFT_12", rows)
+    # Cheaper copies permit more subcircuits and higher analytic speedup
+    # (Figure 10's motivation for profiling the copy cost per system).
+    subcircuits = [row["subcircuits"] for row in rows]
+    assert subcircuits == sorted(subcircuits, reverse=True)
+    assert rows[0]["analytic_speedup"] >= rows[-1]["analytic_speedup"]
+
+
+def test_ablation_sample_size_margin(benchmark, bench_config):
+    circuit = qft_circuit(12)
+    noise = depolarizing_noise_model()
+
+    def sweep():
+        rows = []
+        for margin in (0.005, 0.015, 0.05):
+            plan = DynamicCircuitPartitioner(
+                copy_cost_in_gates=30.0, margin_of_error=margin
+            ).plan(circuit, 32_000, noise)
+            rows.append(
+                {
+                    "margin_of_error": margin,
+                    "A0": plan.tree.arities[0],
+                    "subcircuits": plan.tree.num_subcircuits,
+                    "analytic_speedup": plan.theoretical_speedup(30.0),
+                }
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    print_table("Ablation — Eq. 5 margin of error vs first-layer shots", rows)
+    a0_values = [row["A0"] for row in rows]
+    # Tighter margins demand more first-layer samples (less reuse).
+    assert a0_values == sorted(a0_values, reverse=True)

@@ -1,0 +1,26 @@
+"""Figure 1: noisy-over-ideal slowdown for a QFT circuit."""
+
+from conftest import print_table
+
+from repro.experiments import fig01_noisy_slowdown
+
+
+def test_fig01_noisy_slowdown(benchmark, bench_config):
+    result = benchmark.pedantic(
+        fig01_noisy_slowdown.run, args=(bench_config,), rounds=1, iterations=1
+    )
+    print_table(
+        "Figure 1 — noisy vs ideal simulation (paper: 170x-335x at 15 qubits)",
+        [
+            {
+                "qubits": result.num_qubits,
+                "shots": result.shots,
+                "ideal_s": result.ideal_seconds,
+                "noisy_s": result.noisy_seconds,
+                "measured_slowdown": result.measured_slowdown,
+                "modeled_paper_scale": result.modeled_paper_scale_slowdown,
+            }
+        ],
+    )
+    # The qualitative claim: noisy simulation is orders of magnitude slower.
+    assert result.measured_slowdown > 20.0

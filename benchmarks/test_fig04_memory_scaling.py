@@ -1,0 +1,22 @@
+"""Figure 4: statevector vs density-matrix memory scaling."""
+
+from conftest import print_table
+
+from repro.experiments import fig04_memory_scaling
+
+
+def test_fig04_memory_scaling(benchmark, bench_config):
+    result = benchmark(fig04_memory_scaling.run, bench_config)
+    print_table(
+        "Figure 4 — memory scaling (paper: laptop SV >30 qubits, El Capitan DM <25)",
+        [
+            {"capacity": "16 GB laptop",
+             "statevector_qubits": result.laptop_statevector_qubits,
+             "density_qubits": result.laptop_density_qubits},
+            {"capacity": "El Capitan",
+             "statevector_qubits": result.el_capitan_statevector_qubits,
+             "density_qubits": result.el_capitan_density_qubits},
+        ],
+    )
+    assert result.laptop_statevector_qubits >= 29
+    assert result.el_capitan_density_qubits < 25

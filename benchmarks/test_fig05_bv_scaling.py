@@ -1,0 +1,32 @@
+"""Figure 5: noisy BV simulation time and memory vs width."""
+
+from conftest import print_table
+
+from repro.experiments import fig05_bv_time_memory
+
+
+def test_fig05_bv_scaling(benchmark, bench_config):
+    result = benchmark.pedantic(
+        fig05_bv_time_memory.run, args=(bench_config,), rounds=1, iterations=1
+    )
+    print_table(
+        "Figure 5 — noisy BV scaling (paper: time, not memory, is the bottleneck)",
+        [
+            {
+                "qubits": p.num_qubits,
+                "measured_s": p.measured_seconds,
+                "extrapolated_s": p.extrapolated_seconds,
+                "memory_MB": p.memory_bytes / 1e6,
+                "memory_fraction": p.memory_fraction_of_node,
+            }
+            for p in result.points
+        ],
+    )
+    # Time grows multiplicatively with width (the paper's 2x/qubit regime is
+    # only reached once the statevector no longer fits in cache) while the
+    # memory footprint stays a tiny fraction of the node.
+    assert result.growth_factor_per_qubit > 1.1
+    measured = [p.measured_seconds for p in result.points
+                if p.measured_seconds is not None]
+    assert measured[-1] > 2.0 * measured[0]
+    assert all(p.memory_fraction_of_node < 0.05 for p in result.points)

@@ -1,0 +1,24 @@
+"""Figure 8: parallel-shot saturation on a modeled A100."""
+
+from conftest import print_table
+
+from repro.experiments import fig08_parallel_shots
+
+
+def test_fig08_parallel_shots(benchmark, bench_config):
+    result = benchmark(fig08_parallel_shots.run, bench_config)
+    print_table(
+        "Figure 8 — parallel-shot speedup (paper: ~3x at 20-21 qubits, none past 24)",
+        [
+            {
+                "qubits": p.num_qubits,
+                "parallel_shots": p.parallel_shots,
+                "speedup": p.speedup,
+                "memory_fraction": p.memory_fraction,
+            }
+            for p in result.points
+            if p.parallel_shots in (1, 16)
+        ],
+    )
+    assert result.max_speedup_at_20_qubits > 2.0
+    assert result.max_speedup_at_25_qubits < 1.3

@@ -1,0 +1,25 @@
+"""Figure 9: TQSim memory overhead and speedup on wide BV circuits."""
+
+from conftest import print_table
+
+from repro.experiments import fig09_memory_reuse
+
+
+def test_fig09_memory_reuse(benchmark, bench_config):
+    result = benchmark(fig09_memory_reuse.run, bench_config)
+    print_table(
+        "Figure 9 — BV 22-30 qubits (paper: ~1.50-1.55x speedup, memory below limit)",
+        [
+            {
+                "qubits": p.num_qubits,
+                "baseline_MB": p.baseline_memory_bytes / 1e6,
+                "tqsim_MB": p.tqsim_memory_bytes / 1e6,
+                "node_fraction": p.memory_fraction_of_node,
+                "subcircuits": p.num_subcircuits,
+                "modeled_speedup": p.modeled_speedup,
+            }
+            for p in result.points
+        ],
+    )
+    assert all(p.memory_fraction_of_node < 0.5 for p in result.points)
+    assert all(1.0 <= p.modeled_speedup <= 2.1 for p in result.points)

@@ -1,0 +1,23 @@
+"""Figure 10: state-copy cost normalised to one gate execution."""
+
+from conftest import print_table
+
+from repro.experiments import fig10_copy_cost
+
+
+def test_fig10_copy_cost(benchmark, bench_config):
+    result = benchmark.pedantic(
+        fig10_copy_cost.run, args=(bench_config,), rounds=1, iterations=1
+    )
+    rows = [{"system": "local numpy substrate (measured)",
+             "copy_cost_in_gates": result.local_average}]
+    rows += [
+        {"system": f"{name} (paper Fig. 10)", "copy_cost_in_gates": value}
+        for name, value in result.paper_systems.items()
+    ]
+    print_table("Figure 10 — state-copy cost (gate equivalents)", rows)
+    assert result.local_average > 0
+    # Paper ordering: server CPUs most expensive, HBM2 GPU cheapest.
+    assert result.paper_systems["xeon_6130_server_cpu"] > \
+        result.paper_systems["core_i7_desktop_cpu"] > \
+        result.paper_systems["v100_server_gpu"]

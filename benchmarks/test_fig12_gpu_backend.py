@@ -1,0 +1,29 @@
+"""Figure 12: TQSim speedup on a modeled GPU (CuStateVec-class) backend."""
+
+from conftest import print_table
+
+from repro.experiments import fig12_gpu_backend
+
+
+def test_fig12_gpu_backend(benchmark, bench_config):
+    result = benchmark.pedantic(
+        fig12_gpu_backend.run, args=(bench_config,), rounds=1, iterations=1
+    )
+    print_table(
+        "Figure 12 — modeled GPU-backend speedups (paper: 2.3x average, up to 3.98x)",
+        [
+            {
+                "class": row.benchmark_class,
+                "circuit": row.circuit_name,
+                "a100_speedup": row.modeled_speedup_a100,
+                "v100_speedup": row.modeled_speedup_v100,
+                "cpu_cost_speedup": row.cpu_cost_speedup,
+            }
+            for row in result.rows
+        ],
+    )
+    # Backend independence: the modeled GPU speedups track the CPU
+    # computation-reduction ratios.
+    assert result.average_speedup_a100 > 1.2
+    for row in result.rows:
+        assert abs(row.modeled_speedup_a100 - row.cpu_cost_speedup) < 1.0

@@ -1,0 +1,27 @@
+"""Figure 14: normalized-fidelity difference between baseline and TQSim."""
+
+from conftest import print_table
+
+from repro.experiments import fig14_fidelity
+
+
+def test_fig14_fidelity_difference(benchmark, fidelity_config):
+    result = benchmark.pedantic(
+        fig14_fidelity.run, args=(fidelity_config,), rounds=1, iterations=1
+    )
+    print_table(
+        "Figure 14 — normalized-fidelity difference "
+        "(paper: average 0.006, maximum 0.016 at 32 000 shots)",
+        [
+            {"circuit": name, "difference": diff}
+            for name, diff in sorted(result.differences.items())
+        ],
+    )
+    print(f"measured average difference: {result.average_difference:.4f} "
+          f"(paper: {fig14_fidelity.PAPER_AVERAGE_DIFFERENCE}); "
+          f"measured max: {result.max_difference:.4f} "
+          f"(paper: {fig14_fidelity.PAPER_MAX_DIFFERENCE})")
+    # At the scaled-down shot count the statistical floor is ~1/sqrt(shots);
+    # the reproduction checks the difference stays within that floor.
+    statistical_floor = 3.0 / (result.sweep.rows[0].shots ** 0.5)
+    assert result.average_difference < statistical_floor

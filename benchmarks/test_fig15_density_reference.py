@@ -1,0 +1,27 @@
+"""Figure 15: TQSim vs the exact density-matrix reference."""
+
+from conftest import print_table
+
+from repro.experiments import fig15_density_reference
+
+
+def test_fig15_density_reference(benchmark, fidelity_config):
+    result = benchmark.pedantic(
+        fig15_density_reference.run, args=(fidelity_config,), rounds=1, iterations=1
+    )
+    print_table(
+        "Figure 15 — TQSim vs exact density matrix "
+        "(paper: average 0.007, maximum 0.015)",
+        [
+            {
+                "circuit": row.name,
+                "qubits": row.num_qubits,
+                "density_nf": row.density_normalized_fidelity,
+                "tqsim_nf": row.tqsim_normalized_fidelity,
+                "difference": row.difference,
+            }
+            for row in result.rows
+        ],
+    )
+    statistical_floor = 3.0 / (fidelity_config.shots ** 0.5)
+    assert result.average_difference < statistical_floor

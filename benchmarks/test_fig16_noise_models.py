@@ -1,0 +1,28 @@
+"""Figure 16: QPE under nine noise-model combinations."""
+
+from conftest import print_table
+
+from repro.experiments import fig16_noise_models
+
+
+def test_fig16_noise_models(benchmark, fidelity_config):
+    config = fidelity_config.scaled(shots=256, max_qubits=8)
+    result = benchmark.pedantic(
+        fig16_noise_models.run, args=(config,), rounds=1, iterations=1
+    )
+    print_table(
+        "Figure 16 — QPE normalized fidelity under nine noise models "
+        "(paper: TQSim matches the baseline under all nine)",
+        [
+            {
+                "model": row.code,
+                "baseline_nf": row.baseline_normalized_fidelity,
+                "tqsim_nf": row.tqsim_normalized_fidelity,
+                "difference": row.difference,
+            }
+            for row in result.rows
+        ],
+    )
+    assert len(result.rows) == 9
+    statistical_floor = 4.0 / (config.shots ** 0.5)
+    assert result.max_difference < statistical_floor

@@ -1,0 +1,33 @@
+"""Figure 17: accuracy-speedup trade-off across tree structures."""
+
+from conftest import print_table
+
+from repro.experiments import fig17_tradeoff
+
+
+def test_fig17_tradeoff(benchmark, fidelity_config):
+    config = fidelity_config.scaled(shots=500, max_qubits=9)
+    result = benchmark.pedantic(
+        fig17_tradeoff.run, args=(config,), rounds=1, iterations=1
+    )
+    print_table(
+        "Figure 17 — speedup vs fidelity for six tree structures "
+        "(paper: DCP keeps accuracy; (250,1,1) deviates strongly)",
+        [
+            {
+                "structure": row.label,
+                "tree": row.tree,
+                "cost_speedup": row.cost_speedup,
+                "fidelity_difference": row.fidelity_difference,
+                "outcomes": row.total_outcomes,
+            }
+            for row in result.rows
+        ],
+    )
+    dcp = result.row("dcp")
+    degenerate = result.row("degenerate_250_1_1")
+    # The degenerate tree produces only the first-layer outcomes.
+    assert degenerate.total_outcomes < result.shots
+    # DCP gains speed over the baseline while producing the full outcome set.
+    assert dcp.cost_speedup > 1.0
+    assert dcp.total_outcomes >= result.shots

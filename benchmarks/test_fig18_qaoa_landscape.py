@@ -1,0 +1,34 @@
+"""Figure 18: QAOA Max-Cut cost landscapes under noise."""
+
+from conftest import print_table
+
+from repro.experiments import fig18_qaoa_landscape
+
+
+def test_fig18_qaoa_landscape(benchmark, bench_config):
+    config = bench_config.scaled(max_qubits=8, extra={"grid_points": 4})
+    result = benchmark.pedantic(
+        fig18_qaoa_landscape.run, args=(config,), rounds=1, iterations=1
+    )
+    print_table(
+        "Figure 18 — QAOA landscapes (paper: 1.6x-3.7x speedup, MSE 0.001-0.002)",
+        [
+            {
+                "graph": comp.graph_name,
+                "qubits": comp.num_qubits,
+                "grid_points": comp.baseline.grid_points,
+                "cost_speedup": comp.cost_speedup,
+                "mse": comp.mse,
+                "paper_speedup": fig18_qaoa_landscape.PAPER_TABLE[comp.graph_name][
+                    "speedup"
+                ],
+                "paper_mse": fig18_qaoa_landscape.PAPER_TABLE[comp.graph_name]["mse"],
+            }
+            for comp in result.comparisons
+        ],
+    )
+    assert len(result.comparisons) == 3
+    for comparison in result.comparisons:
+        assert comparison.cost_speedup > 1.0
+        # The two landscapes agree far better than the cut-value scale (~O(1)).
+        assert comparison.mse < 1.0

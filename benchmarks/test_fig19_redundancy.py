@@ -1,0 +1,31 @@
+"""Figure 19: redundancy elimination vs TQSim normalized computation."""
+
+from conftest import print_table
+
+from repro.experiments import fig19_redundancy
+
+
+def test_fig19_redundancy_comparison(benchmark, bench_config):
+    result = benchmark.pedantic(
+        fig19_redundancy.run, args=(bench_config,), rounds=1, iterations=1
+    )
+    print_table(
+        "Figure 19 — normalized computation, lower is better "
+        "(paper: Redun-Elim wins below ~150 gates, TQSim above)",
+        [
+            {
+                "circuit": row.name,
+                "gates": row.num_gates,
+                "redun_elim": row.redun_elim_normalized,
+                "tqsim": row.tqsim_normalized,
+                "tqsim_wins": row.tqsim_wins,
+            }
+            for row in result.rows
+        ],
+    )
+    # The redundancy-elimination advantage must shrink as circuits grow: its
+    # normalized computation for the longest circuit exceeds that of the
+    # shortest one, and TQSim wins on the longest circuits.
+    shortest, longest = result.rows[0], result.rows[-1]
+    assert longest.redun_elim_normalized > shortest.redun_elim_normalized
+    assert longest.tqsim_wins

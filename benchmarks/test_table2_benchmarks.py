@@ -1,0 +1,31 @@
+"""Table 2: benchmark characteristics."""
+
+from conftest import print_table
+
+from repro.experiments import table2_benchmarks
+
+
+def test_table2_benchmark_characteristics(benchmark, bench_config):
+    result = benchmark.pedantic(
+        table2_benchmarks.run, args=(bench_config,), rounds=1, iterations=1
+    )
+    print_table(
+        "Table 2 — benchmark characteristics (paper vs generated)",
+        [
+            {
+                "class": row.benchmark_class,
+                "description": row.description,
+                "paper_widths": row.paper_width_range,
+                "generated_widths": row.generated_width_range,
+                "paper_gates": row.paper_gate_range,
+                "generated_gates": row.generated_gate_range,
+            }
+            for row in result.rows
+        ],
+    )
+    assert len(result.rows) == 8
+    for row in result.rows:
+        # Generated widths track the paper's (MUL is the only family whose
+        # generator constrains the width to 4*bits + 1).
+        assert abs(row.generated_width_range[0] - row.paper_width_range[0]) <= 2
+        assert row.generated_gate_range[1] > row.generated_gate_range[0]

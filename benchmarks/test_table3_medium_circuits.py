@@ -1,0 +1,31 @@
+"""Table 3: absolute simulation times for medium-scale circuits."""
+
+from conftest import print_table
+
+from repro.experiments import table3_medium_circuits
+
+
+def test_table3_medium_circuits(benchmark, bench_config):
+    result = benchmark.pedantic(
+        table3_medium_circuits.run, args=(bench_config,), rounds=1, iterations=1
+    )
+    print_table(
+        "Table 3 — medium-circuit times (paper speedups: QV 1.98-2.41x, QFT 2.89x)",
+        [
+            {
+                "benchmark": row.paper_name,
+                "measured_qubits": row.num_qubits,
+                "gates": row.num_gates,
+                "baseline_s": row.baseline_seconds,
+                "tqsim_s": row.tqsim_seconds,
+                "wall_speedup": row.wall_clock_speedup,
+                "cost_speedup": row.cost_speedup,
+                "paper_speedup": result.paper_rows[row.paper_name]["speedup"],
+            }
+            for row in result.rows
+        ],
+    )
+    assert len(result.rows) == 3
+    for row in result.rows:
+        assert row.cost_speedup > 1.1
+        assert row.tqsim_seconds < row.baseline_seconds

@@ -1,0 +1,42 @@
+"""Reproduce a scaled-down Figure 11: TQSim speedups across the benchmark suite.
+
+Run with ``python examples/benchmark_suite_speedups.py [max_qubits] [shots]``.
+For every circuit of the paper's 48-circuit suite within the width budget the
+script runs the baseline and TQSim, then prints speedups and fidelity
+differences per circuit and per benchmark class.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.common import ExperimentConfig
+from repro.experiments import fig11_speedups
+
+
+def main(max_qubits: int = 9, shots: int = 256) -> None:
+    config = ExperimentConfig(shots=shots, max_qubits=max_qubits, seed=7,
+                              copy_cost_in_gates=10.0)
+    print(f"running the suite sweep with max_qubits={max_qubits}, shots={shots} ...")
+    result = fig11_speedups.run(config)
+
+    print(f"\n{'circuit':<14}{'qubits':>7}{'gates':>7}{'tree':>16}"
+          f"{'speedup':>9}{'nf diff':>9}")
+    for row in result.table():
+        print(f"{row['name']:<14}{row['qubits']:>7}{row['gates']:>7}"
+              f"{row['tree']:>16}{row['cost_speedup']:>9.2f}"
+              f"{row['fidelity_difference']:>9.3f}")
+
+    print("\nper-class average speedups (paper values in parentheses):")
+    for cls, speedup in sorted(result.class_speedups.items()):
+        paper = fig11_speedups.PAPER_CLASS_SPEEDUPS[cls]
+        print(f"  {cls:<6} {speedup:5.2f}x   (paper {paper:.2f}x)")
+    print(f"\noverall average: {result.average_speedup:.2f}x "
+          f"(paper {fig11_speedups.PAPER_AVERAGE_SPEEDUP}x at 32 000 shots)")
+    print(f"max fidelity difference: {result.max_fidelity_difference:.3f} "
+          f"(paper {fig11_speedups.PAPER_MAX_FIDELITY_DIFFERENCE})")
+
+
+if __name__ == "__main__":
+    arguments = [int(value) for value in sys.argv[1:3]]
+    main(*arguments)

@@ -1,0 +1,34 @@
+"""Reproduce a scaled-down Figure 16: accuracy under different noise models.
+
+Run with ``python examples/noise_model_sensitivity.py``.  A QPE circuit is
+simulated under each of the paper's nine noise-model combinations (DC, DCR,
+TR, TRR, AD, ADR, PD, PDR, ALL) with both the baseline simulator and TQSim;
+the normalized fidelity of each is printed, showing that the reuse engine
+tracks the baseline under every channel type, not just the depolarizing model
+its partition was derived from.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentConfig
+from repro.experiments import fig16_noise_models
+
+
+def main() -> None:
+    config = ExperimentConfig(shots=384, max_qubits=8, seed=9,
+                              copy_cost_in_gates=10.0)
+    print(f"simulating QPE_{min(config.max_qubits, 9)} under nine noise models "
+          f"({config.shots} shots each) ...\n")
+    result = fig16_noise_models.run(config)
+
+    print(f"{'model':<6}{'baseline NF':>14}{'tqsim NF':>12}{'difference':>12}")
+    for row in result.rows:
+        print(f"{row.code:<6}{row.baseline_normalized_fidelity:>14.3f}"
+              f"{row.tqsim_normalized_fidelity:>12.3f}{row.difference:>12.3f}")
+    print(f"\nworst-case baseline-vs-TQSim difference: {result.max_difference:.3f}")
+    print("(the paper reports matching fidelities under all nine models; at the")
+    print(" reduced shot count the difference is dominated by sampling noise)")
+
+
+if __name__ == "__main__":
+    main()

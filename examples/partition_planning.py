@@ -1,0 +1,43 @@
+"""Explore how DCP plans a simulation tree (Sections 3.2 and 3.6).
+
+Run with ``python examples/partition_planning.py``.  No simulation is
+executed; the script only builds partition plans, which makes it a fast way
+to see how circuit length, shot count, error rates and the state-copy cost
+shape the tree and the achievable (analytic) speedup.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.library import bv_circuit, qft_circuit, qv_circuit
+from repro.core import DynamicCircuitPartitioner
+from repro.analysis import speedup_breakdown
+from repro.noise import depolarizing_noise_model
+
+
+def describe_plan(circuit, shots: int, copy_cost: float) -> None:
+    noise = depolarizing_noise_model()
+    partitioner = DynamicCircuitPartitioner(copy_cost_in_gates=copy_cost)
+    plan = partitioner.plan(circuit, shots, noise)
+    breakdown = speedup_breakdown(plan, copy_cost, baseline_shots=shots)
+    print(f"\n{circuit.name}: {circuit.num_qubits} qubits, "
+          f"{circuit.num_gates} gates, {shots} shots, copy cost {copy_cost:g}")
+    print(f"  tree                 : {plan.tree}")
+    print(f"  subcircuit lengths   : {plan.subcircuit_lengths}")
+    print(f"  first-layer shots A0 : {plan.tree.arities[0]}")
+    print(f"  baseline work        : {breakdown.baseline_gate_applications:,} gates")
+    print(f"  TQSim work           : "
+          f"{breakdown.tqsim_total_gate_equivalents:,.0f} gate-equivalents")
+    print(f"  analytic speedup     : {breakdown.speedup:.2f}x "
+          f"(computation reduction {breakdown.computation_reduction:.0%})")
+
+
+def main() -> None:
+    shots = 32_000  # the paper's shot count; planning is cheap at any scale
+    describe_plan(qft_circuit(14), shots, copy_cost=30.0)   # paper's worked example
+    describe_plan(qv_circuit(12, seed=1), shots, copy_cost=30.0)
+    describe_plan(bv_circuit(16), shots, copy_cost=45.0)    # short, wide worst case
+    describe_plan(qft_circuit(14), shots, copy_cost=5.0)    # cheap copies (HBM2 GPU)
+
+
+if __name__ == "__main__":
+    main()

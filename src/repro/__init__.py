@@ -1,0 +1,68 @@
+"""repro — a reproduction of TQSim (ISCA 2025).
+
+TQSim accelerates noisy (Monte-Carlo trajectory) quantum circuit simulation by
+partitioning a circuit into subcircuits and reusing intermediate statevectors
+across shots, organised as a *simulation tree*.
+
+The package is organised as follows:
+
+``repro.circuits``
+    Circuit intermediate representation, standard gates and the benchmark
+    circuit library used by the paper (Table 2).
+``repro.statevector``
+    Ideal Schrödinger-style statevector simulator (the substrate the paper
+    builds on, here implemented with NumPy instead of Qulacs).
+``repro.density``
+    Exact density-matrix simulator, used as the mixed-state reference.
+``repro.noise``
+    Quantum error channels (Kraus form), noise models and trajectory sampling.
+``repro.core``
+    The paper's contribution: simulation trees, circuit partitioners
+    (UCP / XCP / DCP), the baseline per-shot Monte-Carlo simulator and the
+    tree-based reuse engine (:class:`~repro.core.engine.TQSimEngine`).
+``repro.metrics``
+    State fidelity and the Lubinski normalized-fidelity figure of merit.
+``repro.analysis``
+    Analytical cost/memory models (memory scaling, theoretical speedups,
+    parallel-shot saturation, HPC memory utilisation).
+``repro.distributed``
+    A simulated multi-node cluster for the strong/weak scaling study.
+``repro.redunelim``
+    The inter-shot redundancy-elimination comparator (Li et al.).
+``repro.vqa``
+    QAOA / Max-Cut support for the variational-workload study.
+``repro.experiments``
+    One module per paper table/figure, returning structured results.
+"""
+
+from repro.circuits import Circuit, Gate
+from repro.core import (
+    BaselineNoisySimulator,
+    DynamicCircuitPartitioner,
+    ExponentialCircuitPartitioner,
+    TQSimEngine,
+    TreeStructure,
+    UniformCircuitPartitioner,
+)
+from repro.metrics import normalized_fidelity, state_fidelity
+from repro.noise import NoiseModel, sycamore_noise_model
+from repro.statevector import Statevector, StatevectorSimulator
+
+__all__ = [
+    "Circuit",
+    "Gate",
+    "Statevector",
+    "StatevectorSimulator",
+    "NoiseModel",
+    "sycamore_noise_model",
+    "TreeStructure",
+    "UniformCircuitPartitioner",
+    "ExponentialCircuitPartitioner",
+    "DynamicCircuitPartitioner",
+    "BaselineNoisySimulator",
+    "TQSimEngine",
+    "normalized_fidelity",
+    "state_fidelity",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,65 @@
+"""Analytical cost, memory and utilisation models."""
+
+from repro.analysis.hpc import (
+    FRONTIER,
+    HPC_SYSTEMS,
+    PERLMUTTER,
+    SUMMIT,
+    HPCSystem,
+    memory_utilization,
+    tqsim_memory_utilization,
+)
+from repro.analysis.memory import (
+    EL_CAPITAN_MEMORY_BYTES,
+    LAPTOP_MEMORY_BYTES,
+    XEON_NODE_MEMORY_BYTES,
+    MemoryScalingPoint,
+    baseline_simulation_bytes,
+    density_matrix_bytes,
+    max_density_matrix_qubits,
+    max_statevector_qubits,
+    memory_scaling_table,
+    statevector_bytes,
+    tqsim_simulation_bytes,
+)
+from repro.analysis.parallel_shots import (
+    ParallelShotPoint,
+    parallel_shot_speedup,
+    parallel_shot_sweep,
+)
+from repro.analysis.speedup import (
+    SpeedupBreakdown,
+    max_speedup_equal_subcircuits,
+    noisy_over_ideal_slowdown,
+    plan_speedup,
+    speedup_breakdown,
+)
+
+__all__ = [
+    "statevector_bytes",
+    "density_matrix_bytes",
+    "baseline_simulation_bytes",
+    "tqsim_simulation_bytes",
+    "max_statevector_qubits",
+    "max_density_matrix_qubits",
+    "memory_scaling_table",
+    "MemoryScalingPoint",
+    "LAPTOP_MEMORY_BYTES",
+    "EL_CAPITAN_MEMORY_BYTES",
+    "XEON_NODE_MEMORY_BYTES",
+    "HPCSystem",
+    "FRONTIER",
+    "SUMMIT",
+    "PERLMUTTER",
+    "HPC_SYSTEMS",
+    "memory_utilization",
+    "tqsim_memory_utilization",
+    "ParallelShotPoint",
+    "parallel_shot_speedup",
+    "parallel_shot_sweep",
+    "max_speedup_equal_subcircuits",
+    "plan_speedup",
+    "speedup_breakdown",
+    "SpeedupBreakdown",
+    "noisy_over_ideal_slowdown",
+]

@@ -1,0 +1,110 @@
+"""HPC system catalogue and memory-utilisation model (paper Table 1, §3.3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.memory import statevector_bytes
+
+__all__ = [
+    "HPCSystem",
+    "FRONTIER",
+    "SUMMIT",
+    "PERLMUTTER",
+    "HPC_SYSTEMS",
+    "memory_utilization",
+    "tqsim_memory_utilization",
+]
+
+
+@dataclass(frozen=True)
+class HPCSystem:
+    """One node of an HPC system as described in Table 1."""
+
+    name: str
+    num_gpus: int
+    gpu_memory_bytes: float
+    cpu_memory_bytes: float
+    usable_gpus: int
+    usable_fraction_per_gpu: float
+
+    @property
+    def total_gpu_memory_bytes(self) -> float:
+        """Raw GPU memory of the node."""
+        return self.num_gpus * self.gpu_memory_bytes
+
+    @property
+    def usable_gpu_memory_bytes(self) -> float:
+        """GPU memory actually usable for statevectors (metadata excluded)."""
+        return (
+            self.usable_gpus * self.gpu_memory_bytes * self.usable_fraction_per_gpu
+        )
+
+    @property
+    def total_node_memory_bytes(self) -> float:
+        """GPU plus CPU memory of the node."""
+        return self.total_gpu_memory_bytes + self.cpu_memory_bytes
+
+    def max_statevector_qubits(self) -> int:
+        """Largest width fitting in the usable GPU memory."""
+        qubits = 0
+        while statevector_bytes(qubits + 1) <= self.usable_gpu_memory_bytes:
+            qubits += 1
+        return qubits
+
+
+# Table 1.  Frontier: 4x MI250X with 128 GB each but only 64 GB usable;
+# Summit: 6x 16 GB V100 of which 4 are used for balanced performance;
+# Perlmutter: 4x 40 GB A100 of which 128 GB total is usable.
+FRONTIER = HPCSystem(
+    name="Frontier (ORNL)",
+    num_gpus=4,
+    gpu_memory_bytes=128e9,
+    cpu_memory_bytes=512e9,
+    usable_gpus=4,
+    usable_fraction_per_gpu=0.5,
+)
+SUMMIT = HPCSystem(
+    name="Summit (ORNL)",
+    num_gpus=6,
+    gpu_memory_bytes=16e9,
+    cpu_memory_bytes=512e9,
+    usable_gpus=4,
+    usable_fraction_per_gpu=0.5,
+)
+PERLMUTTER = HPCSystem(
+    name="Perlmutter (NERSC)",
+    num_gpus=4,
+    gpu_memory_bytes=40e9,
+    cpu_memory_bytes=256e9,
+    usable_gpus=4,
+    usable_fraction_per_gpu=0.8,
+)
+
+#: The three HPC systems of Table 1.
+HPC_SYSTEMS = {system.name: system for system in (FRONTIER, SUMMIT, PERLMUTTER)}
+
+
+def memory_utilization(system: HPCSystem) -> float:
+    """Fraction of a node's total memory the *baseline* simulation can use.
+
+    The baseline keeps only the working statevector in (usable) GPU memory,
+    so the utilised fraction is the usable GPU memory over the node's total
+    memory — the 25% / 5.3% / 30.8% figures quoted in Section 3.3.
+    """
+    return system.usable_gpu_memory_bytes / system.total_node_memory_bytes
+
+
+def tqsim_memory_utilization(system: HPCSystem, num_qubits: int,
+                             num_subcircuits: int) -> float:
+    """Fraction of the node's memory used once TQSim stores its states.
+
+    TQSim parks one intermediate state per non-leaf layer in the otherwise
+    idle CPU memory, on top of the baseline's working state in GPU memory.
+    """
+    if num_subcircuits < 1:
+        raise ValueError("num_subcircuits must be >= 1")
+    working = min(statevector_bytes(num_qubits), system.usable_gpu_memory_bytes)
+    stored = (num_subcircuits - 1) * statevector_bytes(num_qubits)
+    stored = min(stored, system.cpu_memory_bytes)
+    return (working + stored) / system.total_node_memory_bytes

@@ -1,0 +1,99 @@
+"""Memory-footprint models (paper Figures 4, 5 and 9).
+
+All sizes assume complex128 amplitudes (16 bytes), the format every simulator
+in this package uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "statevector_bytes",
+    "density_matrix_bytes",
+    "baseline_simulation_bytes",
+    "tqsim_simulation_bytes",
+    "max_statevector_qubits",
+    "max_density_matrix_qubits",
+    "MemoryScalingPoint",
+    "memory_scaling_table",
+    "LAPTOP_MEMORY_BYTES",
+    "EL_CAPITAN_MEMORY_BYTES",
+    "XEON_NODE_MEMORY_BYTES",
+]
+
+#: Reference capacities used by Figure 4: a 16 GB laptop and El Capitan
+#: (~5.4 PB of aggregate memory), plus the paper's Xeon evaluation node.
+LAPTOP_MEMORY_BYTES = 16e9
+EL_CAPITAN_MEMORY_BYTES = 5.4e15
+XEON_NODE_MEMORY_BYTES = 192e9
+
+_AMPLITUDE_BYTES = 16.0
+
+
+def statevector_bytes(num_qubits: int) -> float:
+    """Memory of one statevector: ``16 * 2**n`` bytes."""
+    if num_qubits < 1:
+        raise ValueError("num_qubits must be >= 1")
+    return _AMPLITUDE_BYTES * (2.0**num_qubits)
+
+
+def density_matrix_bytes(num_qubits: int) -> float:
+    """Memory of one density matrix: ``16 * 4**n`` bytes."""
+    if num_qubits < 1:
+        raise ValueError("num_qubits must be >= 1")
+    return _AMPLITUDE_BYTES * (4.0**num_qubits)
+
+
+def baseline_simulation_bytes(num_qubits: int) -> float:
+    """Peak memory of the baseline trajectory simulator (one working state)."""
+    return statevector_bytes(num_qubits)
+
+
+def tqsim_simulation_bytes(num_qubits: int, num_subcircuits: int) -> float:
+    """Peak memory of TQSim: one stored state per non-leaf layer + working state.
+
+    This is the Figure-9 overhead: linear in the number of subcircuits, never
+    exponential, and therefore far below the node's memory limit for any
+    realistic tree depth.
+    """
+    if num_subcircuits < 1:
+        raise ValueError("num_subcircuits must be >= 1")
+    stored_states = max(num_subcircuits - 1, 0) + 1
+    return stored_states * statevector_bytes(num_qubits) + statevector_bytes(num_qubits)
+
+
+def max_statevector_qubits(memory_bytes: float) -> int:
+    """Largest width whose statevector fits in the given memory."""
+    qubits = 0
+    while statevector_bytes(qubits + 1) <= memory_bytes:
+        qubits += 1
+    return qubits
+
+
+def max_density_matrix_qubits(memory_bytes: float) -> int:
+    """Largest width whose density matrix fits in the given memory."""
+    qubits = 0
+    while density_matrix_bytes(qubits + 1) <= memory_bytes:
+        qubits += 1
+    return qubits
+
+
+@dataclass(frozen=True)
+class MemoryScalingPoint:
+    """One row of the Figure-4 memory-scaling curve."""
+
+    num_qubits: int
+    statevector_bytes: float
+    density_matrix_bytes: float
+
+
+def memory_scaling_table(min_qubits: int = 10, max_qubits: int = 40
+                         ) -> list[MemoryScalingPoint]:
+    """The Figure-4 curves: statevector vs density-matrix memory by width."""
+    if min_qubits < 1 or max_qubits < min_qubits:
+        raise ValueError("invalid qubit range")
+    return [
+        MemoryScalingPoint(n, statevector_bytes(n), density_matrix_bytes(n))
+        for n in range(min_qubits, max_qubits + 1)
+    ]

@@ -1,0 +1,88 @@
+"""Analytic speedup formulas (paper Section 3.6) and slowdown estimates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.partitioners import PartitionPlan
+from repro.core.tree import TreeStructure
+
+__all__ = [
+    "max_speedup_equal_subcircuits",
+    "plan_speedup",
+    "SpeedupBreakdown",
+    "speedup_breakdown",
+    "noisy_over_ideal_slowdown",
+]
+
+
+def max_speedup_equal_subcircuits(num_subcircuits: int, shots: int) -> float:
+    """Paper Section 3.6: ``k*N / ((k-1) + N)`` for ``k`` equal subcircuits.
+
+    This is the upper bound obtained with the maximally reusing tree
+    ``(1, N, 1, ...)`` pattern and ignores state-copy overhead and accuracy.
+    """
+    return TreeStructure.ideal_equal_partition_speedup(num_subcircuits, shots)
+
+
+def plan_speedup(plan: PartitionPlan, copy_cost_in_gates: float = 0.0,
+                 baseline_shots: int | None = None) -> float:
+    """Analytic speedup of a concrete partition plan over the baseline."""
+    return plan.theoretical_speedup(copy_cost_in_gates, baseline_shots)
+
+
+@dataclass(frozen=True)
+class SpeedupBreakdown:
+    """Where a plan's computation goes, in gate-equivalents."""
+
+    baseline_gate_applications: int
+    tqsim_gate_applications: int
+    state_copies: int
+    copy_cost_in_gates: float
+
+    @property
+    def tqsim_total_gate_equivalents(self) -> float:
+        """TQSim work including the copy overhead."""
+        return self.tqsim_gate_applications + self.state_copies * self.copy_cost_in_gates
+
+    @property
+    def computation_reduction(self) -> float:
+        """Fraction of the baseline's work that TQSim avoids."""
+        if self.baseline_gate_applications == 0:
+            return 0.0
+        return 1.0 - self.tqsim_total_gate_equivalents / self.baseline_gate_applications
+
+    @property
+    def speedup(self) -> float:
+        """Baseline work divided by TQSim work."""
+        total = self.tqsim_total_gate_equivalents
+        return self.baseline_gate_applications / total if total > 0 else float("inf")
+
+
+def speedup_breakdown(plan: PartitionPlan, copy_cost_in_gates: float,
+                      baseline_shots: int | None = None) -> SpeedupBreakdown:
+    """Break a plan's analytic speedup into its cost components."""
+    shots = baseline_shots if baseline_shots is not None else plan.total_outcomes
+    return SpeedupBreakdown(
+        baseline_gate_applications=shots * plan.total_gates,
+        tqsim_gate_applications=plan.tree.computation_cost(plan.subcircuit_lengths),
+        state_copies=plan.tree.state_copies,
+        copy_cost_in_gates=copy_cost_in_gates,
+    )
+
+
+def noisy_over_ideal_slowdown(shots: int, noise_events_per_gate: float = 1.0,
+                              ideal_sampling_overhead: float = 1.0) -> float:
+    """Estimate the Figure-1 slowdown of noisy over ideal simulation.
+
+    An ideal multi-shot simulation runs the circuit once and samples all
+    outcomes from the final state; a noisy one repeats the full circuit per
+    shot and additionally applies noise operators.  The slowdown is therefore
+    roughly ``shots * (1 + noise_events_per_gate) / ideal_sampling_overhead``.
+    """
+    if shots < 1:
+        raise ValueError("shots must be >= 1")
+    if noise_events_per_gate < 0 or ideal_sampling_overhead <= 0:
+        raise ValueError("invalid overhead parameters")
+    return shots * (1.0 + noise_events_per_gate) / ideal_sampling_overhead

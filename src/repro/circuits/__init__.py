@@ -1,0 +1,32 @@
+"""Circuit intermediate representation and benchmark circuit library."""
+
+from repro.circuits.gate import Gate
+from repro.circuits.circuit import Circuit
+from repro.circuits.partition import (
+    boundaries_for_equal_parts,
+    split_by_lengths,
+    split_equal_gates,
+)
+from repro.circuits.qasm import from_qasm, to_qasm
+from repro.circuits.transpile import (
+    decompose_ccx,
+    decompose_cswap,
+    decompose_swap,
+    decompose_to_two_qubit_gates,
+)
+from repro.circuits import stdgates
+
+__all__ = [
+    "Gate",
+    "Circuit",
+    "stdgates",
+    "split_equal_gates",
+    "split_by_lengths",
+    "boundaries_for_equal_parts",
+    "to_qasm",
+    "from_qasm",
+    "decompose_ccx",
+    "decompose_cswap",
+    "decompose_swap",
+    "decompose_to_two_qubit_gates",
+]

@@ -1,0 +1,354 @@
+"""The :class:`Circuit` container — an ordered list of gates on ``n`` qubits."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.circuits.gate import Gate
+from repro.circuits import stdgates
+
+__all__ = ["Circuit"]
+
+
+class Circuit:
+    """An ordered sequence of :class:`~repro.circuits.gate.Gate` instructions.
+
+    The circuit is purely a data container plus a builder API; simulation is
+    performed by the simulators in :mod:`repro.statevector`,
+    :mod:`repro.density` and :mod:`repro.core`.
+
+    Parameters
+    ----------
+    num_qubits:
+        Circuit width.
+    gates:
+        Optional initial gate list.
+    name:
+        Optional circuit name (used by the benchmark suite and reports).
+    """
+
+    def __init__(
+        self,
+        num_qubits: int,
+        gates: Iterable[Gate] | None = None,
+        name: str | None = None,
+    ) -> None:
+        if num_qubits < 1:
+            raise ValueError("a circuit needs at least one qubit")
+        self.num_qubits = int(num_qubits)
+        self.name = name
+        self._gates: list[Gate] = []
+        for gate in gates or ():
+            self.append(gate)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    @property
+    def gates(self) -> list[Gate]:
+        """The (mutable) list of gates, in application order."""
+        return self._gates
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Circuit(self.num_qubits, self._gates[index], name=self.name)
+        return self._gates[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Circuit):
+            return NotImplemented
+        if self.num_qubits != other.num_qubits or len(self) != len(other):
+            return False
+        for mine, theirs in zip(self._gates, other._gates):
+            if mine.name != theirs.name or mine.qubits != theirs.qubits:
+                return False
+            if mine.params != theirs.params:
+                return False
+            if (mine.matrix is None) != (theirs.matrix is None):
+                return False
+            if mine.matrix is not None and not np.allclose(mine.matrix, theirs.matrix):
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or "circuit"
+        return (
+            f"<Circuit {label!r}: {self.num_qubits} qubits, "
+            f"{len(self._gates)} gates, depth {self.depth()}>"
+        )
+
+    # ------------------------------------------------------------------
+    # Builder API
+    # ------------------------------------------------------------------
+    def append(self, gate: Gate) -> "Circuit":
+        """Append a gate, validating its operands against the circuit width."""
+        for qubit in gate.qubits:
+            if qubit < 0 or qubit >= self.num_qubits:
+                raise ValueError(
+                    f"gate {gate.name!r} addresses qubit {qubit}, but the circuit "
+                    f"has only {self.num_qubits} qubits"
+                )
+        self._gates.append(gate)
+        return self
+
+    def _std(self, name: str, qubits: Sequence[int], *params: float) -> "Circuit":
+        return self.append(Gate.standard(name, tuple(qubits), *params))
+
+    # Single-qubit gates -------------------------------------------------
+    def i(self, qubit: int) -> "Circuit":
+        """Identity (useful as a scheduling placeholder)."""
+        return self._std("id", (qubit,))
+
+    def x(self, qubit: int) -> "Circuit":
+        """Pauli-X."""
+        return self._std("x", (qubit,))
+
+    def y(self, qubit: int) -> "Circuit":
+        """Pauli-Y."""
+        return self._std("y", (qubit,))
+
+    def z(self, qubit: int) -> "Circuit":
+        """Pauli-Z."""
+        return self._std("z", (qubit,))
+
+    def h(self, qubit: int) -> "Circuit":
+        """Hadamard."""
+        return self._std("h", (qubit,))
+
+    def s(self, qubit: int) -> "Circuit":
+        """S gate."""
+        return self._std("s", (qubit,))
+
+    def sdg(self, qubit: int) -> "Circuit":
+        """S-dagger."""
+        return self._std("sdg", (qubit,))
+
+    def t(self, qubit: int) -> "Circuit":
+        """T gate."""
+        return self._std("t", (qubit,))
+
+    def tdg(self, qubit: int) -> "Circuit":
+        """T-dagger."""
+        return self._std("tdg", (qubit,))
+
+    def sx(self, qubit: int) -> "Circuit":
+        """sqrt(X)."""
+        return self._std("sx", (qubit,))
+
+    def rx(self, theta: float, qubit: int) -> "Circuit":
+        """X rotation."""
+        return self._std("rx", (qubit,), theta)
+
+    def ry(self, theta: float, qubit: int) -> "Circuit":
+        """Y rotation."""
+        return self._std("ry", (qubit,), theta)
+
+    def rz(self, theta: float, qubit: int) -> "Circuit":
+        """Z rotation."""
+        return self._std("rz", (qubit,), theta)
+
+    def p(self, lam: float, qubit: int) -> "Circuit":
+        """Phase gate."""
+        return self._std("p", (qubit,), lam)
+
+    def u(self, theta: float, phi: float, lam: float, qubit: int) -> "Circuit":
+        """Generic single-qubit U gate."""
+        return self._std("u", (qubit,), theta, phi, lam)
+
+    # Two-qubit gates ----------------------------------------------------
+    def cx(self, control: int, target: int) -> "Circuit":
+        """CNOT."""
+        return self._std("cx", (control, target))
+
+    def cz(self, control: int, target: int) -> "Circuit":
+        """Controlled-Z."""
+        return self._std("cz", (control, target))
+
+    def ch(self, control: int, target: int) -> "Circuit":
+        """Controlled-H."""
+        return self._std("ch", (control, target))
+
+    def cp(self, lam: float, control: int, target: int) -> "Circuit":
+        """Controlled-phase."""
+        return self._std("cp", (control, target), lam)
+
+    def crx(self, theta: float, control: int, target: int) -> "Circuit":
+        """Controlled-RX."""
+        return self._std("crx", (control, target), theta)
+
+    def cry(self, theta: float, control: int, target: int) -> "Circuit":
+        """Controlled-RY."""
+        return self._std("cry", (control, target), theta)
+
+    def crz(self, theta: float, control: int, target: int) -> "Circuit":
+        """Controlled-RZ."""
+        return self._std("crz", (control, target), theta)
+
+    def swap(self, qubit_a: int, qubit_b: int) -> "Circuit":
+        """SWAP."""
+        return self._std("swap", (qubit_a, qubit_b))
+
+    def rzz(self, theta: float, qubit_a: int, qubit_b: int) -> "Circuit":
+        """ZZ rotation."""
+        return self._std("rzz", (qubit_a, qubit_b), theta)
+
+    def rxx(self, theta: float, qubit_a: int, qubit_b: int) -> "Circuit":
+        """XX rotation."""
+        return self._std("rxx", (qubit_a, qubit_b), theta)
+
+    def fsim(self, theta: float, phi: float, qubit_a: int, qubit_b: int) -> "Circuit":
+        """fSim gate (Sycamore two-qubit gate)."""
+        return self._std("fsim", (qubit_a, qubit_b), theta, phi)
+
+    # Three-qubit gates --------------------------------------------------
+    def ccx(self, control_a: int, control_b: int, target: int) -> "Circuit":
+        """Toffoli."""
+        return self._std("ccx", (control_a, control_b, target))
+
+    def cswap(self, control: int, qubit_a: int, qubit_b: int) -> "Circuit":
+        """Fredkin."""
+        return self._std("cswap", (control, qubit_a, qubit_b))
+
+    def unitary(
+        self, matrix: np.ndarray, qubits: Sequence[int], label: str | None = None
+    ) -> "Circuit":
+        """Append an arbitrary unitary gate."""
+        return self.append(Gate.from_matrix(matrix, tuple(qubits), label=label))
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_gates(self) -> int:
+        """Total gate count (the paper's ``circuit length``)."""
+        return len(self._gates)
+
+    def count_ops(self) -> dict[str, int]:
+        """Histogram of gate names."""
+        return dict(Counter(gate.name for gate in self._gates))
+
+    def count_by_arity(self) -> dict[int, int]:
+        """Histogram of gate operand counts (1q / 2q / 3q ...)."""
+        return dict(Counter(gate.num_qubits for gate in self._gates))
+
+    def two_qubit_gate_count(self) -> int:
+        """Number of gates acting on two or more qubits."""
+        return sum(1 for gate in self._gates if gate.num_qubits >= 2)
+
+    def depth(self) -> int:
+        """Circuit depth: the length of the longest qubit-dependency chain."""
+        frontier = [0] * self.num_qubits
+        for gate in self._gates:
+            level = 1 + max(frontier[q] for q in gate.qubits)
+            for qubit in gate.qubits:
+                frontier[qubit] = level
+        return max(frontier, default=0)
+
+    def used_qubits(self) -> set[int]:
+        """The set of qubits touched by at least one gate."""
+        used: set[int] = set()
+        for gate in self._gates:
+            used.update(gate.qubits)
+        return used
+
+    # ------------------------------------------------------------------
+    # Transformation
+    # ------------------------------------------------------------------
+    def copy(self, name: str | None = None) -> "Circuit":
+        """Shallow copy (gates are immutable so sharing them is safe)."""
+        return Circuit(self.num_qubits, self._gates, name=name or self.name)
+
+    def compose(self, other: "Circuit") -> "Circuit":
+        """Return a new circuit running ``self`` then ``other``."""
+        if other.num_qubits > self.num_qubits:
+            raise ValueError("composed circuit is wider than the base circuit")
+        return Circuit(self.num_qubits, [*self._gates, *other._gates], name=self.name)
+
+    def inverse(self) -> "Circuit":
+        """Return the adjoint circuit."""
+        inverted = [gate.inverse() for gate in reversed(self._gates)]
+        name = f"{self.name}_inv" if self.name else None
+        return Circuit(self.num_qubits, inverted, name=name)
+
+    def remap(self, mapping: dict[int, int], num_qubits: int | None = None) -> "Circuit":
+        """Relabel qubits according to ``mapping``."""
+        width = num_qubits if num_qubits is not None else self.num_qubits
+        return Circuit(width, [g.remap(mapping) for g in self._gates], name=self.name)
+
+    def subcircuit(self, start: int, stop: int) -> "Circuit":
+        """Return the gate slice ``[start, stop)`` as a circuit of equal width."""
+        if not 0 <= start <= stop <= len(self._gates):
+            raise ValueError(
+                f"invalid subcircuit range [{start}, {stop}) for {len(self._gates)} gates"
+            )
+        return Circuit(self.num_qubits, self._gates[start:stop], name=self.name)
+
+    def split(self, boundaries: Sequence[int]) -> list["Circuit"]:
+        """Split at the given gate-index boundaries into consecutive subcircuits.
+
+        ``boundaries`` are interior cut points; the result has
+        ``len(boundaries) + 1`` pieces whose concatenation equals the circuit.
+        """
+        cut_points = [0, *sorted(boundaries), len(self._gates)]
+        for left, right in zip(cut_points, cut_points[1:]):
+            if right < left:
+                raise ValueError("split boundaries must be non-decreasing")
+        for point in boundaries:
+            if point < 0 or point > len(self._gates):
+                raise ValueError(f"split boundary {point} out of range")
+        return [
+            self.subcircuit(left, right)
+            for left, right in zip(cut_points, cut_points[1:])
+        ]
+
+    def to_matrix(self) -> np.ndarray:
+        """Dense unitary of the whole circuit (small circuits only).
+
+        Intended for verification in tests; complexity is O(4^n) per gate.
+        """
+        if self.num_qubits > 10:
+            raise ValueError("to_matrix is restricted to circuits of <= 10 qubits")
+        dim = 2**self.num_qubits
+        total = np.eye(dim, dtype=complex)
+        for gate in self._gates:
+            total = _expand_gate(gate, self.num_qubits) @ total
+        return total
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        header = repr(self)
+        body = "\n".join(f"  {gate}" for gate in self._gates[:50])
+        suffix = "\n  ..." if len(self._gates) > 50 else ""
+        return f"{header}\n{body}{suffix}"
+
+
+def _expand_gate(gate: Gate, num_qubits: int) -> np.ndarray:
+    """Embed a gate's local matrix into the full 2^n-dimensional space."""
+    local = gate.to_matrix()
+    k = gate.num_qubits
+    dim = 2**num_qubits
+    full = np.zeros((dim, dim), dtype=complex)
+    other = [q for q in range(num_qubits) if q not in gate.qubits]
+    for col in range(dim):
+        local_col = 0
+        for position, qubit in enumerate(gate.qubits):
+            local_col |= ((col >> qubit) & 1) << position
+        base = col
+        for qubit in gate.qubits:
+            base &= ~(1 << qubit)
+        for local_row in range(2**k):
+            row = base
+            for position, qubit in enumerate(gate.qubits):
+                row |= ((local_row >> position) & 1) << qubit
+            full[row, col] += local[local_row, local_col]
+    # "other" qubits are untouched by construction (base preserves them).
+    del other
+    return full

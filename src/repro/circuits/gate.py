@@ -1,0 +1,164 @@
+"""The :class:`Gate` instruction type used throughout the circuit IR."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from repro.circuits import stdgates
+
+__all__ = ["Gate"]
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A single quantum instruction applied to an ordered tuple of qubits.
+
+    Parameters
+    ----------
+    name:
+        Canonical lowercase gate name (e.g. ``"h"``, ``"cx"``, ``"rz"``,
+        ``"unitary"``).  The name is informational for matrix gates created
+        with :meth:`from_matrix` but is used to look up the matrix for
+        standard gates.
+    qubits:
+        Ordered operand qubits.  For controlled standard gates the *first*
+        operand is the control (matching Qiskit's argument order for
+        ``cx(control, target)``).
+    params:
+        Gate parameters (angles), empty for non-parametric gates.
+    matrix:
+        Optional explicit unitary.  When absent, the matrix is derived from
+        ``name``/``params`` via :mod:`repro.circuits.stdgates`.
+    label:
+        Optional free-form label used when pretty-printing.
+    """
+
+    name: str
+    qubits: Tuple[int, ...]
+    params: Tuple[float, ...] = ()
+    matrix: np.ndarray | None = field(default=None, compare=False, repr=False)
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "qubits", tuple(int(q) for q in self.qubits))
+        object.__setattr__(self, "params", tuple(float(p) for p in self.params))
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValueError(f"duplicate qubits in gate operands: {self.qubits}")
+        if not self.qubits:
+            raise ValueError("a gate must act on at least one qubit")
+        if self.matrix is not None:
+            matrix = np.asarray(self.matrix, dtype=complex)
+            expected = 2 ** len(self.qubits)
+            if matrix.shape != (expected, expected):
+                raise ValueError(
+                    f"matrix shape {matrix.shape} does not match "
+                    f"{len(self.qubits)} operand qubits"
+                )
+            object.__setattr__(self, "matrix", matrix)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def standard(cls, name: str, qubits: tuple[int, ...], *params: float) -> "Gate":
+        """Build a standard (named) gate, validating name and arity."""
+        name = name.lower()
+        if name in stdgates.STATIC_GATES:
+            arity = int(np.log2(stdgates.static_gate_matrix(name).shape[0]))
+            if params:
+                raise ValueError(f"gate {name!r} takes no parameters")
+        elif name in stdgates.PARAMETRIC_GATES:
+            _, arity, n_params = stdgates.PARAMETRIC_GATES[name]
+            if len(params) != n_params:
+                raise ValueError(
+                    f"gate {name!r} expects {n_params} parameter(s), got {len(params)}"
+                )
+        else:
+            raise ValueError(f"unknown standard gate {name!r}")
+        if len(qubits) != arity:
+            raise ValueError(
+                f"gate {name!r} acts on {arity} qubit(s), got operands {qubits}"
+            )
+        return cls(name=name, qubits=tuple(qubits), params=tuple(params))
+
+    @classmethod
+    def from_matrix(
+        cls,
+        matrix: np.ndarray,
+        qubits: tuple[int, ...],
+        name: str = "unitary",
+        label: str | None = None,
+    ) -> "Gate":
+        """Build a gate from an explicit unitary matrix."""
+        matrix = np.asarray(matrix, dtype=complex)
+        if not stdgates.is_unitary(matrix, atol=1e-8):
+            raise ValueError("matrix is not unitary")
+        return cls(name=name, qubits=tuple(qubits), matrix=matrix, label=label)
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        """Number of operand qubits."""
+        return len(self.qubits)
+
+    @property
+    def is_two_qubit(self) -> bool:
+        """True when the gate acts on exactly two qubits."""
+        return self.num_qubits == 2
+
+    def to_matrix(self) -> np.ndarray:
+        """Return the unitary matrix of this gate.
+
+        The matrix is expressed in the gate's *local* little-endian basis:
+        the first operand qubit is the least-significant bit of the local
+        index.
+        """
+        if self.matrix is not None:
+            return self.matrix
+        if self.name in stdgates.STATIC_GATES:
+            return stdgates.static_gate_matrix(self.name)
+        if self.name in stdgates.PARAMETRIC_GATES:
+            factory, _, _ = stdgates.PARAMETRIC_GATES[self.name]
+            return factory(*self.params)
+        raise ValueError(f"gate {self.name!r} has no matrix definition")
+
+    def inverse(self) -> "Gate":
+        """Return the inverse gate (as an explicit-matrix gate if needed)."""
+        inverse_names = {"s": "sdg", "sdg": "s", "t": "tdg", "tdg": "t",
+                         "sx": "sxdg", "sxdg": "sx"}
+        if self.name in {"id", "x", "y", "z", "h", "cx", "cz", "swap", "ccx",
+                         "cswap", "ch"}:
+            return self
+        if self.name in inverse_names:
+            return Gate(name=inverse_names[self.name], qubits=self.qubits)
+        if self.name in stdgates.PARAMETRIC_GATES and self.name != "u":
+            return Gate(
+                name=self.name,
+                qubits=self.qubits,
+                params=tuple(-p for p in self.params),
+            )
+        return Gate.from_matrix(
+            self.to_matrix().conj().T, self.qubits, name=f"{self.name}_dg"
+        )
+
+    def remap(self, mapping: dict[int, int]) -> "Gate":
+        """Return a copy of this gate with qubits relabelled via ``mapping``."""
+        return Gate(
+            name=self.name,
+            qubits=tuple(mapping[q] for q in self.qubits),
+            params=self.params,
+            matrix=self.matrix,
+            label=self.label,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        params = ""
+        if self.params:
+            params = "(" + ", ".join(f"{p:.4g}" for p in self.params) + ")"
+        qubits = ", ".join(str(q) for q in self.qubits)
+        return f"{self.name}{params} q[{qubits}]"

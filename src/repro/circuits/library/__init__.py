@@ -1,0 +1,56 @@
+"""Benchmark circuit library (the paper's Table 2 workloads)."""
+
+from repro.circuits.library.adder import adder_circuit
+from repro.circuits.library.bv import bv_circuit, bv_hidden_string
+from repro.circuits.library.ghz import ghz_circuit
+from repro.circuits.library.mul import mul_circuit
+from repro.circuits.library.qaoa import (
+    qaoa_maxcut_circuit,
+    random_maxcut_graph,
+    regular_graph,
+    star_graph,
+)
+from repro.circuits.library.qft import (
+    append_inverse_qft,
+    append_qft,
+    inverse_qft_circuit,
+    qft_circuit,
+)
+from repro.circuits.library.qpe import qpe_circuit
+from repro.circuits.library.qsc import qsc_circuit
+from repro.circuits.library.qv import qv_circuit
+from repro.circuits.library.suite import (
+    BENCHMARK_CLASSES,
+    PAPER_SUITE,
+    BenchmarkSpec,
+    benchmark_suite,
+    build_circuit,
+    paper_table2_rows,
+    suite_by_class,
+)
+
+__all__ = [
+    "adder_circuit",
+    "bv_circuit",
+    "bv_hidden_string",
+    "ghz_circuit",
+    "mul_circuit",
+    "qaoa_maxcut_circuit",
+    "random_maxcut_graph",
+    "star_graph",
+    "regular_graph",
+    "qft_circuit",
+    "inverse_qft_circuit",
+    "append_qft",
+    "append_inverse_qft",
+    "qpe_circuit",
+    "qsc_circuit",
+    "qv_circuit",
+    "BenchmarkSpec",
+    "BENCHMARK_CLASSES",
+    "PAPER_SUITE",
+    "benchmark_suite",
+    "build_circuit",
+    "suite_by_class",
+    "paper_table2_rows",
+]

@@ -1,0 +1,96 @@
+"""Ripple-carry quantum adder circuits (paper Table 2, class ``ADDER``).
+
+The construction is the Cuccaro majority/unmajority ripple-carry adder
+(Cuccaro et al. 2004), the circuit QASMBench's adder benchmarks are built
+from.  A ``2*bits + 2``-qubit circuit adds two ``bits``-bit integers: register
+layout is ``[carry_in, b_0, a_0, b_1, a_1, ..., carry_out]`` and the sum is
+left in the ``b`` register (plus the carry-out qubit).
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import Circuit
+
+__all__ = ["adder_circuit", "adder_width_for_bits", "bits_for_adder_width"]
+
+
+def adder_width_for_bits(bits: int) -> int:
+    """Total qubit count of a ``bits``-bit Cuccaro adder."""
+    if bits < 1:
+        raise ValueError("the adder needs at least one bit per operand")
+    return 2 * bits + 2
+
+
+def bits_for_adder_width(num_qubits: int) -> int:
+    """Inverse of :func:`adder_width_for_bits` (validates the width)."""
+    if num_qubits < 4 or num_qubits % 2 != 0:
+        raise ValueError("adder width must be an even number >= 4")
+    return (num_qubits - 2) // 2
+
+
+def _majority(circuit: Circuit, carry: int, b: int, a: int) -> None:
+    circuit.cx(a, b)
+    circuit.cx(a, carry)
+    circuit.ccx(carry, b, a)
+
+
+def _unmajority(circuit: Circuit, carry: int, b: int, a: int) -> None:
+    circuit.ccx(carry, b, a)
+    circuit.cx(a, carry)
+    circuit.cx(carry, b)
+
+
+def adder_circuit(
+    num_qubits: int,
+    a_value: int | None = None,
+    b_value: int | None = None,
+    decompose: bool = True,
+) -> Circuit:
+    """Build a Cuccaro ripple-carry adder computing ``a + b``.
+
+    Parameters
+    ----------
+    num_qubits:
+        Total circuit width; must be even and at least 4 (``2*bits + 2``).
+    a_value, b_value:
+        Classical operand values loaded with X gates before the adder runs.
+        Default to the largest representable values, which maximises carry
+        propagation (the hardest case).
+    decompose:
+        Lower Toffoli gates to 1- and 2-qubit gates (the form the paper's
+        transpiled benchmarks — and its noise models — use).
+    """
+    bits = bits_for_adder_width(num_qubits)
+    max_value = 2**bits - 1
+    a_value = max_value if a_value is None else a_value
+    b_value = max_value if b_value is None else b_value
+    if not 0 <= a_value <= max_value or not 0 <= b_value <= max_value:
+        raise ValueError(f"operands must fit in {bits} bits")
+
+    circuit = Circuit(num_qubits, name=f"adder_{num_qubits}")
+    carry_in = 0
+    carry_out = num_qubits - 1
+    b_qubits = [1 + 2 * i for i in range(bits)]
+    a_qubits = [2 + 2 * i for i in range(bits)]
+
+    # Load the classical operands.
+    for index in range(bits):
+        if (a_value >> index) & 1:
+            circuit.x(a_qubits[index])
+        if (b_value >> index) & 1:
+            circuit.x(b_qubits[index])
+
+    # Ripple the carries forward.
+    _majority(circuit, carry_in, b_qubits[0], a_qubits[0])
+    for index in range(1, bits):
+        _majority(circuit, a_qubits[index - 1], b_qubits[index], a_qubits[index])
+    circuit.cx(a_qubits[-1], carry_out)
+    # Undo the majorities, leaving the sum in the b register.
+    for index in range(bits - 1, 0, -1):
+        _unmajority(circuit, a_qubits[index - 1], b_qubits[index], a_qubits[index])
+    _unmajority(circuit, carry_in, b_qubits[0], a_qubits[0])
+    if decompose:
+        from repro.circuits.transpile import decompose_to_two_qubit_gates
+
+        circuit = decompose_to_two_qubit_gates(circuit)
+    return circuit

@@ -1,0 +1,74 @@
+"""Bernstein–Vazirani circuits (paper Table 2, class ``BV``).
+
+The paper motivates BV as the *worst case* for TQSim: gate count grows only
+linearly with width, so the circuits are short and wide, leaving little room
+for partitioning, and the single-bitstring output is highly sensitive to
+simulation error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+
+__all__ = ["bv_circuit", "bv_hidden_string"]
+
+
+def bv_hidden_string(num_data_qubits: int, seed: int | None = None) -> str:
+    """A hidden bitstring for the oracle; all ones when ``seed`` is None.
+
+    The all-ones string maximises the oracle's CX count, which is the
+    configuration the paper's gate counts correspond to.
+    """
+    if num_data_qubits < 1:
+        raise ValueError("BV needs at least one data qubit")
+    if seed is None:
+        return "1" * num_data_qubits
+    rng = np.random.default_rng(seed)
+    bits = rng.integers(0, 2, size=num_data_qubits)
+    if not bits.any():
+        bits[0] = 1
+    return "".join(str(int(b)) for b in bits)
+
+
+def bv_circuit(num_qubits: int, secret: str | None = None) -> Circuit:
+    """Build a Bernstein–Vazirani circuit on ``num_qubits`` qubits.
+
+    Qubits ``0 .. num_qubits-2`` are the data register and the last qubit is
+    the oracle ancilla (prepared in |->).  After the circuit, measuring the
+    data register ideally returns ``secret`` with certainty.
+
+    Parameters
+    ----------
+    num_qubits:
+        Total width (data register + one ancilla); must be at least 2.
+    secret:
+        Hidden bitstring of length ``num_qubits - 1`` (most-significant data
+        qubit first).  Defaults to all ones.
+    """
+    if num_qubits < 2:
+        raise ValueError("BV needs at least 2 qubits (1 data + 1 ancilla)")
+    num_data = num_qubits - 1
+    if secret is None:
+        secret = bv_hidden_string(num_data)
+    if len(secret) != num_data or any(c not in "01" for c in secret):
+        raise ValueError(
+            f"secret must be a {num_data}-bit string, got {secret!r}"
+        )
+    ancilla = num_qubits - 1
+    circuit = Circuit(num_qubits, name=f"bv_{num_qubits}")
+    # Phase-kickback ancilla in |->.
+    circuit.x(ancilla)
+    circuit.h(ancilla)
+    for qubit in range(num_data):
+        circuit.h(qubit)
+    # Oracle: CX from each data qubit whose secret bit is one.  The secret is
+    # written most-significant-first, so data qubit q corresponds to
+    # secret[num_data - 1 - q].
+    for qubit in range(num_data):
+        if secret[num_data - 1 - qubit] == "1":
+            circuit.cx(qubit, ancilla)
+    for qubit in range(num_data):
+        circuit.h(qubit)
+    return circuit

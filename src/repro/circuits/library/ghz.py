@@ -1,0 +1,18 @@
+"""GHZ-state preparation circuits (used by tests and examples)."""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import Circuit
+
+__all__ = ["ghz_circuit"]
+
+
+def ghz_circuit(num_qubits: int) -> Circuit:
+    """Prepare the ``num_qubits``-qubit GHZ state (|0...0> + |1...1>)/sqrt(2)."""
+    if num_qubits < 1:
+        raise ValueError("GHZ needs at least one qubit")
+    circuit = Circuit(num_qubits, name=f"ghz_{num_qubits}")
+    circuit.h(0)
+    for qubit in range(1, num_qubits):
+        circuit.cx(qubit - 1, qubit)
+    return circuit

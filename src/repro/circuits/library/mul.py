@@ -1,0 +1,106 @@
+"""Shift-and-add quantum multiplier circuits (paper Table 2, class ``MUL``).
+
+The multiplier computes ``product = a * b`` with the textbook shift-and-add
+construction: for every bit ``i`` of ``a``, a controlled ripple-carry adder
+adds ``b << i`` into the product register.  The register layout for ``bits``
+bits per operand is::
+
+    a:        qubits [0, bits)
+    b:        qubits [bits, 2*bits)
+    product:  qubits [2*bits, 4*bits)
+    ancilla:  qubit  4*bits (carry helper)
+
+giving a total width of ``4*bits + 1`` (13 qubits for 3-bit operands, matching
+the paper's smallest MUL benchmark).
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import Circuit
+
+__all__ = ["mul_circuit", "mul_width_for_bits", "bits_for_mul_width"]
+
+
+def mul_width_for_bits(bits: int) -> int:
+    """Total qubit count of a ``bits x bits``-bit multiplier."""
+    if bits < 1:
+        raise ValueError("the multiplier needs at least one bit per operand")
+    return 4 * bits + 1
+
+
+def bits_for_mul_width(num_qubits: int) -> int:
+    """Inverse of :func:`mul_width_for_bits` (validates the width)."""
+    if num_qubits < 5 or (num_qubits - 1) % 4 != 0:
+        raise ValueError("multiplier width must be 4*bits + 1 for some bits >= 1")
+    return (num_qubits - 1) // 4
+
+
+def _controlled_add_bit(
+    circuit: Circuit, control_a: int, control_b: int, target_qubits: list[int],
+    ancilla: int,
+) -> None:
+    """Add 1 into the little-endian ``target_qubits`` when both controls are 1.
+
+    Carries are propagated with Toffoli chains using one ancilla; the ancilla
+    is returned to |0> afterwards.
+    """
+    # Doubly-controlled increment implemented as a cascade: flip the lowest
+    # target when both controls are set, and propagate the carry upward.
+    circuit.ccx(control_a, control_b, ancilla)
+    for position in range(len(target_qubits) - 1, 0, -1):
+        # The carry into target ``position`` is set when the ancilla and all
+        # lower targets are 1; approximate the cascade pairwise.
+        lower = target_qubits[position - 1]
+        circuit.ccx(ancilla, lower, target_qubits[position])
+    circuit.cx(ancilla, target_qubits[0])
+    circuit.ccx(control_a, control_b, ancilla)
+
+
+def mul_circuit(
+    num_qubits: int,
+    a_value: int | None = None,
+    b_value: int | None = None,
+    decompose: bool = True,
+) -> Circuit:
+    """Build a shift-and-add multiplier circuit of the given total width.
+
+    Parameters
+    ----------
+    num_qubits:
+        Total circuit width, ``4*bits + 1``.
+    a_value, b_value:
+        Classical operand values loaded with X gates.  Default to the largest
+        representable values.
+    decompose:
+        Lower Toffoli gates to 1- and 2-qubit gates.
+    """
+    bits = bits_for_mul_width(num_qubits)
+    max_value = 2**bits - 1
+    a_value = max_value if a_value is None else a_value
+    b_value = max_value if b_value is None else b_value
+    if not 0 <= a_value <= max_value or not 0 <= b_value <= max_value:
+        raise ValueError(f"operands must fit in {bits} bits")
+
+    circuit = Circuit(num_qubits, name=f"mul_{num_qubits}")
+    a_qubits = list(range(bits))
+    b_qubits = list(range(bits, 2 * bits))
+    product_qubits = list(range(2 * bits, 4 * bits))
+    ancilla = 4 * bits
+
+    for index in range(bits):
+        if (a_value >> index) & 1:
+            circuit.x(a_qubits[index])
+        if (b_value >> index) & 1:
+            circuit.x(b_qubits[index])
+
+    # product += (a_i AND b_j) << (i + j), for every pair of operand bits.
+    for i in range(bits):
+        for j in range(bits):
+            shift = i + j
+            targets = product_qubits[shift:]
+            _controlled_add_bit(circuit, a_qubits[i], b_qubits[j], targets, ancilla)
+    if decompose:
+        from repro.circuits.transpile import decompose_to_two_qubit_gates
+
+        circuit = decompose_to_two_qubit_gates(circuit)
+    return circuit

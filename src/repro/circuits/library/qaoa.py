@@ -1,0 +1,83 @@
+"""QAOA Max-Cut circuits (paper Table 2, class ``QAOA``)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+
+__all__ = [
+    "qaoa_maxcut_circuit",
+    "random_maxcut_graph",
+    "star_graph",
+    "regular_graph",
+]
+
+
+def random_maxcut_graph(num_nodes: int, edge_probability: float = 0.5,
+                        seed: int | None = 7) -> nx.Graph:
+    """Erdős–Rényi random graph used for the generic QAOA benchmarks."""
+    graph = nx.gnp_random_graph(num_nodes, edge_probability, seed=seed)
+    if graph.number_of_edges() == 0:
+        graph.add_edge(0, 1 % num_nodes)
+    return graph
+
+
+def star_graph(num_nodes: int) -> nx.Graph:
+    """Star graph (Figure 18's second input)."""
+    return nx.star_graph(num_nodes - 1)
+
+
+def regular_graph(num_nodes: int, degree: int = 3, seed: int | None = 7) -> nx.Graph:
+    """Random d-regular graph (Figure 18's third input)."""
+    if (num_nodes * degree) % 2 != 0:
+        raise ValueError("num_nodes * degree must be even for a regular graph")
+    return nx.random_regular_graph(degree, num_nodes, seed=seed)
+
+
+def qaoa_maxcut_circuit(
+    graph: nx.Graph,
+    betas: list[float] | None = None,
+    gammas: list[float] | None = None,
+    p: int = 1,
+    decompose: bool = True,
+) -> Circuit:
+    """Build a depth-``p`` QAOA circuit for Max-Cut on ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        The problem graph; node labels must be ``0 .. n-1``.
+    betas, gammas:
+        Mixer / cost angles per layer; default to a fixed non-trivial setting.
+    p:
+        Number of QAOA layers (ignored when explicit angles are given).
+    decompose:
+        Expand the ZZ cost rotations into {CX, RZ, CX}, matching how the
+        paper's transpiled benchmarks count gates.
+    """
+    num_qubits = graph.number_of_nodes()
+    if sorted(graph.nodes) != list(range(num_qubits)):
+        raise ValueError("graph nodes must be labelled 0..n-1")
+    if betas is None:
+        betas = [0.8 / (layer + 1) for layer in range(p)]
+    if gammas is None:
+        gammas = [0.7 * (layer + 1) for layer in range(p)]
+    if len(betas) != len(gammas):
+        raise ValueError("betas and gammas must have the same length")
+
+    circuit = Circuit(num_qubits, name=f"qaoa_{num_qubits}")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for beta, gamma in zip(betas, gammas):
+        for u, v in graph.edges:
+            if decompose:
+                circuit.cx(u, v)
+                circuit.rz(2.0 * gamma, v)
+                circuit.cx(u, v)
+            else:
+                circuit.rzz(2.0 * gamma, u, v)
+        for qubit in range(num_qubits):
+            circuit.rx(2.0 * beta, qubit)
+    return circuit

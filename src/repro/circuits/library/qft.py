@@ -1,0 +1,84 @@
+"""Quantum Fourier Transform circuits (paper Table 2, class ``QFT``)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits.circuit import Circuit
+
+__all__ = ["qft_circuit", "inverse_qft_circuit", "append_qft", "append_inverse_qft"]
+
+
+def _append_cp(circuit: Circuit, angle: float, control: int, target: int,
+               decompose: bool) -> None:
+    """Append a controlled-phase gate, optionally decomposed to {rz, cx}."""
+    if not decompose:
+        circuit.cp(angle, control, target)
+        return
+    circuit.rz(angle / 2.0, control)
+    circuit.rz(angle / 2.0, target)
+    circuit.cx(control, target)
+    circuit.rz(-angle / 2.0, target)
+    circuit.cx(control, target)
+
+
+def append_qft(circuit: Circuit, qubits: list[int] | None = None,
+               decompose: bool = True, include_swaps: bool = True) -> Circuit:
+    """Append a QFT on the given qubits (all qubits by default).
+
+    ``decompose=True`` expands controlled-phase gates into {RZ, CX}, which
+    matches the gate-count regime of the paper's transpiled QFT benchmarks
+    (e.g. 237 gates at 10 qubits); ``decompose=False`` keeps native CP gates.
+    """
+    qubits = list(range(circuit.num_qubits)) if qubits is None else list(qubits)
+    n = len(qubits)
+    for i in range(n - 1, -1, -1):
+        circuit.h(qubits[i])
+        for j in range(i - 1, -1, -1):
+            angle = math.pi / (2 ** (i - j))
+            _append_cp(circuit, angle, qubits[j], qubits[i], decompose)
+    if include_swaps:
+        for i in range(n // 2):
+            circuit.swap(qubits[i], qubits[n - 1 - i])
+    return circuit
+
+
+def append_inverse_qft(circuit: Circuit, qubits: list[int] | None = None,
+                       decompose: bool = True, include_swaps: bool = True) -> Circuit:
+    """Append the inverse QFT on the given qubits."""
+    qubits = list(range(circuit.num_qubits)) if qubits is None else list(qubits)
+    n = len(qubits)
+    if include_swaps:
+        for i in range(n // 2):
+            circuit.swap(qubits[i], qubits[n - 1 - i])
+    for i in range(n):
+        for j in range(i):
+            angle = -math.pi / (2 ** (i - j))
+            _append_cp(circuit, angle, qubits[j], qubits[i], decompose)
+        circuit.h(qubits[i])
+    return circuit
+
+
+def qft_circuit(num_qubits: int, decompose: bool = True,
+                include_swaps: bool = True, prepare_input: bool = True) -> Circuit:
+    """Build a QFT benchmark circuit.
+
+    ``prepare_input=True`` prefixes a layer of Hadamard + phase rotations so
+    the circuit acts on a non-trivial input state (as the QASMBench/Qiskit QFT
+    benchmarks do) instead of the all-zeros state whose QFT is trivial.
+    """
+    circuit = Circuit(num_qubits, name=f"qft_{num_qubits}")
+    if prepare_input:
+        for qubit in range(num_qubits):
+            circuit.h(qubit)
+            circuit.p(math.pi / (qubit + 2), qubit)
+    append_qft(circuit, decompose=decompose, include_swaps=include_swaps)
+    return circuit
+
+
+def inverse_qft_circuit(num_qubits: int, decompose: bool = True,
+                        include_swaps: bool = True) -> Circuit:
+    """Build an inverse-QFT circuit (no input preparation)."""
+    circuit = Circuit(num_qubits, name=f"iqft_{num_qubits}")
+    append_inverse_qft(circuit, decompose=decompose, include_swaps=include_swaps)
+    return circuit

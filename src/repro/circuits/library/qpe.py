@@ -1,0 +1,59 @@
+"""Quantum Phase Estimation circuits (paper Table 2, class ``QPE``).
+
+The estimated unitary is a single-qubit phase gate ``P(2*pi*theta)`` acting on
+one eigenstate qubit prepared in |1>.  The paper's 9-qubit QPE benchmark
+estimates an eigenphase that is *not* exactly representable with the available
+counting bits, producing the narrow bell-shaped output distribution discussed
+in Section 5.5; the default ``theta`` here follows that choice.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.library.qft import append_inverse_qft
+
+__all__ = ["qpe_circuit", "qpe_ideal_phase"]
+
+#: Default eigenphase: 1/3 cannot be represented exactly in binary, so the
+#: output distribution is a narrow peak around the closest representable
+#: values rather than a single bitstring.
+DEFAULT_THETA = 1.0 / 3.0
+
+
+def qpe_ideal_phase(num_qubits: int, theta: float = DEFAULT_THETA) -> float:
+    """The phase the counting register ideally concentrates around."""
+    del num_qubits
+    return theta
+
+
+def qpe_circuit(num_qubits: int, theta: float = DEFAULT_THETA,
+                decompose: bool = True) -> Circuit:
+    """Build a QPE benchmark circuit of total width ``num_qubits``.
+
+    Qubits ``0 .. num_qubits-2`` form the counting register; the last qubit
+    holds the eigenstate of the estimated phase gate.
+    """
+    if num_qubits < 2:
+        raise ValueError("QPE needs at least 2 qubits (1 counting + 1 eigenstate)")
+    counting = list(range(num_qubits - 1))
+    eigenstate = num_qubits - 1
+    circuit = Circuit(num_qubits, name=f"qpe_{num_qubits}")
+    circuit.x(eigenstate)
+    for qubit in counting:
+        circuit.h(qubit)
+    # Controlled powers of the unitary: counting qubit k controls U^(2^k).
+    for k, qubit in enumerate(counting):
+        angle = 2.0 * math.pi * theta * (2**k)
+        angle = math.remainder(angle, 2.0 * math.pi)
+        if decompose:
+            circuit.rz(angle / 2.0, qubit)
+            circuit.rz(angle / 2.0, eigenstate)
+            circuit.cx(qubit, eigenstate)
+            circuit.rz(-angle / 2.0, eigenstate)
+            circuit.cx(qubit, eigenstate)
+        else:
+            circuit.cp(angle, qubit, eigenstate)
+    append_inverse_qft(circuit, counting, decompose=decompose, include_swaps=True)
+    return circuit

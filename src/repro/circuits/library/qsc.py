@@ -1,0 +1,78 @@
+"""Quantum-supremacy-style random circuits (paper Table 2, class ``QSC``).
+
+These follow the structure of Google's Sycamore random circuits (Arute et al.
+2019): alternating layers of random single-qubit gates drawn from
+{sqrt(X), sqrt(Y), sqrt(W)} and two-qubit entangling gates applied along a
+rotating coupling pattern.  Being structureless, they are the hardest circuits
+to simulate approximately and are also used to benchmark quantum hardware.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gate import Gate
+
+__all__ = ["qsc_circuit"]
+
+_SINGLE_QUBIT_CHOICES = ("sx", "sy", "sw")
+
+
+def _append_random_single_qubit_layer(
+    circuit: Circuit, rng: np.random.Generator, previous: list[str | None]
+) -> list[str]:
+    """One layer of random single-qubit gates, never repeating per qubit."""
+    chosen: list[str] = []
+    for qubit in range(circuit.num_qubits):
+        options = [g for g in _SINGLE_QUBIT_CHOICES if g != previous[qubit]]
+        gate = options[int(rng.integers(len(options)))]
+        if gate == "sx":
+            circuit.sx(qubit)
+        elif gate == "sy":
+            # sqrt(Y) == RY(pi/2) up to global phase.
+            circuit.ry(math.pi / 2.0, qubit)
+        else:
+            circuit.append(Gate.standard("sw", (qubit,)))
+        chosen.append(gate)
+    return chosen
+
+
+def _coupler_pattern(num_qubits: int, layer: int) -> list[tuple[int, int]]:
+    """Pairs of qubits coupled in the given layer (1-D alternating pattern)."""
+    offset = layer % 2
+    return [
+        (q, q + 1) for q in range(offset, num_qubits - 1, 2)
+    ]
+
+
+def qsc_circuit(num_qubits: int, depth: int | None = None,
+                seed: int | None = 11) -> Circuit:
+    """Build a random supremacy-style circuit.
+
+    Parameters
+    ----------
+    num_qubits:
+        Circuit width.
+    depth:
+        Number of (single-qubit layer, two-qubit layer) rounds; defaults to a
+        width-dependent value so gate counts grow with width, as in Table 2.
+    seed:
+        Seed controlling the random gate choices.
+    """
+    if num_qubits < 2:
+        raise ValueError("QSC circuits need at least 2 qubits")
+    if depth is None:
+        depth = max(2, num_qubits // 3 + 1)
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(num_qubits, name=f"qsc_{num_qubits}")
+    previous: list[str | None] = [None] * num_qubits
+    for layer in range(depth):
+        previous = _append_random_single_qubit_layer(circuit, rng, previous)
+        for control, target in _coupler_pattern(num_qubits, layer):
+            circuit.cz(control, target)
+    # Final layer of single-qubit gates before measurement.
+    _append_random_single_qubit_layer(circuit, rng, previous)
+    return circuit

@@ -1,0 +1,197 @@
+"""The paper's 48-circuit benchmark suite (Table 2 / Figure 11).
+
+Each entry records the (width, gate count) pair the paper lists in Figure 11's
+x-axis labels together with a generator that produces this reproduction's
+closest equivalent circuit.  Generated gate counts differ from the paper's
+because the original circuits came from QASMBench/Qiskit/Cirq transpilations;
+the suite exposes both numbers so reports can show them side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.library.adder import adder_circuit
+from repro.circuits.library.bv import bv_circuit
+from repro.circuits.library.mul import bits_for_mul_width, mul_circuit, mul_width_for_bits
+from repro.circuits.library.qaoa import qaoa_maxcut_circuit, random_maxcut_graph
+from repro.circuits.library.qft import qft_circuit
+from repro.circuits.library.qpe import qpe_circuit
+from repro.circuits.library.qsc import qsc_circuit
+from repro.circuits.library.qv import qv_circuit
+
+__all__ = [
+    "BenchmarkSpec",
+    "BENCHMARK_CLASSES",
+    "PAPER_SUITE",
+    "build_circuit",
+    "benchmark_suite",
+    "suite_by_class",
+    "paper_table2_rows",
+]
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One benchmark circuit of the paper's evaluation suite."""
+
+    benchmark_class: str
+    paper_width: int
+    paper_gates: int
+    variant: int = 0
+
+    @property
+    def name(self) -> str:
+        """Canonical name, e.g. ``qft_14`` or ``adder_4_1``."""
+        base = f"{self.benchmark_class.lower()}_{self.paper_width}"
+        return f"{base}_{self.variant}" if self.variant else base
+
+
+#: The 8 benchmark classes of Table 2, in the paper's order.
+BENCHMARK_CLASSES = ("ADDER", "BV", "MUL", "QAOA", "QFT", "QPE", "QSC", "QV")
+
+#: The 48 (width, gate-count) pairs read off Figure 11's x-axis labels.
+_PAPER_ENTRIES: dict[str, list[tuple[int, int]]] = {
+    "ADDER": [(4, 16), (4, 17), (4, 18), (10, 129), (10, 133), (10, 138)],
+    "BV": [(6, 16), (8, 22), (10, 28), (12, 34), (14, 40), (16, 46)],
+    "MUL": [(13, 92), (15, 492), (15, 488), (15, 494), (15, 490), (25, 1477)],
+    "QAOA": [(6, 58), (8, 79), (9, 89), (11, 123), (13, 139), (15, 175)],
+    "QFT": [(8, 146), (10, 237), (12, 344), (14, 472), (16, 619), (18, 787)],
+    "QPE": [(4, 53), (6, 79), (9, 187), (9, 120), (11, 283), (16, 609)],
+    "QSC": [(8, 38), (9, 45), (10, 61), (12, 90), (15, 132), (16, 160)],
+    "QV": [(10, 330), (12, 396), (14, 462), (16, 528), (18, 594), (20, 660)],
+}
+
+
+def _build_paper_suite() -> list[BenchmarkSpec]:
+    specs: list[BenchmarkSpec] = []
+    for benchmark_class in BENCHMARK_CLASSES:
+        seen: dict[int, int] = {}
+        for width, gates in _PAPER_ENTRIES[benchmark_class]:
+            variant = seen.get(width, 0)
+            seen[width] = variant + 1
+            specs.append(
+                BenchmarkSpec(benchmark_class, width, gates, variant=variant)
+            )
+    return specs
+
+
+#: All 48 benchmark specifications.
+PAPER_SUITE: list[BenchmarkSpec] = _build_paper_suite()
+
+
+def _nearest_mul_width(width: int) -> int:
+    """Closest width (not above ``width``) the multiplier generator supports."""
+    bits = max(1, (width - 1) // 4)
+    return mul_width_for_bits(bits)
+
+
+def build_circuit(spec: BenchmarkSpec, seed: int | None = None) -> Circuit:
+    """Generate the circuit for a benchmark specification.
+
+    The ``variant`` index seeds randomised generators (QSC, QV, QAOA) and
+    selects operand values for the arithmetic circuits so repeated widths
+    yield distinct circuits, as in the paper's suite.
+    """
+    benchmark_class = spec.benchmark_class
+    width = spec.paper_width
+    variant = spec.variant
+    seed = (seed if seed is not None else 100) + 31 * variant
+
+    if benchmark_class == "ADDER":
+        bits = (width - 2) // 2
+        a_value = (2**bits - 1) >> min(variant, bits - 1) if bits > 0 else 0
+        circuit = adder_circuit(width, a_value=a_value)
+    elif benchmark_class == "BV":
+        circuit = bv_circuit(width)
+    elif benchmark_class == "MUL":
+        mul_width = _nearest_mul_width(width)
+        bits = bits_for_mul_width(mul_width)
+        a_value = max(1, (2**bits - 1) - variant)
+        circuit = mul_circuit(mul_width, a_value=a_value)
+    elif benchmark_class == "QAOA":
+        graph = random_maxcut_graph(width, edge_probability=0.5, seed=seed)
+        circuit = qaoa_maxcut_circuit(graph, p=2)
+    elif benchmark_class == "QFT":
+        circuit = qft_circuit(width)
+    elif benchmark_class == "QPE":
+        theta = 1.0 / 3.0 if variant == 0 else 0.3125
+        circuit = qpe_circuit(width, theta=theta)
+    elif benchmark_class == "QSC":
+        circuit = qsc_circuit(width, seed=seed)
+    elif benchmark_class == "QV":
+        circuit = qv_circuit(width, seed=seed)
+    else:
+        raise ValueError(f"unknown benchmark class {benchmark_class!r}")
+    circuit.name = spec.name
+    return circuit
+
+
+def benchmark_suite(
+    max_qubits: int | None = None,
+    classes: Iterable[str] | None = None,
+    seed: int | None = None,
+) -> list[tuple[BenchmarkSpec, Circuit]]:
+    """Build (spec, circuit) pairs for the benchmark suite.
+
+    Parameters
+    ----------
+    max_qubits:
+        Skip benchmarks wider than this (the artifact's default evaluation
+        uses circuits of at most 13 qubits for the same reason).
+    classes:
+        Restrict to the given benchmark classes.
+    seed:
+        Base seed forwarded to randomised generators.
+    """
+    wanted = {c.upper() for c in classes} if classes is not None else None
+    results: list[tuple[BenchmarkSpec, Circuit]] = []
+    for spec in PAPER_SUITE:
+        if wanted is not None and spec.benchmark_class not in wanted:
+            continue
+        if max_qubits is not None and spec.paper_width > max_qubits:
+            continue
+        results.append((spec, build_circuit(spec, seed=seed)))
+    return results
+
+
+def suite_by_class(
+    max_qubits: int | None = None, seed: int | None = None
+) -> dict[str, list[tuple[BenchmarkSpec, Circuit]]]:
+    """The suite grouped by benchmark class."""
+    grouped: dict[str, list[tuple[BenchmarkSpec, Circuit]]] = {
+        cls: [] for cls in BENCHMARK_CLASSES
+    }
+    for spec, circuit in benchmark_suite(max_qubits=max_qubits, seed=seed):
+        grouped[spec.benchmark_class].append((spec, circuit))
+    return grouped
+
+
+def paper_table2_rows() -> list[dict[str, object]]:
+    """Rows reproducing Table 2 (width and gate-count ranges per class)."""
+    rows = []
+    descriptions = {
+        "ADDER": "Quantum Adder",
+        "BV": "Bernstein-Vazirani",
+        "MUL": "Quantum Multiplier",
+        "QAOA": "Quantum Approx. Optimization Algorithm",
+        "QFT": "Quantum Fourier Transform",
+        "QPE": "Quantum Phase Estimation",
+        "QSC": "Quantum Supremacy Circuit",
+        "QV": "Quantum Volume",
+    }
+    for benchmark_class in BENCHMARK_CLASSES:
+        entries = _PAPER_ENTRIES[benchmark_class]
+        widths = [w for w, _ in entries]
+        gates = [g for _, g in entries]
+        rows.append(
+            {
+                "class": benchmark_class,
+                "description": descriptions[benchmark_class],
+                "paper_width_range": (min(widths), max(widths)),
+                "paper_gate_range": (min(gates), max(gates)),
+            }
+        )
+    return rows

@@ -1,0 +1,66 @@
+"""Circuit partitioning utilities.
+
+These helpers split a circuit's gate list into consecutive subcircuits.  The
+TQSim partitioning *policies* (UCP / XCP / DCP) live in
+:mod:`repro.core.partitioners`; this module only provides the mechanical
+splitting primitives they rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.circuits.circuit import Circuit
+
+__all__ = [
+    "split_equal_gates",
+    "split_by_lengths",
+    "boundaries_for_equal_parts",
+]
+
+
+def boundaries_for_equal_parts(num_gates: int, parts: int) -> list[int]:
+    """Interior cut points dividing ``num_gates`` gates into ``parts`` pieces.
+
+    Pieces differ in size by at most one gate; earlier pieces receive the
+    extra gates.  Returns ``parts - 1`` boundaries.
+    """
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    if parts > num_gates:
+        raise ValueError(
+            f"cannot split {num_gates} gates into {parts} non-empty parts"
+        )
+    base, remainder = divmod(num_gates, parts)
+    boundaries: list[int] = []
+    position = 0
+    for index in range(parts - 1):
+        position += base + (1 if index < remainder else 0)
+        boundaries.append(position)
+    return boundaries
+
+
+def split_equal_gates(circuit: Circuit, parts: int) -> list[Circuit]:
+    """Split ``circuit`` into ``parts`` consecutive, near-equal subcircuits."""
+    return circuit.split(boundaries_for_equal_parts(circuit.num_gates, parts))
+
+
+def split_by_lengths(circuit: Circuit, lengths: Sequence[int]) -> list[Circuit]:
+    """Split ``circuit`` into subcircuits with the given gate counts.
+
+    ``sum(lengths)`` must equal ``circuit.num_gates`` and every length must be
+    positive.
+    """
+    if any(length <= 0 for length in lengths):
+        raise ValueError("every subcircuit length must be positive")
+    if sum(lengths) != circuit.num_gates:
+        raise ValueError(
+            f"lengths sum to {sum(lengths)} but the circuit has "
+            f"{circuit.num_gates} gates"
+        )
+    boundaries: list[int] = []
+    position = 0
+    for length in lengths[:-1]:
+        position += length
+        boundaries.append(position)
+    return circuit.split(boundaries)

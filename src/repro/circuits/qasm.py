@@ -1,0 +1,119 @@
+"""Minimal OpenQASM 2.0 export / import.
+
+Only the gate set used by the benchmark library is supported.  Explicit-matrix
+("unitary") gates cannot be expressed in OpenQASM 2 and raise on export.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gate import Gate
+from repro.circuits import stdgates
+
+__all__ = ["to_qasm", "from_qasm"]
+
+_HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+#: repro gate name -> qasm gate name (identical for most gates).
+_EXPORT_NAMES = {
+    "id": "id",
+    "x": "x",
+    "y": "y",
+    "z": "z",
+    "h": "h",
+    "s": "s",
+    "sdg": "sdg",
+    "t": "t",
+    "tdg": "tdg",
+    "sx": "sx",
+    "rx": "rx",
+    "ry": "ry",
+    "rz": "rz",
+    "p": "u1",
+    "u": "u3",
+    "cx": "cx",
+    "cz": "cz",
+    "ch": "ch",
+    "cp": "cu1",
+    "crx": "crx",
+    "cry": "cry",
+    "crz": "crz",
+    "swap": "swap",
+    "rzz": "rzz",
+    "rxx": "rxx",
+    "ccx": "ccx",
+    "cswap": "cswap",
+}
+
+_IMPORT_NAMES = {qasm: repro for repro, qasm in _EXPORT_NAMES.items()}
+_IMPORT_NAMES.update({"u1": "p", "u3": "u", "cu1": "cp", "cnot": "cx"})
+
+
+def to_qasm(circuit: Circuit) -> str:
+    """Serialise a circuit to OpenQASM 2.0 text."""
+    lines = [_HEADER, f"qreg q[{circuit.num_qubits}];", f"creg c[{circuit.num_qubits}];"]
+    for gate in circuit:
+        if gate.matrix is not None and gate.name not in _EXPORT_NAMES:
+            raise ValueError(
+                f"gate {gate.name!r} carries an explicit matrix and cannot be "
+                "expressed in OpenQASM 2"
+            )
+        if gate.name not in _EXPORT_NAMES:
+            raise ValueError(f"gate {gate.name!r} has no OpenQASM 2 equivalent")
+        name = _EXPORT_NAMES[gate.name]
+        params = ""
+        if gate.params:
+            params = "(" + ",".join(repr(p) for p in gate.params) + ")"
+        operands = ",".join(f"q[{q}]" for q in gate.qubits)
+        lines.append(f"{name}{params} {operands};")
+    return "\n".join(lines) + "\n"
+
+
+_GATE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_][\w]*)\s*(?:\((?P<params>[^)]*)\))?\s+(?P<operands>.+);$"
+)
+_QUBIT_RE = re.compile(r"q\[(\d+)\]")
+
+
+def _eval_param(text: str) -> float:
+    """Evaluate a numeric QASM parameter expression (constants and ``pi``)."""
+    allowed = {"pi": math.pi, "e": math.e}
+    if not re.fullmatch(r"[\d\s+\-*/().epi]*", text):
+        raise ValueError(f"unsupported parameter expression: {text!r}")
+    return float(eval(text, {"__builtins__": {}}, allowed))  # noqa: S307
+
+
+def from_qasm(text: str) -> Circuit:
+    """Parse a (restricted) OpenQASM 2.0 program into a :class:`Circuit`."""
+    num_qubits = None
+    gates: list[Gate] = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("//")[0].strip()
+        if not line:
+            continue
+        if line.startswith(("OPENQASM", "include", "creg", "barrier", "measure")):
+            continue
+        if line.startswith("qreg"):
+            match = re.search(r"\[(\d+)\]", line)
+            if not match:
+                raise ValueError(f"malformed qreg declaration: {line!r}")
+            num_qubits = int(match.group(1))
+            continue
+        match = _GATE_RE.match(line)
+        if not match:
+            raise ValueError(f"cannot parse QASM line: {line!r}")
+        qasm_name = match.group("name").lower()
+        if qasm_name not in _IMPORT_NAMES:
+            raise ValueError(f"unsupported QASM gate {qasm_name!r}")
+        name = _IMPORT_NAMES[qasm_name]
+        params = tuple(
+            _eval_param(p) for p in (match.group("params") or "").split(",") if p.strip()
+        )
+        qubits = tuple(int(q) for q in _QUBIT_RE.findall(match.group("operands")))
+        gates.append(Gate.standard(name, qubits, *params))
+    if num_qubits is None:
+        raise ValueError("QASM program has no qreg declaration")
+    return Circuit(num_qubits, gates)

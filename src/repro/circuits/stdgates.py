@@ -1,0 +1,359 @@
+"""Standard gate matrices.
+
+All matrices use the computational-basis convention with **little-endian**
+qubit ordering (qubit 0 is the least-significant bit of the basis-state
+index), matching Qiskit.  Multi-qubit gate matrices are expressed in the
+basis ``|q_last ... q_first>`` where ``q_first`` is the first operand passed
+to the gate, i.e. the first operand is the *least significant* qubit of the
+gate's local index space.  The statevector kernels in
+:mod:`repro.statevector.apply` use the same convention.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = [
+    "identity_matrix",
+    "x_matrix",
+    "y_matrix",
+    "z_matrix",
+    "h_matrix",
+    "s_matrix",
+    "sdg_matrix",
+    "t_matrix",
+    "tdg_matrix",
+    "sx_matrix",
+    "sxdg_matrix",
+    "rx_matrix",
+    "ry_matrix",
+    "rz_matrix",
+    "p_matrix",
+    "u_matrix",
+    "w_matrix",
+    "cx_matrix",
+    "cz_matrix",
+    "cp_matrix",
+    "ch_matrix",
+    "crx_matrix",
+    "cry_matrix",
+    "crz_matrix",
+    "swap_matrix",
+    "iswap_matrix",
+    "rxx_matrix",
+    "ryy_matrix",
+    "rzz_matrix",
+    "ccx_matrix",
+    "cswap_matrix",
+    "fsim_matrix",
+    "controlled",
+    "is_unitary",
+    "random_unitary",
+    "random_su4",
+    "PAULI_MATRICES",
+    "STATIC_GATES",
+    "PARAMETRIC_GATES",
+]
+
+
+def identity_matrix(num_qubits: int = 1) -> np.ndarray:
+    """Identity on ``num_qubits`` qubits."""
+    return np.eye(2**num_qubits, dtype=complex)
+
+
+def x_matrix() -> np.ndarray:
+    """Pauli-X."""
+    return np.array([[0, 1], [1, 0]], dtype=complex)
+
+
+def y_matrix() -> np.ndarray:
+    """Pauli-Y."""
+    return np.array([[0, -1j], [1j, 0]], dtype=complex)
+
+
+def z_matrix() -> np.ndarray:
+    """Pauli-Z."""
+    return np.array([[1, 0], [0, -1]], dtype=complex)
+
+
+def h_matrix() -> np.ndarray:
+    """Hadamard."""
+    return np.array([[1, 1], [1, -1]], dtype=complex) / math.sqrt(2.0)
+
+
+def s_matrix() -> np.ndarray:
+    """Phase gate S = sqrt(Z)."""
+    return np.array([[1, 0], [0, 1j]], dtype=complex)
+
+
+def sdg_matrix() -> np.ndarray:
+    """S-dagger."""
+    return np.array([[1, 0], [0, -1j]], dtype=complex)
+
+
+def t_matrix() -> np.ndarray:
+    """T gate = fourth root of Z."""
+    return np.array([[1, 0], [0, cmath.exp(1j * math.pi / 4)]], dtype=complex)
+
+
+def tdg_matrix() -> np.ndarray:
+    """T-dagger."""
+    return np.array([[1, 0], [0, cmath.exp(-1j * math.pi / 4)]], dtype=complex)
+
+
+def sx_matrix() -> np.ndarray:
+    """sqrt(X)."""
+    return 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex)
+
+
+def sxdg_matrix() -> np.ndarray:
+    """sqrt(X) dagger."""
+    return 0.5 * np.array([[1 - 1j, 1 + 1j], [1 + 1j, 1 - 1j]], dtype=complex)
+
+
+def w_matrix() -> np.ndarray:
+    """sqrt(W) gate used by Sycamore-style supremacy circuits.
+
+    W = (X + Y) / sqrt(2); this returns sqrt(W) as defined in
+    Arute et al. (2019).
+    """
+    return np.array(
+        [[1 + 0j, -cmath.sqrt(1j)], [cmath.sqrt(-1j), 1 + 0j]], dtype=complex
+    ) / math.sqrt(2.0)
+
+
+def rx_matrix(theta: float) -> np.ndarray:
+    """Rotation about X by ``theta``."""
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def ry_matrix(theta: float) -> np.ndarray:
+    """Rotation about Y by ``theta``."""
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def rz_matrix(theta: float) -> np.ndarray:
+    """Rotation about Z by ``theta``."""
+    e = cmath.exp(-1j * theta / 2.0)
+    return np.array([[e, 0], [0, e.conjugate()]], dtype=complex)
+
+
+def p_matrix(lam: float) -> np.ndarray:
+    """Phase gate diag(1, e^{i lam})."""
+    return np.array([[1, 0], [0, cmath.exp(1j * lam)]], dtype=complex)
+
+
+def u_matrix(theta: float, phi: float, lam: float) -> np.ndarray:
+    """Generic single-qubit gate U(theta, phi, lambda) (Qiskit convention)."""
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array(
+        [
+            [c, -cmath.exp(1j * lam) * s],
+            [cmath.exp(1j * phi) * s, cmath.exp(1j * (phi + lam)) * c],
+        ],
+        dtype=complex,
+    )
+
+
+def controlled(matrix: np.ndarray) -> np.ndarray:
+    """Return the controlled version of a k-qubit gate.
+
+    The control qubit is the *first* operand (least significant bit of the
+    local index), so the controlled matrix acts on basis states ordered as
+    ``|targets..., control>``.
+    """
+    dim = matrix.shape[0]
+    out = np.eye(2 * dim, dtype=complex)
+    # Control = bit 0 set -> odd indices.
+    out[1::2, 1::2] = matrix
+    return out
+
+
+def cx_matrix() -> np.ndarray:
+    """CNOT with control = first operand, target = second operand."""
+    return controlled(x_matrix())
+
+
+def cz_matrix() -> np.ndarray:
+    """Controlled-Z (symmetric in its operands)."""
+    return controlled(z_matrix())
+
+
+def cp_matrix(lam: float) -> np.ndarray:
+    """Controlled phase gate (symmetric in its operands)."""
+    return controlled(p_matrix(lam))
+
+
+def ch_matrix() -> np.ndarray:
+    """Controlled-Hadamard."""
+    return controlled(h_matrix())
+
+
+def crx_matrix(theta: float) -> np.ndarray:
+    """Controlled RX."""
+    return controlled(rx_matrix(theta))
+
+
+def cry_matrix(theta: float) -> np.ndarray:
+    """Controlled RY."""
+    return controlled(ry_matrix(theta))
+
+
+def crz_matrix(theta: float) -> np.ndarray:
+    """Controlled RZ."""
+    return controlled(rz_matrix(theta))
+
+
+def swap_matrix() -> np.ndarray:
+    """SWAP."""
+    return np.array(
+        [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+    )
+
+
+def iswap_matrix() -> np.ndarray:
+    """iSWAP."""
+    return np.array(
+        [[1, 0, 0, 0], [0, 0, 1j, 0], [0, 1j, 0, 0], [0, 0, 0, 1]], dtype=complex
+    )
+
+
+def rxx_matrix(theta: float) -> np.ndarray:
+    """Two-qubit XX rotation exp(-i theta/2 X⊗X)."""
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    m = np.eye(4, dtype=complex) * c
+    anti = -1j * s
+    m[0, 3] = m[3, 0] = m[1, 2] = m[2, 1] = anti
+    m[0, 0] = m[1, 1] = m[2, 2] = m[3, 3] = c
+    return m
+
+
+def ryy_matrix(theta: float) -> np.ndarray:
+    """Two-qubit YY rotation exp(-i theta/2 Y⊗Y)."""
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    m = np.eye(4, dtype=complex) * c
+    m[0, 3] = m[3, 0] = 1j * s
+    m[1, 2] = m[2, 1] = -1j * s
+    return m
+
+
+def rzz_matrix(theta: float) -> np.ndarray:
+    """Two-qubit ZZ rotation exp(-i theta/2 Z⊗Z)."""
+    e = cmath.exp(-1j * theta / 2.0)
+    return np.diag([e, e.conjugate(), e.conjugate(), e]).astype(complex)
+
+
+def ccx_matrix() -> np.ndarray:
+    """Toffoli with controls = first two operands, target = third operand."""
+    return controlled(controlled(x_matrix()))
+
+
+def cswap_matrix() -> np.ndarray:
+    """Fredkin (controlled-SWAP); control is the first operand."""
+    return controlled(swap_matrix())
+
+
+def fsim_matrix(theta: float, phi: float) -> np.ndarray:
+    """fSim gate used by Sycamore (Arute et al. 2019)."""
+    c, s = math.cos(theta), math.sin(theta)
+    return np.array(
+        [
+            [1, 0, 0, 0],
+            [0, c, -1j * s, 0],
+            [0, -1j * s, c, 0],
+            [0, 0, 0, cmath.exp(-1j * phi)],
+        ],
+        dtype=complex,
+    )
+
+
+def is_unitary(matrix: np.ndarray, atol: float = 1e-10) -> bool:
+    """Return True when ``matrix`` is unitary within ``atol``."""
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    product = matrix.conj().T @ matrix
+    return bool(np.allclose(product, np.eye(matrix.shape[0]), atol=atol))
+
+
+def random_unitary(dim: int, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Draw a Haar-random ``dim x dim`` unitary."""
+    rng = rng if rng is not None else np.random.default_rng()
+    z = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    q, r = np.linalg.qr(z)
+    phases = np.diag(r) / np.abs(np.diag(r))
+    return q * phases
+
+
+def random_su4(rng: np.random.Generator | None = None) -> np.ndarray:
+    """Haar-random element of SU(4), used by Quantum-Volume model circuits."""
+    u = random_unitary(4, rng)
+    det = np.linalg.det(u)
+    return u / det ** (1.0 / 4.0)
+
+
+#: Pauli matrices keyed by label, used by Pauli error channels.
+PAULI_MATRICES = {
+    "I": identity_matrix(1),
+    "X": x_matrix(),
+    "Y": y_matrix(),
+    "Z": z_matrix(),
+}
+
+#: Zero-parameter gates keyed by canonical lowercase name.
+STATIC_GATES = {
+    "id": identity_matrix,
+    "x": x_matrix,
+    "y": y_matrix,
+    "z": z_matrix,
+    "h": h_matrix,
+    "s": s_matrix,
+    "sdg": sdg_matrix,
+    "t": t_matrix,
+    "tdg": tdg_matrix,
+    "sx": sx_matrix,
+    "sxdg": sxdg_matrix,
+    "sw": w_matrix,
+    "cx": cx_matrix,
+    "cz": cz_matrix,
+    "ch": ch_matrix,
+    "swap": swap_matrix,
+    "iswap": iswap_matrix,
+    "ccx": ccx_matrix,
+    "cswap": cswap_matrix,
+}
+
+#: Parametric gates keyed by canonical lowercase name -> (arity, n_params).
+PARAMETRIC_GATES = {
+    "rx": (rx_matrix, 1, 1),
+    "ry": (ry_matrix, 1, 1),
+    "rz": (rz_matrix, 1, 1),
+    "p": (p_matrix, 1, 1),
+    "u": (u_matrix, 1, 3),
+    "cp": (cp_matrix, 2, 1),
+    "crx": (crx_matrix, 2, 1),
+    "cry": (cry_matrix, 2, 1),
+    "crz": (crz_matrix, 2, 1),
+    "rxx": (rxx_matrix, 2, 1),
+    "ryy": (ryy_matrix, 2, 1),
+    "rzz": (rzz_matrix, 2, 1),
+    "fsim": (fsim_matrix, 2, 2),
+}
+
+
+@lru_cache(maxsize=None)
+def _cached_static(name: str) -> np.ndarray:
+    matrix = STATIC_GATES[name]()
+    matrix.setflags(write=False)
+    return matrix
+
+
+def static_gate_matrix(name: str) -> np.ndarray:
+    """Return a cached, read-only matrix for a zero-parameter gate."""
+    return _cached_static(name)

@@ -1,0 +1,93 @@
+"""Decomposition passes lowering circuits to 1- and 2-qubit gates.
+
+The paper's benchmark circuits come from QASMBench / Qiskit transpilations and
+therefore contain only 1- and 2-qubit basis gates; its noise models likewise
+attach errors to 1- and 2-qubit gates only.  This module provides the same
+lowering for the generators in :mod:`repro.circuits.library`: Toffoli and
+Fredkin gates are expanded into the standard Clifford+T constructions.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gate import Gate
+
+__all__ = [
+    "decompose_ccx",
+    "decompose_cswap",
+    "decompose_swap",
+    "decompose_to_two_qubit_gates",
+]
+
+
+def decompose_ccx(control_a: int, control_b: int, target: int) -> list[Gate]:
+    """The standard 15-gate Clifford+T decomposition of the Toffoli gate."""
+    g = Gate.standard
+    return [
+        g("h", (target,)),
+        g("cx", (control_b, target)),
+        g("tdg", (target,)),
+        g("cx", (control_a, target)),
+        g("t", (target,)),
+        g("cx", (control_b, target)),
+        g("tdg", (target,)),
+        g("cx", (control_a, target)),
+        g("t", (control_b,)),
+        g("t", (target,)),
+        g("cx", (control_a, control_b)),
+        g("h", (target,)),
+        g("t", (control_a,)),
+        g("tdg", (control_b,)),
+        g("cx", (control_a, control_b)),
+    ]
+
+
+def decompose_cswap(control: int, qubit_a: int, qubit_b: int) -> list[Gate]:
+    """Fredkin as CX–Toffoli–CX."""
+    return [
+        Gate.standard("cx", (qubit_b, qubit_a)),
+        *decompose_ccx(control, qubit_a, qubit_b),
+        Gate.standard("cx", (qubit_b, qubit_a)),
+    ]
+
+
+def decompose_swap(qubit_a: int, qubit_b: int) -> list[Gate]:
+    """SWAP as three CX gates."""
+    return [
+        Gate.standard("cx", (qubit_a, qubit_b)),
+        Gate.standard("cx", (qubit_b, qubit_a)),
+        Gate.standard("cx", (qubit_a, qubit_b)),
+    ]
+
+
+def decompose_to_two_qubit_gates(circuit: Circuit,
+                                 expand_swap: bool = False) -> Circuit:
+    """Return an equivalent circuit containing only 1- and 2-qubit gates.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to lower.
+    expand_swap:
+        Also expand SWAP gates into three CX gates (the paper's transpiled
+        benchmarks do; leave False to keep SWAP as a native 2-qubit gate).
+    """
+    lowered = Circuit(circuit.num_qubits, name=circuit.name)
+    for gate in circuit:
+        if gate.name == "ccx":
+            for decomposed in decompose_ccx(*gate.qubits):
+                lowered.append(decomposed)
+        elif gate.name == "cswap":
+            for decomposed in decompose_cswap(*gate.qubits):
+                lowered.append(decomposed)
+        elif gate.name == "swap" and expand_swap:
+            for decomposed in decompose_swap(*gate.qubits):
+                lowered.append(decomposed)
+        elif gate.num_qubits > 2:
+            raise ValueError(
+                f"no decomposition rule for {gate.num_qubits}-qubit gate "
+                f"{gate.name!r}"
+            )
+        else:
+            lowered.append(gate)
+    return lowered

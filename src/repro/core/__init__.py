@@ -1,0 +1,77 @@
+"""TQSim core: trees, partitioners, the baseline simulator and the engine."""
+
+from repro.core.backends import (
+    A100,
+    CORE_I7,
+    DEVICE_PROFILES,
+    RTX_3060,
+    RYZEN_3800X,
+    V100,
+    XEON_6130,
+    XEON_6138,
+    DeviceProfile,
+    NumpyBackend,
+)
+from repro.core.baseline import BaselineNoisySimulator
+from repro.core.copycost import (
+    DEFAULT_COPY_COST_IN_GATES,
+    MODELED_SYSTEM_COPY_COSTS,
+    CopyCostProfile,
+    measure_copy_cost,
+)
+from repro.core.engine import TQSimEngine
+from repro.core.partitioners import (
+    CircuitPartitioner,
+    DynamicCircuitPartitioner,
+    ExponentialCircuitPartitioner,
+    ManualPartitioner,
+    PartitionPlan,
+    SingleShotPartitioner,
+    UniformCircuitPartitioner,
+)
+from repro.core.results import CostCounters, SimulationResult, merge_results
+from repro.core.sampling_theory import (
+    DEFAULT_CONFIDENCE_Z,
+    DEFAULT_MARGIN_OF_ERROR,
+    combined_error_rate,
+    margin_of_error_for_sample,
+    minimum_sample_size,
+    standard_error,
+)
+from repro.core.tree import TreeStructure
+
+__all__ = [
+    "TreeStructure",
+    "CostCounters",
+    "SimulationResult",
+    "merge_results",
+    "PartitionPlan",
+    "CircuitPartitioner",
+    "SingleShotPartitioner",
+    "UniformCircuitPartitioner",
+    "ExponentialCircuitPartitioner",
+    "ManualPartitioner",
+    "DynamicCircuitPartitioner",
+    "BaselineNoisySimulator",
+    "TQSimEngine",
+    "NumpyBackend",
+    "DeviceProfile",
+    "DEVICE_PROFILES",
+    "XEON_6130",
+    "XEON_6138",
+    "CORE_I7",
+    "RYZEN_3800X",
+    "RTX_3060",
+    "V100",
+    "A100",
+    "CopyCostProfile",
+    "measure_copy_cost",
+    "MODELED_SYSTEM_COPY_COSTS",
+    "DEFAULT_COPY_COST_IN_GATES",
+    "combined_error_rate",
+    "minimum_sample_size",
+    "standard_error",
+    "margin_of_error_for_sample",
+    "DEFAULT_CONFIDENCE_Z",
+    "DEFAULT_MARGIN_OF_ERROR",
+]

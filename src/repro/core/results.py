@@ -1,0 +1,139 @@
+"""Cost accounting and result containers shared by all noisy simulators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.statevector.sampling import counts_to_probability_vector
+
+__all__ = ["CostCounters", "SimulationResult"]
+
+
+@dataclass
+class CostCounters:
+    """Operation counts accumulated during a noisy simulation.
+
+    The paper's speedup comes from reducing ``gate_applications`` (plus the
+    noise-operator applications) at the price of ``state_copies``; tracking
+    the counts explicitly lets experiments report a backend-independent
+    *computation reduction* next to the measured wall-clock speedup.
+    """
+
+    gate_applications: int = 0
+    noise_applications: int = 0
+    state_copies: int = 0
+    leaf_samples: int = 0
+    wall_time_seconds: float = 0.0
+
+    def gate_equivalents(self, copy_cost_in_gates: float) -> float:
+        """Total work in units of one gate application (paper Section 3.6)."""
+        return (
+            self.gate_applications
+            + self.noise_applications
+            + self.state_copies * copy_cost_in_gates
+        )
+
+    def merged_with(self, other: "CostCounters") -> "CostCounters":
+        """Element-wise sum of two counters."""
+        return CostCounters(
+            gate_applications=self.gate_applications + other.gate_applications,
+            noise_applications=self.noise_applications + other.noise_applications,
+            state_copies=self.state_copies + other.state_copies,
+            leaf_samples=self.leaf_samples + other.leaf_samples,
+            wall_time_seconds=self.wall_time_seconds + other.wall_time_seconds,
+        )
+
+
+@dataclass
+class SimulationResult:
+    """The outcome of a multi-shot noisy simulation.
+
+    Attributes
+    ----------
+    counts:
+        Measurement outcomes keyed by bitstring (most-significant qubit
+        first), with one entry per produced outcome.
+    num_qubits:
+        Circuit width.
+    shots:
+        Number of outcomes requested (the produced total may be slightly
+        larger for TQSim trees whose arities over-shoot the target).
+    cost:
+        The :class:`CostCounters` accumulated while producing the result.
+    metadata:
+        Simulator-specific extras (tree structure, partition lengths, seeds).
+    """
+
+    counts: dict[str, int]
+    num_qubits: int
+    shots: int
+    cost: CostCounters = field(default_factory=CostCounters)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def total_outcomes(self) -> int:
+        """Number of outcomes actually produced."""
+        return sum(self.counts.values())
+
+    def probabilities(self) -> np.ndarray:
+        """Empirical outcome distribution as a dense vector."""
+        return counts_to_probability_vector(self.counts, self.num_qubits)
+
+    def probability_of(self, bitstring: str) -> float:
+        """Empirical probability of a specific bitstring."""
+        total = self.total_outcomes
+        return self.counts.get(bitstring, 0) / total if total else 0.0
+
+    def top_outcomes(self, k: int = 5) -> list[tuple[str, int]]:
+        """The ``k`` most frequent outcomes."""
+        return sorted(self.counts.items(), key=lambda item: -item[1])[:k]
+
+    def speedup_over(self, baseline: "SimulationResult",
+                     copy_cost_in_gates: float = 0.0,
+                     use_wall_time: bool = False) -> float:
+        """Speedup of this result relative to ``baseline``.
+
+        By default the backend-independent gate-equivalent cost ratio is
+        reported; pass ``use_wall_time=True`` for the measured ratio.
+        """
+        if use_wall_time:
+            if self.cost.wall_time_seconds <= 0:
+                raise ValueError("wall time was not recorded")
+            return baseline.cost.wall_time_seconds / self.cost.wall_time_seconds
+        own = self.cost.gate_equivalents(copy_cost_in_gates)
+        if own <= 0:
+            raise ValueError("cost counters are empty")
+        return baseline.cost.gate_equivalents(copy_cost_in_gates) / own
+
+    def summary(self) -> dict[str, Any]:
+        """A flat dictionary for report tables."""
+        return {
+            "num_qubits": self.num_qubits,
+            "shots": self.shots,
+            "outcomes": self.total_outcomes,
+            "gate_applications": self.cost.gate_applications,
+            "noise_applications": self.cost.noise_applications,
+            "state_copies": self.cost.state_copies,
+            "wall_time_seconds": self.cost.wall_time_seconds,
+            **{f"meta_{k}": v for k, v in self.metadata.items()},
+        }
+
+
+def merge_results(first: SimulationResult, second: SimulationResult
+                  ) -> SimulationResult:
+    """Merge two results of the same circuit (counts and costs are summed)."""
+    if first.num_qubits != second.num_qubits:
+        raise ValueError("cannot merge results of different widths")
+    counts = dict(first.counts)
+    for key, value in second.counts.items():
+        counts[key] = counts.get(key, 0) + value
+    return SimulationResult(
+        counts=counts,
+        num_qubits=first.num_qubits,
+        shots=first.shots + second.shots,
+        cost=first.cost.merged_with(second.cost),
+        metadata={**first.metadata, **second.metadata},
+    )

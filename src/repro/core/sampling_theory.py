@@ -1,0 +1,99 @@
+"""Statistical shot-allocation theory used by DCP (paper Eq. 2, 4 and 5)."""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "combined_error_rate",
+    "minimum_sample_size",
+    "standard_error",
+    "margin_of_error_for_sample",
+    "DEFAULT_CONFIDENCE_Z",
+    "DEFAULT_MARGIN_OF_ERROR",
+]
+
+#: 95% confidence (the conventional z-score the sample-size literature uses).
+DEFAULT_CONFIDENCE_Z = 1.96
+
+#: Margin of error chosen so that DCP reproduces the paper's worked example
+#: (QFT_14, 0.1% gate error, 32 000 shots -> A0 = 500 and 7 subcircuits).
+DEFAULT_MARGIN_OF_ERROR = 0.015
+
+
+def combined_error_rate(gate_error_rates) -> float:
+    """Paper Eq. 4: ``1 - prod_i (1 - e_i)`` over a subcircuit's gates."""
+    survive = 1.0
+    for rate in gate_error_rates:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"gate error rate {rate} outside [0, 1]")
+        survive *= 1.0 - rate
+    return 1.0 - survive
+
+
+def minimum_sample_size(
+    error_rate: float,
+    population: int,
+    confidence_z: float = DEFAULT_CONFIDENCE_Z,
+    margin_of_error: float = DEFAULT_MARGIN_OF_ERROR,
+) -> int:
+    """Paper Eq. 5: minimum first-layer node count ``A0``.
+
+    Parameters
+    ----------
+    error_rate:
+        The first subcircuit's overall error rate ``p_hat`` (Eq. 4).
+    population:
+        Total number of shots ``N`` (the baseline tree's first layer).
+    confidence_z:
+        z-score of the desired confidence level.
+    margin_of_error:
+        Acceptable margin of error ``epsilon``.
+    """
+    if population < 1:
+        raise ValueError("population must be >= 1")
+    if not 0.0 <= error_rate <= 1.0:
+        raise ValueError("error_rate must be in [0, 1]")
+    if margin_of_error <= 0:
+        raise ValueError("margin_of_error must be positive")
+    if confidence_z <= 0:
+        raise ValueError("confidence_z must be positive")
+    p = error_rate
+    numerator = (confidence_z**2) * p * (1.0 - p) / (margin_of_error**2)
+    corrected = numerator / (1.0 + numerator / population)
+    sample = int(math.ceil(corrected))
+    return max(1, min(sample, population))
+
+
+def standard_error(std_deviation: float, num_trajectories: int) -> float:
+    """Paper Eq. 2: the Monte-Carlo standard error ``sigma / sqrt(N)``."""
+    if num_trajectories < 1:
+        raise ValueError("num_trajectories must be >= 1")
+    if std_deviation < 0:
+        raise ValueError("std_deviation must be non-negative")
+    return std_deviation / math.sqrt(num_trajectories)
+
+
+def margin_of_error_for_sample(
+    sample_size: int,
+    error_rate: float,
+    population: int,
+    confidence_z: float = DEFAULT_CONFIDENCE_Z,
+) -> float:
+    """Invert Eq. 5: the margin of error a given ``A0`` actually achieves.
+
+    Used by the error-bound analysis (Section 3.5) to report the worst-case
+    layer difference for a chosen tree.
+    """
+    if sample_size < 1:
+        raise ValueError("sample_size must be >= 1")
+    if sample_size >= population:
+        return 0.0
+    p = error_rate
+    variance_term = (confidence_z**2) * p * (1.0 - p)
+    if variance_term == 0.0:
+        return 0.0
+    # Solve n = (v/e^2) / (1 + v/(e^2 N)) for e, with v = z^2 p (1-p).
+    # => e^2 = v * (1/n - 1/N)
+    value = variance_term * (1.0 / sample_size - 1.0 / population)
+    return math.sqrt(max(value, 0.0))

@@ -1,0 +1,138 @@
+"""Simulation trees: the ``(A0, A1, ..., A_{k-1})`` structure of Section 3.1."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["TreeStructure"]
+
+
+@dataclass(frozen=True)
+class TreeStructure:
+    """Arity-per-layer description of a TQSim simulation tree.
+
+    ``arities[i]`` is the number of children every node at depth ``i`` has,
+    i.e. how many times the resulting state of the ``i``-th subcircuit's
+    parent is reused.  A baseline simulation of ``N`` shots over ``k``
+    subcircuits is the degenerate tree ``(N, 1, 1, ..., 1)``.
+    """
+
+    arities: tuple[int, ...]
+
+    def __init__(self, arities: Iterable[int]) -> None:
+        values = tuple(int(a) for a in arities)
+        if not values:
+            raise ValueError("a tree needs at least one layer")
+        if any(a < 1 for a in values):
+            raise ValueError(f"arities must be >= 1, got {values}")
+        object.__setattr__(self, "arities", values)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def baseline(cls, shots: int, num_subcircuits: int = 1) -> "TreeStructure":
+        """The baseline tree ``(shots, 1, ..., 1)`` (Figure 6b)."""
+        if num_subcircuits < 1:
+            raise ValueError("num_subcircuits must be >= 1")
+        return cls((shots, *([1] * (num_subcircuits - 1))))
+
+    # ------------------------------------------------------------------
+    @property
+    def num_subcircuits(self) -> int:
+        """Number of layers / subcircuits (``k``)."""
+        return len(self.arities)
+
+    @property
+    def total_outcomes(self) -> int:
+        """Number of leaves, i.e. produced measurement outcomes."""
+        return math.prod(self.arities)
+
+    def instances_of_subcircuit(self, index: int) -> int:
+        """How many times subcircuit ``index`` is simulated (paper Eq. 3)."""
+        if not 0 <= index < self.num_subcircuits:
+            raise IndexError(f"subcircuit index {index} out of range")
+        return math.prod(self.arities[: index + 1])
+
+    @property
+    def subcircuit_instances(self) -> list[int]:
+        """Instance counts for every subcircuit."""
+        return [self.instances_of_subcircuit(i) for i in range(self.num_subcircuits)]
+
+    @property
+    def total_nodes(self) -> int:
+        """Total node count including the initial-state node (Figures 6/7)."""
+        return 1 + sum(self.subcircuit_instances)
+
+    @property
+    def state_copies(self) -> int:
+        """Copies of *computed* intermediate states the tree requires.
+
+        Nodes below the first layer copy their parent's intermediate state
+        before continuing; first-layer nodes start from |0...0> exactly like
+        the baseline, so they incur no copy.
+        """
+        return sum(self.subcircuit_instances[1:])
+
+    @property
+    def peak_stored_states(self) -> int:
+        """Intermediate states held simultaneously in a depth-first traversal.
+
+        One state per non-leaf layer is live at any time (plus the working
+        state), which is the memory-overhead term of Figure 9.
+        """
+        return max(self.num_subcircuits - 1, 0) + 1
+
+    # ------------------------------------------------------------------
+    def computation_cost(self, subcircuit_lengths: Sequence[int]) -> int:
+        """Total gate applications for the given subcircuit gate counts."""
+        if len(subcircuit_lengths) != self.num_subcircuits:
+            raise ValueError(
+                f"expected {self.num_subcircuits} lengths, got {len(subcircuit_lengths)}"
+            )
+        return sum(
+            instances * length
+            for instances, length in zip(self.subcircuit_instances, subcircuit_lengths)
+        )
+
+    def speedup_versus_baseline(
+        self,
+        subcircuit_lengths: Sequence[int],
+        copy_cost_in_gates: float = 0.0,
+        baseline_shots: int | None = None,
+    ) -> float:
+        """Analytical speedup over the baseline tree for the same outcomes.
+
+        This is the paper's "theoretical maximum speedup" once the state-copy
+        overhead (normalised to gate executions, Section 3.6) is included.
+        """
+        total_gates = sum(subcircuit_lengths)
+        shots = baseline_shots if baseline_shots is not None else self.total_outcomes
+        baseline_cost = shots * total_gates
+        own_cost = (
+            self.computation_cost(subcircuit_lengths)
+            + self.state_copies * copy_cost_in_gates
+        )
+        if own_cost <= 0:
+            raise ValueError("tree cost is zero")
+        return baseline_cost / own_cost
+
+    @staticmethod
+    def ideal_equal_partition_speedup(num_subcircuits: int, shots: int) -> float:
+        """Paper Section 3.6: max speedup ``k*N / ((k-1) + N)`` for equal parts."""
+        if num_subcircuits < 1 or shots < 1:
+            raise ValueError("num_subcircuits and shots must be >= 1")
+        return num_subcircuits * shots / ((num_subcircuits - 1) + shots)
+
+    # ------------------------------------------------------------------
+    def __iter__(self):
+        return iter(self.arities)
+
+    def __len__(self) -> int:
+        return len(self.arities)
+
+    def __getitem__(self, index: int) -> int:
+        return self.arities[index]
+
+    def __str__(self) -> str:
+        return "(" + ",".join(str(a) for a in self.arities) + ")"

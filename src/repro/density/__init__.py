@@ -1,0 +1,6 @@
+"""Exact density-matrix (mixed-state) simulation."""
+
+from repro.density.densitymatrix import DensityMatrix
+from repro.density.simulator import DensityMatrixSimulator
+
+__all__ = ["DensityMatrix", "DensityMatrixSimulator"]

@@ -1,0 +1,97 @@
+"""The :class:`DensityMatrix` mixed-state type."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.statevector.apply import apply_kraus_to_density, apply_unitary_to_density
+from repro.statevector.state import Statevector
+
+__all__ = ["DensityMatrix"]
+
+
+class DensityMatrix:
+    """A mixed quantum state ``rho`` of ``num_qubits`` qubits.
+
+    Memory scales as O(4^n) (paper Section 2.3.1), which is exactly why the
+    paper — and this reproduction — only uses the density-matrix simulator as
+    a small-circuit accuracy reference (Figure 15).
+    """
+
+    __slots__ = ("data", "num_qubits")
+
+    def __init__(self, data: np.ndarray) -> None:
+        array = np.asarray(data, dtype=complex)
+        if array.ndim != 2 or array.shape[0] != array.shape[1]:
+            raise ValueError("density matrix must be square")
+        num_qubits = int(array.shape[0]).bit_length() - 1
+        if 2**num_qubits != array.shape[0]:
+            raise ValueError("density matrix dimension must be a power of two")
+        self.data = array
+        self.num_qubits = num_qubits
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero_state(cls, num_qubits: int) -> "DensityMatrix":
+        """|0...0><0...0|."""
+        data = np.zeros((2**num_qubits, 2**num_qubits), dtype=complex)
+        data[0, 0] = 1.0
+        return cls(data)
+
+    @classmethod
+    def from_statevector(cls, state: Statevector) -> "DensityMatrix":
+        """The pure-state density matrix |psi><psi|."""
+        return cls(state.to_density_matrix())
+
+    @classmethod
+    def maximally_mixed(cls, num_qubits: int) -> "DensityMatrix":
+        """The maximally mixed state I / 2^n."""
+        dim = 2**num_qubits
+        return cls(np.eye(dim, dtype=complex) / dim)
+
+    # ------------------------------------------------------------------
+    def trace(self) -> float:
+        """Trace of rho (should be 1 for a valid state)."""
+        return float(np.real(np.trace(self.data)))
+
+    def purity(self) -> float:
+        """tr(rho^2); equals 1 for pure states, 1/2^n for maximally mixed."""
+        return float(np.real(np.trace(self.data @ self.data)))
+
+    def is_valid(self, atol: float = 1e-8) -> bool:
+        """Check Hermiticity, unit trace and positive semidefiniteness."""
+        if not np.allclose(self.data, self.data.conj().T, atol=atol):
+            return False
+        if abs(self.trace() - 1.0) > atol:
+            return False
+        eigenvalues = np.linalg.eigvalsh(self.data)
+        return bool(np.all(eigenvalues > -atol))
+
+    def probabilities(self) -> np.ndarray:
+        """Computational-basis measurement probabilities (the diagonal)."""
+        return np.clip(np.real(np.diag(self.data)), 0.0, None)
+
+    def evolve_unitary(self, matrix: np.ndarray, targets) -> "DensityMatrix":
+        """Apply ``U rho U†`` on the given target qubits."""
+        return DensityMatrix(
+            apply_unitary_to_density(self.data, matrix, tuple(targets))
+        )
+
+    def evolve_channel(self, kraus_operators, targets) -> "DensityMatrix":
+        """Apply a CPTP map on the given target qubits."""
+        return DensityMatrix(
+            apply_kraus_to_density(self.data, kraus_operators, tuple(targets))
+        )
+
+    def expectation_diagonal(self, diagonal: np.ndarray) -> float:
+        """Expectation value of a diagonal observable."""
+        diagonal = np.asarray(diagonal, dtype=float)
+        return float(np.real(np.sum(self.probabilities() * diagonal)))
+
+    def fidelity_with_pure(self, state: Statevector) -> float:
+        """<psi| rho |psi> — fidelity against a pure reference state."""
+        vector = state.data
+        return float(np.real(np.vdot(vector, self.data @ vector)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<DensityMatrix of {self.num_qubits} qubits>"

@@ -1,0 +1,86 @@
+"""Exact noisy simulation with density matrices.
+
+This is the mixed-state reference the pure-state trajectory ensemble converges
+to (paper Section 2.4.1) and the comparison target of Figure 15.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.density.densitymatrix import DensityMatrix
+from repro.noise.model import NoiseModel
+from repro.statevector.sampling import sample_from_probabilities
+
+__all__ = ["DensityMatrixSimulator"]
+
+
+class DensityMatrixSimulator:
+    """Simulate a circuit under a noise model exactly (no sampling error).
+
+    Noise channels are applied as Kraus maps after each gate, mirroring the
+    structure of the trajectory simulators so that the two agree in the limit
+    of infinitely many shots.
+    """
+
+    #: Above this width an exact density-matrix simulation is refused; the
+    #: 4^n memory wall is the point the paper makes in Figure 4.
+    MAX_QUBITS = 12
+
+    def __init__(self, noise_model: NoiseModel | None = None,
+                 seed: int | None = None) -> None:
+        self.noise_model = noise_model
+        self._rng = np.random.default_rng(seed)
+
+    def run(self, circuit: Circuit,
+            initial_state: DensityMatrix | None = None) -> DensityMatrix:
+        """Return the exact output density matrix of ``circuit``."""
+        if circuit.num_qubits > self.MAX_QUBITS:
+            raise ValueError(
+                f"density-matrix simulation of {circuit.num_qubits} qubits "
+                f"exceeds the {self.MAX_QUBITS}-qubit limit of this simulator"
+            )
+        if initial_state is None:
+            rho = DensityMatrix.zero_state(circuit.num_qubits)
+        else:
+            if initial_state.num_qubits != circuit.num_qubits:
+                raise ValueError("initial state width does not match the circuit")
+            rho = DensityMatrix(initial_state.data.copy())
+        for gate in circuit:
+            rho = rho.evolve_unitary(gate.to_matrix(), gate.qubits)
+            if self.noise_model is not None:
+                for event in self.noise_model.events_for_gate(gate):
+                    rho = rho.evolve_channel(
+                        event.channel.kraus_operators, event.qubits
+                    )
+        return rho
+
+    def probabilities(self, circuit: Circuit) -> np.ndarray:
+        """Exact output distribution, including readout error if configured."""
+        probabilities = self.run(circuit).probabilities()
+        if self.noise_model is not None and self.noise_model.readout_error is not None:
+            probabilities = _apply_readout_to_distribution(
+                probabilities, circuit.num_qubits, self.noise_model
+            )
+        return probabilities
+
+    def sample(self, circuit: Circuit, shots: int) -> dict[str, int]:
+        """Sample measurement outcomes from the exact distribution."""
+        return sample_from_probabilities(
+            self.probabilities(circuit), shots, circuit.num_qubits, self._rng
+        )
+
+
+def _apply_readout_to_distribution(
+    probabilities: np.ndarray, num_qubits: int, noise_model: NoiseModel
+) -> np.ndarray:
+    """Convolve a distribution with the per-bit readout assignment matrix."""
+    readout = noise_model.readout_error
+    assignment = readout.assignment_matrix()
+    result = probabilities.reshape((2,) * num_qubits)
+    for qubit in range(num_qubits):
+        axis = num_qubits - 1 - qubit
+        result = np.tensordot(assignment, result, axes=([1], [axis]))
+        result = np.moveaxis(result, 0, axis)
+    return result.reshape(-1)

@@ -1,0 +1,15 @@
+"""Simulated multi-node cluster and scaling studies."""
+
+from repro.distributed.cluster import XEON_CLUSTER, ClusterConfig
+from repro.distributed.partitioned import DistributedCostModel, DistributedEstimate
+from repro.distributed.scaling import ScalingPoint, strong_scaling, weak_scaling
+
+__all__ = [
+    "ClusterConfig",
+    "XEON_CLUSTER",
+    "DistributedCostModel",
+    "DistributedEstimate",
+    "ScalingPoint",
+    "strong_scaling",
+    "weak_scaling",
+]

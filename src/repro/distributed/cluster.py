@@ -1,0 +1,92 @@
+"""Simulated multi-node cluster configuration.
+
+The paper's multi-node study (Section 5.3) runs TQSim on a qHiPSTER-based
+CPU cluster.  No cluster is available here, so the distributed substrate is a
+*performance model*: the statevector is partitioned across nodes, every gate
+is charged per-node compute time, and gates touching "global" qubits (those
+encoded in the node index) additionally pay a pairwise-exchange communication
+cost.  The same model is applied to the baseline and to TQSim, so the
+comparison between them — the quantity Figure 13 reports — is preserved.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["ClusterConfig", "XEON_CLUSTER"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Per-node compute and interconnect parameters of the modeled cluster."""
+
+    name: str
+    node_memory_bytes: float
+    #: Amplitudes a node updates per second when applying one gate.
+    amplitudes_per_second: float
+    #: Sustained point-to-point interconnect bandwidth per node pair.
+    interconnect_bytes_per_second: float
+    #: Per-message latency of the interconnect.
+    message_latency_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.node_memory_bytes <= 0 or self.amplitudes_per_second <= 0:
+            raise ValueError("node memory and compute throughput must be positive")
+        if self.interconnect_bytes_per_second <= 0 or self.message_latency_seconds < 0:
+            raise ValueError("invalid interconnect parameters")
+
+    # ------------------------------------------------------------------
+    def validate_node_count(self, num_nodes: int) -> None:
+        """Node counts must be powers of two (the statevector is bisected)."""
+        if num_nodes < 1 or (num_nodes & (num_nodes - 1)) != 0:
+            raise ValueError("num_nodes must be a power of two")
+
+    def global_qubits(self, num_nodes: int) -> int:
+        """Number of qubits encoded in the node index."""
+        self.validate_node_count(num_nodes)
+        return int(math.log2(num_nodes))
+
+    def local_amplitudes(self, num_qubits: int, num_nodes: int) -> float:
+        """Amplitudes stored per node."""
+        self.validate_node_count(num_nodes)
+        return (2.0**num_qubits) / num_nodes
+
+    def fits_in_memory(self, num_qubits: int, num_nodes: int) -> bool:
+        """Whether the partitioned statevector fits on the cluster."""
+        return 16.0 * self.local_amplitudes(num_qubits, num_nodes) <= self.node_memory_bytes
+
+    # ------------------------------------------------------------------
+    def local_gate_seconds(self, num_qubits: int, num_nodes: int) -> float:
+        """Time for one gate acting only on node-local qubits."""
+        return self.local_amplitudes(num_qubits, num_nodes) / self.amplitudes_per_second
+
+    def global_gate_seconds(self, num_qubits: int, num_nodes: int) -> float:
+        """Time for one gate on a global qubit: compute plus pairwise exchange."""
+        local = self.local_amplitudes(num_qubits, num_nodes)
+        compute = local / self.amplitudes_per_second
+        if num_nodes == 1:
+            return compute
+        exchanged_bytes = 16.0 * local / 2.0  # half the local amplitudes swap nodes
+        communication = (
+            self.message_latency_seconds
+            + exchanged_bytes / self.interconnect_bytes_per_second
+        )
+        return compute + communication
+
+    def state_copy_seconds(self, num_qubits: int, num_nodes: int) -> float:
+        """Time to copy the distributed state (each node copies its slice)."""
+        local_bytes = 16.0 * self.local_amplitudes(num_qubits, num_nodes)
+        # Copy bandwidth is taken to be the compute bandwidth (memory bound).
+        return local_bytes / (16.0 * self.amplitudes_per_second)
+
+
+#: Cluster of Xeon-6130 nodes matching the paper's evaluation platform,
+#: connected by a 100 Gb/s-class interconnect.
+XEON_CLUSTER = ClusterConfig(
+    name="xeon_6130_cluster",
+    node_memory_bytes=192e9,
+    amplitudes_per_second=6.0e8,
+    interconnect_bytes_per_second=1.2e10,
+    message_latency_seconds=2.0e-6,
+)

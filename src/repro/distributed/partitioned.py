@@ -1,0 +1,95 @@
+"""Distributed-simulation time model for circuits and partition plans."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.circuit import Circuit
+from repro.core.partitioners import PartitionPlan
+from repro.distributed.cluster import ClusterConfig
+
+__all__ = ["DistributedCostModel", "DistributedEstimate"]
+
+
+@dataclass(frozen=True)
+class DistributedEstimate:
+    """Modeled wall-clock of one multi-node simulation."""
+
+    num_nodes: int
+    num_qubits: int
+    compute_seconds: float
+    communication_seconds: float
+    copy_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        """Total modeled simulation time."""
+        return self.compute_seconds + self.communication_seconds + self.copy_seconds
+
+
+class DistributedCostModel:
+    """Charge a circuit's gates against a :class:`ClusterConfig`.
+
+    Qubits ``n - g .. n - 1`` (the most significant ``g = log2(P)`` qubits)
+    are *global*: gates touching them require inter-node exchange, exactly as
+    in distributed statevector simulators such as qHiPSTER.
+    """
+
+    def __init__(self, cluster: ClusterConfig) -> None:
+        self.cluster = cluster
+
+    # ------------------------------------------------------------------
+    def gate_seconds(self, circuit: Circuit, num_nodes: int) -> tuple[float, float]:
+        """(compute, communication) seconds for one pass over ``circuit``."""
+        self.cluster.validate_node_count(num_nodes)
+        num_qubits = circuit.num_qubits
+        num_global = self.cluster.global_qubits(num_nodes)
+        global_threshold = num_qubits - num_global
+        local_time = self.cluster.local_gate_seconds(num_qubits, num_nodes)
+        global_time = self.cluster.global_gate_seconds(num_qubits, num_nodes)
+        compute = 0.0
+        communication = 0.0
+        for gate in circuit:
+            if any(q >= global_threshold for q in gate.qubits) and num_nodes > 1:
+                compute += local_time
+                communication += global_time - local_time
+            else:
+                compute += local_time
+        return compute, communication
+
+    # ------------------------------------------------------------------
+    def baseline_estimate(self, circuit: Circuit, shots: int, num_nodes: int,
+                          noise_events_per_gate: float = 1.0) -> DistributedEstimate:
+        """Modeled time of the baseline: ``shots`` full passes over the circuit."""
+        compute, communication = self.gate_seconds(circuit, num_nodes)
+        noise_factor = 1.0 + noise_events_per_gate
+        return DistributedEstimate(
+            num_nodes=num_nodes,
+            num_qubits=circuit.num_qubits,
+            compute_seconds=shots * compute * noise_factor,
+            communication_seconds=shots * communication,
+            copy_seconds=0.0,
+        )
+
+    def tqsim_estimate(self, plan: PartitionPlan, num_nodes: int,
+                       noise_events_per_gate: float = 1.0) -> DistributedEstimate:
+        """Modeled time of TQSim executing ``plan`` on the cluster."""
+        num_qubits = plan.subcircuits[0].num_qubits
+        noise_factor = 1.0 + noise_events_per_gate
+        compute = 0.0
+        communication = 0.0
+        for instances, subcircuit in zip(plan.tree.subcircuit_instances,
+                                         plan.subcircuits):
+            sub_compute, sub_comm = self.gate_seconds(subcircuit, num_nodes)
+            compute += instances * sub_compute * noise_factor
+            communication += instances * sub_comm
+        copy_seconds = plan.tree.state_copies * self.cluster.state_copy_seconds(
+            num_qubits, num_nodes
+        )
+        return DistributedEstimate(
+            num_nodes=num_nodes,
+            num_qubits=num_qubits,
+            compute_seconds=compute,
+            communication_seconds=communication,
+            copy_seconds=copy_seconds,
+        )

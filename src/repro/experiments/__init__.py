@@ -1,0 +1,15 @@
+"""Per-figure / per-table reproduction experiments."""
+
+from repro.experiments.common import (
+    DEFAULT_CONFIG,
+    ComparisonRow,
+    ExperimentConfig,
+    compare_simulators,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "DEFAULT_CONFIG",
+    "ComparisonRow",
+    "compare_simulators",
+]

@@ -1,0 +1,180 @@
+"""Shared configuration and runners for the paper-reproduction experiments.
+
+Every ``figXX_*`` / ``tableX_*`` module exposes a ``run(config)`` function
+returning a plain-data result object.  The default :class:`ExperimentConfig`
+is scaled down from the paper (shots and widths) so the whole harness runs on
+a laptop-class CPU in minutes; the paper-scale parameters are documented in
+each module and can be requested explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+import math
+
+from repro.circuits.circuit import Circuit
+from repro.core.baseline import BaselineNoisySimulator
+from repro.core.engine import TQSimEngine
+from repro.core.partitioners import CircuitPartitioner, DynamicCircuitPartitioner
+from repro.core.results import SimulationResult
+from repro.core.sampling_theory import DEFAULT_MARGIN_OF_ERROR
+from repro.metrics.fidelity import normalized_fidelity
+from repro.noise.model import NoiseModel
+from repro.statevector.simulator import StatevectorSimulator
+
+__all__ = [
+    "ExperimentConfig",
+    "ComparisonRow",
+    "compare_simulators",
+    "DEFAULT_CONFIG",
+    "PAPER_SHOTS",
+]
+
+#: Shot count the paper's evaluation uses (Section 4.3).
+PAPER_SHOTS = 32_000
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by the experiment harness.
+
+    Attributes
+    ----------
+    shots:
+        Outcomes per simulation (the paper uses 32 000; the scaled-down
+        default keeps wall-clock reasonable on the NumPy substrate).
+    max_qubits:
+        Benchmarks wider than this are skipped.
+    seed:
+        Base RNG seed for reproducibility.
+    copy_cost_in_gates:
+        State-copy cost (in gate executions) handed to DCP and used when
+        converting cost counters to gate-equivalents.
+    margin_of_error:
+        DCP's sample-size margin of error (paper Eq. 5).  When ``None`` it is
+        scaled from the paper's value so that the *fraction* ``A0 / shots``
+        stays at the paper's operating point even though the scaled-down
+        harness uses far fewer than 32 000 shots; pass an explicit value to
+        use the formula verbatim.
+    """
+
+    shots: int = 256
+    max_qubits: int = 10
+    seed: int = 7
+    copy_cost_in_gates: float = 10.0
+    margin_of_error: float | None = None
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def effective_margin_of_error(self) -> float:
+        """Margin of error actually handed to DCP (see ``margin_of_error``)."""
+        if self.margin_of_error is not None:
+            return self.margin_of_error
+        return DEFAULT_MARGIN_OF_ERROR * math.sqrt(PAPER_SHOTS / self.shots)
+
+    def dcp_partitioner(self) -> DynamicCircuitPartitioner:
+        """A DCP partitioner configured consistently with this config.
+
+        Besides the scaled margin of error, a floor is placed on ``A0`` so
+        the accuracy-critical first layer keeps a statistically meaningful
+        sample even at the harness's reduced shot counts.
+        """
+        return DynamicCircuitPartitioner(
+            copy_cost_in_gates=self.copy_cost_in_gates,
+            margin_of_error=self.effective_margin_of_error,
+            min_first_layer_shots=max(16, self.shots // 8),
+        )
+
+    def scaled(self, **overrides) -> "ExperimentConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+
+#: Default scaled-down configuration used by the benchmark harness.
+DEFAULT_CONFIG = ExperimentConfig()
+
+
+@dataclass
+class ComparisonRow:
+    """Baseline-vs-TQSim comparison for one circuit."""
+
+    name: str
+    num_qubits: int
+    num_gates: int
+    shots: int
+    baseline: SimulationResult
+    tqsim: SimulationResult
+    baseline_normalized_fidelity: float
+    tqsim_normalized_fidelity: float
+    cost_speedup: float
+    wall_clock_speedup: float
+    tree: str
+
+    @property
+    def fidelity_difference(self) -> float:
+        """|NF_baseline - NF_tqsim| (the Figure-14 metric)."""
+        return abs(self.baseline_normalized_fidelity - self.tqsim_normalized_fidelity)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flat representation for report tables."""
+        return {
+            "name": self.name,
+            "qubits": self.num_qubits,
+            "gates": self.num_gates,
+            "shots": self.shots,
+            "tree": self.tree,
+            "cost_speedup": self.cost_speedup,
+            "wall_clock_speedup": self.wall_clock_speedup,
+            "baseline_nf": self.baseline_normalized_fidelity,
+            "tqsim_nf": self.tqsim_normalized_fidelity,
+            "fidelity_difference": self.fidelity_difference,
+        }
+
+
+def compare_simulators(
+    circuit: Circuit,
+    noise_model: NoiseModel | None,
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    partitioner: CircuitPartitioner | None = None,
+) -> ComparisonRow:
+    """Run the baseline and TQSim on one circuit and compare them.
+
+    The ideal (noise-free) output distribution is computed exactly once and
+    used as the reference for both normalized-fidelity values, mirroring the
+    paper's methodology (Section 4.1).
+    """
+    ideal = StatevectorSimulator(seed=config.seed).probabilities(circuit)
+
+    baseline = BaselineNoisySimulator(noise_model, seed=config.seed)
+    baseline_result = baseline.run(circuit, config.shots)
+
+    engine = TQSimEngine(
+        noise_model,
+        seed=config.seed + 1,
+        copy_cost_in_gates=config.copy_cost_in_gates,
+    )
+    if partitioner is None:
+        partitioner = config.dcp_partitioner()
+    tqsim_result = engine.run(circuit, config.shots, partitioner=partitioner)
+
+    baseline_nf = normalized_fidelity(ideal, baseline_result.probabilities())
+    tqsim_nf = normalized_fidelity(ideal, tqsim_result.probabilities())
+    return ComparisonRow(
+        name=circuit.name or "circuit",
+        num_qubits=circuit.num_qubits,
+        num_gates=circuit.num_gates,
+        shots=config.shots,
+        baseline=baseline_result,
+        tqsim=tqsim_result,
+        baseline_normalized_fidelity=baseline_nf,
+        tqsim_normalized_fidelity=tqsim_nf,
+        cost_speedup=tqsim_result.speedup_over(
+            baseline_result, config.copy_cost_in_gates
+        ),
+        wall_clock_speedup=tqsim_result.speedup_over(
+            baseline_result, use_wall_time=True
+        ),
+        tree=tqsim_result.metadata.get("tree", "(?)"),
+    )

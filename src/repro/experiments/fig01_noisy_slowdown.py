@@ -1,0 +1,69 @@
+"""Figure 1: how much slower noisy simulation is than ideal simulation.
+
+Paper result: the noisy 15-qubit QFT is 170x–335x slower than the ideal one
+on a dual Xeon 6130 node (depolarizing noise, 0.1% / 1.5% error rates).  The
+slowdown is fundamentally the shot count: an ideal multi-shot simulation runs
+the circuit once and samples, a noisy one re-simulates every shot.  Here the
+measurement uses a reduced width/shot count and reports the measured ratio
+next to the analytic extrapolation at paper scale.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.analysis.speedup import noisy_over_ideal_slowdown
+from repro.circuits.library.qft import qft_circuit
+from repro.core.baseline import BaselineNoisySimulator
+from repro.experiments.common import DEFAULT_CONFIG, ExperimentConfig
+from repro.noise.sycamore import depolarizing_noise_model
+from repro.statevector.simulator import StatevectorSimulator
+
+__all__ = ["SlowdownResult", "run", "PAPER_SLOWDOWN_RANGE"]
+
+PAPER_SLOWDOWN_RANGE = (170.0, 335.0)
+PAPER_QUBITS = 15
+
+
+@dataclass(frozen=True)
+class SlowdownResult:
+    """Measured ideal vs noisy simulation times for one QFT circuit."""
+
+    num_qubits: int
+    shots: int
+    ideal_seconds: float
+    noisy_seconds: float
+    measured_slowdown: float
+    modeled_paper_scale_slowdown: float
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG) -> SlowdownResult:
+    """Measure the noisy-over-ideal slowdown for a QFT circuit."""
+    num_qubits = min(config.max_qubits, PAPER_QUBITS)
+    circuit = qft_circuit(num_qubits)
+    noise_model = depolarizing_noise_model()
+
+    ideal = StatevectorSimulator(seed=config.seed)
+    start = time.perf_counter()
+    ideal.sample(circuit, config.shots)
+    ideal_seconds = time.perf_counter() - start
+
+    noisy = BaselineNoisySimulator(noise_model, seed=config.seed)
+    start = time.perf_counter()
+    noisy.run(circuit, config.shots)
+    noisy_seconds = time.perf_counter() - start
+
+    modeled = noisy_over_ideal_slowdown(
+        shots=config.shots,
+        noise_events_per_gate=noise_model.expected_noise_events(circuit)
+        / max(circuit.num_gates, 1),
+    )
+    return SlowdownResult(
+        num_qubits=num_qubits,
+        shots=config.shots,
+        ideal_seconds=ideal_seconds,
+        noisy_seconds=noisy_seconds,
+        measured_slowdown=noisy_seconds / ideal_seconds if ideal_seconds > 0 else 0.0,
+        modeled_paper_scale_slowdown=modeled,
+    )

@@ -1,0 +1,47 @@
+"""Figure 4: statevector vs density-matrix memory scaling.
+
+Paper result: a 16 GB laptop fits statevectors beyond 30 qubits while even El
+Capitan cannot hold a density matrix of 25 qubits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.memory import (
+    EL_CAPITAN_MEMORY_BYTES,
+    LAPTOP_MEMORY_BYTES,
+    MemoryScalingPoint,
+    max_density_matrix_qubits,
+    max_statevector_qubits,
+    memory_scaling_table,
+)
+from repro.experiments.common import DEFAULT_CONFIG, ExperimentConfig
+
+__all__ = ["MemoryScalingResult", "run"]
+
+PAPER_LAPTOP_STATEVECTOR_QUBITS = 30
+PAPER_EL_CAPITAN_DENSITY_QUBITS = 25
+
+
+@dataclass(frozen=True)
+class MemoryScalingResult:
+    """The Figure-4 curves plus the capacity crossover points."""
+
+    table: list[MemoryScalingPoint]
+    laptop_statevector_qubits: int
+    laptop_density_qubits: int
+    el_capitan_statevector_qubits: int
+    el_capitan_density_qubits: int
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG) -> MemoryScalingResult:
+    """Build the memory-scaling table and capacity limits."""
+    del config  # purely analytic
+    return MemoryScalingResult(
+        table=memory_scaling_table(10, 40),
+        laptop_statevector_qubits=max_statevector_qubits(LAPTOP_MEMORY_BYTES),
+        laptop_density_qubits=max_density_matrix_qubits(LAPTOP_MEMORY_BYTES),
+        el_capitan_statevector_qubits=max_statevector_qubits(EL_CAPITAN_MEMORY_BYTES),
+        el_capitan_density_qubits=max_density_matrix_qubits(EL_CAPITAN_MEMORY_BYTES),
+    )

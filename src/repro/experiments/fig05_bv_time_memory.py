@@ -1,0 +1,88 @@
+"""Figure 5: noisy BV simulation time and memory vs width.
+
+Paper result: both grow exponentially with width, but simulation *time*
+reaches hundreds of hours long before memory approaches the 192 GB node
+limit, establishing time (not memory) as the bottleneck of noisy simulation.
+Here small widths are measured directly and an exponential fit extrapolates
+to the paper's 10–28-qubit range.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.memory import XEON_NODE_MEMORY_BYTES, baseline_simulation_bytes
+from repro.circuits.library.bv import bv_circuit
+from repro.core.baseline import BaselineNoisySimulator
+from repro.experiments.common import DEFAULT_CONFIG, ExperimentConfig
+from repro.noise.sycamore import depolarizing_noise_model
+
+__all__ = ["BVScalingPoint", "BVScalingResult", "run"]
+
+PAPER_SHOTS = 8192
+PAPER_WIDTH_RANGE = (10, 28)
+
+
+@dataclass(frozen=True)
+class BVScalingPoint:
+    """One width of the BV scaling sweep."""
+
+    num_qubits: int
+    measured_seconds: float | None
+    extrapolated_seconds: float
+    memory_bytes: float
+    memory_fraction_of_node: float
+
+
+@dataclass(frozen=True)
+class BVScalingResult:
+    """Measured + extrapolated scaling of noisy BV simulation."""
+
+    points: list[BVScalingPoint]
+    shots: int
+    growth_factor_per_qubit: float
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG) -> BVScalingResult:
+    """Measure small widths, fit exponential growth, extrapolate to 28 qubits."""
+    noise_model = depolarizing_noise_model()
+    # BV circuits are short, so even 14-qubit trajectories are cheap; going a
+    # little past the width budget puts the fit into the regime where the
+    # statevector size (rather than Python overhead) dominates the per-gate
+    # cost, which is what makes the growth exponential.
+    top_width = max(config.max_qubits, 13) + 1
+    measured_widths = [w for w in range(4, top_width, 2)]
+    measured: dict[int, float] = {}
+    shots = max(config.shots // 8, 16)
+    for width in measured_widths:
+        circuit = bv_circuit(width)
+        simulator = BaselineNoisySimulator(noise_model, seed=config.seed)
+        start = time.perf_counter()
+        simulator.run(circuit, shots)
+        measured[width] = time.perf_counter() - start
+
+    widths = np.array(sorted(measured))
+    times = np.array([measured[w] for w in widths])
+    # Fit log(t) = a*n + b; the statevector cost doubles per qubit, so the
+    # fitted growth factor should be close to 2.
+    slope, intercept = np.polyfit(widths, np.log(times), 1)
+    growth = float(np.exp(slope))
+
+    points = []
+    for width in range(4, PAPER_WIDTH_RANGE[1] + 1, 2):
+        extrapolated = float(np.exp(slope * width + intercept))
+        memory = baseline_simulation_bytes(width)
+        points.append(
+            BVScalingPoint(
+                num_qubits=width,
+                measured_seconds=measured.get(width),
+                extrapolated_seconds=extrapolated,
+                memory_bytes=memory,
+                memory_fraction_of_node=memory / XEON_NODE_MEMORY_BYTES,
+            )
+        )
+    return BVScalingResult(points=points, shots=shots,
+                           growth_factor_per_qubit=growth)

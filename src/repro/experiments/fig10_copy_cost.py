@@ -1,0 +1,48 @@
+"""Figure 10: state-copy cost normalised to one gate execution.
+
+Paper result: copying a statevector costs ~10 gate executions on a desktop
+GPU, ~40–45 on the Xeon server CPUs, and the least on the HBM2-equipped V100;
+the value is roughly width-independent, so an averaged copy cost is used by
+the partitioner.  The local NumPy substrate is measured directly and shown
+next to the modeled values of the paper's six systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.backends import DEVICE_PROFILES
+from repro.core.copycost import (
+    CopyCostProfile,
+    MODELED_SYSTEM_COPY_COSTS,
+    measure_copy_cost,
+)
+from repro.experiments.common import DEFAULT_CONFIG, ExperimentConfig
+
+__all__ = ["CopyCostResult", "run"]
+
+
+@dataclass(frozen=True)
+class CopyCostResult:
+    """Measured local copy cost plus modeled values for the paper's systems."""
+
+    local_profile: CopyCostProfile
+    local_average: float
+    paper_systems: dict[str, float]
+    modeled_profiles: dict[str, float]
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG) -> CopyCostResult:
+    """Profile the local machine and tabulate the modeled systems."""
+    widths = tuple(w for w in (8, 10, 12, config.max_qubits) if w >= 6)
+    profile = measure_copy_cost(widths=sorted(set(widths)))
+    modeled = {
+        name: profile_obj.copy_cost_in_gates(20)
+        for name, profile_obj in DEVICE_PROFILES.items()
+    }
+    return CopyCostResult(
+        local_profile=profile,
+        local_average=profile.average,
+        paper_systems=dict(MODELED_SYSTEM_COPY_COSTS),
+        modeled_profiles=modeled,
+    )

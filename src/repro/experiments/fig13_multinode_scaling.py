@@ -1,0 +1,57 @@
+"""Figure 13: strong and weak scaling on the (modeled) CPU cluster.
+
+Paper result: small circuits scale poorly (communication dominated), larger
+circuits scale better, TQSim's scaling tracks the qHiPSTER baseline, and
+TQSim beats the baseline at every node count in the weak-scaling sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.library.bv import bv_circuit
+from repro.circuits.library.qft import qft_circuit
+from repro.distributed.scaling import ScalingPoint, strong_scaling, weak_scaling
+from repro.experiments.common import DEFAULT_CONFIG, ExperimentConfig
+from repro.noise.sycamore import depolarizing_noise_model
+
+__all__ = ["MultiNodeResult", "run"]
+
+PAPER_NODE_COUNTS = (1, 2, 4, 8, 16, 32)
+
+
+@dataclass(frozen=True)
+class MultiNodeResult:
+    """Strong- and weak-scaling points for the BV and QFT families."""
+
+    strong: dict[str, list[ScalingPoint]]
+    weak: dict[str, list[ScalingPoint]]
+
+    def strong_scaling_speedups(self, name: str) -> list[float]:
+        """Speedup vs the single-node time for one strong-scaling series."""
+        series = self.strong[name]
+        single_node = series[0].tqsim_seconds
+        return [point.parallel_speedup(single_node) for point in series]
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG) -> MultiNodeResult:
+    """Model strong and weak scaling for BV and QFT circuits."""
+    noise_model = depolarizing_noise_model()
+    shots = max(config.shots, 1024)
+    strong_widths = config.extra.get("strong_widths", (16, 20, 24))
+    weak_widths = config.extra.get("weak_widths", (20, 21, 22, 23, 24, 25))
+
+    strong: dict[str, list[ScalingPoint]] = {}
+    for width in strong_widths:
+        for family, builder in (("bv", bv_circuit), ("qft", qft_circuit)):
+            circuit = builder(width)
+            strong[f"{family}_{width}"] = strong_scaling(
+                circuit, shots, PAPER_NODE_COUNTS, noise_model
+            )
+
+    weak: dict[str, list[ScalingPoint]] = {}
+    node_counts = [2**i for i in range(len(weak_widths))]
+    for family, builder in (("bv", bv_circuit), ("qft", qft_circuit)):
+        circuits = [builder(width) for width in weak_widths]
+        weak[family] = weak_scaling(circuits, shots, node_counts, noise_model)
+    return MultiNodeResult(strong=strong, weak=weak)

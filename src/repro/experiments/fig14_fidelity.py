@@ -1,0 +1,46 @@
+"""Figure 14: normalized-fidelity difference between baseline and TQSim.
+
+Paper result: across the 48-circuit suite the average difference is 0.006 and
+the maximum 0.016.  The sweep is shared with Figure 11
+(:mod:`repro.experiments.fig11_speedups`); this module re-exposes it with the
+fidelity-centric summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments import fig11_speedups
+
+__all__ = ["FidelityResult", "run", "PAPER_AVERAGE_DIFFERENCE", "PAPER_MAX_DIFFERENCE"]
+
+PAPER_AVERAGE_DIFFERENCE = 0.006
+PAPER_MAX_DIFFERENCE = 0.016
+
+
+@dataclass
+class FidelityResult:
+    """Per-circuit fidelity differences plus the headline statistics."""
+
+    sweep: fig11_speedups.SuiteSweepResult
+
+    @property
+    def differences(self) -> dict[str, float]:
+        """Normalized-fidelity difference keyed by circuit name."""
+        return {row.name: row.fidelity_difference for row in self.sweep.rows}
+
+    @property
+    def average_difference(self) -> float:
+        """Mean difference across the suite."""
+        return self.sweep.average_fidelity_difference
+
+    @property
+    def max_difference(self) -> float:
+        """Worst-case difference across the suite."""
+        return self.sweep.max_fidelity_difference
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG) -> FidelityResult:
+    """Run the suite sweep and return the fidelity-difference view of it."""
+    return FidelityResult(sweep=fig11_speedups.run(config))

@@ -1,0 +1,80 @@
+"""Figure 19: redundancy elimination vs TQSim normalized computation.
+
+Paper result: the inter-shot redundancy-elimination method (Li et al.) beats
+TQSim for circuits shorter than ~150 gates but loses badly beyond that, since
+the probability of two shots sharing an identical error-operator prefix decays
+with the gate count while TQSim's structural reuse does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.library.suite import benchmark_suite
+from repro.experiments.common import DEFAULT_CONFIG, ExperimentConfig
+from repro.noise.sycamore import depolarizing_noise_model
+from repro.redunelim.simulator import (
+    analyze_redundancy_elimination,
+    tqsim_normalized_computation,
+)
+
+__all__ = ["RedundancyRow", "RedundancyComparisonResult", "run"]
+
+PAPER_CROSSOVER_GATES = 150
+
+
+@dataclass(frozen=True)
+class RedundancyRow:
+    """Normalized computation of both methods for one circuit."""
+
+    name: str
+    num_qubits: int
+    num_gates: int
+    redun_elim_normalized: float
+    tqsim_normalized: float
+
+    @property
+    def tqsim_wins(self) -> bool:
+        """True when TQSim needs less computation than redundancy elimination."""
+        return self.tqsim_normalized < self.redun_elim_normalized
+
+
+@dataclass(frozen=True)
+class RedundancyComparisonResult:
+    """Rows ordered by gate count (the Figure-19 x-axis)."""
+
+    rows: list[RedundancyRow]
+    shots: int
+
+    def crossover_gate_count(self) -> int | None:
+        """Smallest gate count at which TQSim wins, if any."""
+        winners = [row.num_gates for row in self.rows if row.tqsim_wins]
+        return min(winners) if winners else None
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG) -> RedundancyComparisonResult:
+    """Compare both methods' normalized computation across the suite."""
+    noise_model = depolarizing_noise_model()
+    shots = max(64, config.shots // 2)
+    rows: list[RedundancyRow] = []
+    for spec, circuit in benchmark_suite(max_qubits=config.max_qubits,
+                                         seed=config.seed):
+        analysis = analyze_redundancy_elimination(
+            circuit, noise_model, shots, seed=config.seed
+        )
+        tqsim_norm = tqsim_normalized_computation(
+            circuit, noise_model, shots,
+            copy_cost_in_gates=config.copy_cost_in_gates,
+            margin_of_error=config.effective_margin_of_error,
+        )
+        rows.append(
+            RedundancyRow(
+                name=spec.name,
+                num_qubits=circuit.num_qubits,
+                num_gates=circuit.num_gates,
+                redun_elim_normalized=analysis.normalized_computation,
+                tqsim_normalized=tqsim_norm,
+            )
+        )
+    rows.sort(key=lambda row: row.num_gates)
+    return RedundancyComparisonResult(rows=rows, shots=shots)

@@ -1,0 +1,147 @@
+"""Registry mapping paper table/figure ids to experiment runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments import (
+    fig01_noisy_slowdown,
+    fig04_memory_scaling,
+    fig05_bv_time_memory,
+    fig08_parallel_shots,
+    fig09_memory_reuse,
+    fig10_copy_cost,
+    fig11_speedups,
+    fig12_gpu_backend,
+    fig13_multinode_scaling,
+    fig14_fidelity,
+    fig15_density_reference,
+    fig16_noise_models,
+    fig17_tradeoff,
+    fig18_qaoa_landscape,
+    fig19_redundancy,
+    table2_benchmarks,
+    table3_medium_circuits,
+)
+from repro.experiments.common import DEFAULT_CONFIG, ExperimentConfig
+
+__all__ = ["Experiment", "EXPERIMENTS", "get_experiment", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible paper artefact (a figure or a table)."""
+
+    identifier: str
+    title: str
+    paper_claim: str
+    runner: Callable[[ExperimentConfig], object]
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    exp.identifier: exp
+    for exp in (
+        Experiment(
+            "fig1", "Noisy-over-ideal slowdown",
+            "Noisy 15-qubit QFT is 170x-335x slower than ideal simulation",
+            fig01_noisy_slowdown.run,
+        ),
+        Experiment(
+            "fig4", "Statevector vs density-matrix memory",
+            "Density matrices exceed El Capitan below 25 qubits; statevectors fit a laptop past 30",
+            fig04_memory_scaling.run,
+        ),
+        Experiment(
+            "fig5", "Noisy BV time/memory scaling",
+            "Simulation time, not memory, is the noisy-simulation bottleneck",
+            fig05_bv_time_memory.run,
+        ),
+        Experiment(
+            "fig8", "Parallel-shot saturation",
+            "Parallel shots help up to ~3x at 20-21 qubits and not at all beyond 24",
+            fig08_parallel_shots.run,
+        ),
+        Experiment(
+            "fig9", "Memory reuse on wide BV circuits",
+            "TQSim's extra stored states stay far below the memory limit and buy ~1.5x",
+            fig09_memory_reuse.run,
+        ),
+        Experiment(
+            "fig10", "State-copy cost profiling",
+            "Copying a state costs ~5-45 gate executions depending on the system",
+            fig10_copy_cost.run,
+        ),
+        Experiment(
+            "fig11", "Speedup across the 48-circuit suite",
+            "TQSim is 1.59x-3.89x faster than the noisy baseline (average 2.51x)",
+            fig11_speedups.run,
+        ),
+        Experiment(
+            "fig12", "GPU-backend speedup",
+            "TQSim keeps a 2.3x average speedup on a CuStateVec-class backend",
+            fig12_gpu_backend.run,
+        ),
+        Experiment(
+            "fig13", "Multi-node strong/weak scaling",
+            "TQSim's scaling tracks the baseline and it wins at every node count",
+            fig13_multinode_scaling.run,
+        ),
+        Experiment(
+            "fig14", "Normalized-fidelity difference",
+            "Average 0.006 / maximum 0.016 fidelity difference vs the baseline",
+            fig14_fidelity.run,
+        ),
+        Experiment(
+            "fig15", "Density-matrix reference fidelity",
+            "Average 0.007 / maximum 0.015 difference vs the exact mixed state",
+            fig15_density_reference.run,
+        ),
+        Experiment(
+            "fig16", "Nine noise models on QPE",
+            "TQSim matches the baseline under all nine noise models",
+            fig16_noise_models.run,
+        ),
+        Experiment(
+            "fig17", "Accuracy-speedup trade-off",
+            "DCP keeps accuracy; aggressive trees trade accuracy for speed",
+            fig17_tradeoff.run,
+        ),
+        Experiment(
+            "fig18", "QAOA cost landscapes",
+            "1.6x-3.7x faster landscapes with MSE ~0.001-0.002",
+            fig18_qaoa_landscape.run,
+        ),
+        Experiment(
+            "fig19", "Redundancy elimination comparison",
+            "Redundancy elimination wins below ~150 gates, TQSim above",
+            fig19_redundancy.run,
+        ),
+        Experiment(
+            "table2", "Benchmark characteristics",
+            "8 classes, 48 circuits, 4-25 qubits, 16-1477 gates",
+            table2_benchmarks.run,
+        ),
+        Experiment(
+            "table3", "Medium-circuit simulation times",
+            "QV_18/QV_20/QFT_20 run 1.98x-2.89x faster under TQSim",
+            table3_medium_circuits.run,
+        ),
+    )
+}
+
+
+def get_experiment(identifier: str) -> Experiment:
+    """Look an experiment up by its id (e.g. ``"fig11"``)."""
+    key = identifier.lower()
+    if key not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {identifier!r}; known ids: {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[key]
+
+
+def run_experiment(identifier: str,
+                   config: ExperimentConfig = DEFAULT_CONFIG) -> object:
+    """Run one experiment by id and return its result object."""
+    return get_experiment(identifier).runner(config)

@@ -1,0 +1,55 @@
+"""Table 2: benchmark characteristics (width and gate-count ranges per class)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.library.suite import benchmark_suite, paper_table2_rows
+from repro.experiments.common import DEFAULT_CONFIG, ExperimentConfig
+
+__all__ = ["Table2Row", "Table2Result", "run"]
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """Paper vs generated characteristics for one benchmark class."""
+
+    benchmark_class: str
+    description: str
+    paper_width_range: tuple[int, int]
+    paper_gate_range: tuple[int, int]
+    generated_width_range: tuple[int, int]
+    generated_gate_range: tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """The full Table-2 comparison."""
+
+    rows: list[Table2Row]
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG) -> Table2Result:
+    """Generate the whole suite and compare its characteristics with Table 2."""
+    del config  # the full suite is generated regardless of the width budget
+    generated: dict[str, list[tuple[int, int]]] = {}
+    for spec, circuit in benchmark_suite(max_qubits=None):
+        generated.setdefault(spec.benchmark_class, []).append(
+            (circuit.num_qubits, circuit.num_gates)
+        )
+    rows = []
+    for paper_row in paper_table2_rows():
+        cls = paper_row["class"]
+        widths = [w for w, _ in generated[cls]]
+        gates = [g for _, g in generated[cls]]
+        rows.append(
+            Table2Row(
+                benchmark_class=cls,
+                description=paper_row["description"],
+                paper_width_range=paper_row["paper_width_range"],
+                paper_gate_range=paper_row["paper_gate_range"],
+                generated_width_range=(min(widths), max(widths)),
+                generated_gate_range=(min(gates), max(gates)),
+            )
+        )
+    return Table2Result(rows=rows)

@@ -1,0 +1,84 @@
+"""Table 3: absolute simulation times for medium-scale circuits.
+
+Paper result (dual Xeon 6130, 32 000 shots):
+
+=========  ==============  ===========  =======
+Benchmark  Baseline (s)    TQSim (s)    Speedup
+=========  ==============  ===========  =======
+QV_18      708.7           295.1        2.41x
+QV_20      2123.5          1070.5       1.98x
+QFT_20     2783.8          963.8        2.89x
+=========  ==============  ===========  =======
+
+The reproduction measures the same circuit families at a reduced width/shot
+count (the NumPy substrate is orders of magnitude slower per gate than the
+paper's C++/Qulacs backend) and reports measured times plus the speedup, which
+is the quantity that should transfer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.library.qft import qft_circuit
+from repro.circuits.library.qv import qv_circuit
+from repro.experiments.common import DEFAULT_CONFIG, ExperimentConfig, compare_simulators
+from repro.noise.sycamore import depolarizing_noise_model
+
+__all__ = ["MediumCircuitRow", "Table3Result", "run", "PAPER_ROWS"]
+
+PAPER_ROWS = {
+    "qv_18": {"baseline_seconds": 708.7, "tqsim_seconds": 295.1, "speedup": 2.41},
+    "qv_20": {"baseline_seconds": 2123.5, "tqsim_seconds": 1070.5, "speedup": 1.98},
+    "qft_20": {"baseline_seconds": 2783.8, "tqsim_seconds": 963.8, "speedup": 2.89},
+}
+
+
+@dataclass(frozen=True)
+class MediumCircuitRow:
+    """Measured times for one medium-scale circuit."""
+
+    name: str
+    paper_name: str
+    num_qubits: int
+    num_gates: int
+    baseline_seconds: float
+    tqsim_seconds: float
+    wall_clock_speedup: float
+    cost_speedup: float
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    """Measured rows next to the paper's reported values."""
+
+    rows: list[MediumCircuitRow]
+    paper_rows: dict
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG) -> Table3Result:
+    """Measure the QV/QFT medium-circuit rows at the configured scale."""
+    noise_model = depolarizing_noise_model()
+    qv_width = min(config.max_qubits, 10)
+    qft_width = min(config.max_qubits, 10)
+    targets = [
+        ("qv_18", qv_circuit(qv_width, seed=config.seed)),
+        ("qv_20", qv_circuit(qv_width, depth=qv_width + 2, seed=config.seed + 1)),
+        ("qft_20", qft_circuit(qft_width)),
+    ]
+    rows = []
+    for paper_name, circuit in targets:
+        comparison = compare_simulators(circuit, noise_model, config)
+        rows.append(
+            MediumCircuitRow(
+                name=circuit.name or paper_name,
+                paper_name=paper_name,
+                num_qubits=comparison.num_qubits,
+                num_gates=comparison.num_gates,
+                baseline_seconds=comparison.baseline.cost.wall_time_seconds,
+                tqsim_seconds=comparison.tqsim.cost.wall_time_seconds,
+                wall_clock_speedup=comparison.wall_clock_speedup,
+                cost_speedup=comparison.cost_speedup,
+            )
+        )
+    return Table3Result(rows=rows, paper_rows=PAPER_ROWS)

@@ -1,0 +1,35 @@
+"""Fidelity figures of merit and statistics helpers."""
+
+from repro.metrics.fidelity import (
+    distribution_mse,
+    hellinger_distance,
+    normalized_fidelity,
+    normalized_fidelity_from_counts,
+    pure_state_fidelity,
+    state_fidelity,
+    total_variation_distance,
+    uniform_distribution,
+)
+from repro.metrics.statistics import (
+    SummaryStatistics,
+    bootstrap_mean_interval,
+    confidence_interval_95,
+    geometric_mean,
+    summarize,
+)
+
+__all__ = [
+    "state_fidelity",
+    "normalized_fidelity",
+    "normalized_fidelity_from_counts",
+    "uniform_distribution",
+    "hellinger_distance",
+    "total_variation_distance",
+    "distribution_mse",
+    "pure_state_fidelity",
+    "SummaryStatistics",
+    "summarize",
+    "geometric_mean",
+    "confidence_interval_95",
+    "bootstrap_mean_interval",
+]

@@ -1,0 +1,114 @@
+"""Figure-of-merit metrics (paper Section 4.1).
+
+The paper evaluates accuracy with the *normalized fidelity* of Lubinski et
+al., which rescales the classical (Bhattacharyya-style) state fidelity so
+that a uniformly random output scores 0 and the ideal output scores 1.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+__all__ = [
+    "state_fidelity",
+    "uniform_distribution",
+    "normalized_fidelity",
+    "normalized_fidelity_from_counts",
+    "hellinger_distance",
+    "total_variation_distance",
+    "distribution_mse",
+    "pure_state_fidelity",
+]
+
+
+def _as_distribution(values, size: int | None = None) -> np.ndarray:
+    array = np.asarray(values, dtype=float)
+    if array.ndim != 1:
+        raise ValueError("a distribution must be one-dimensional")
+    if np.any(array < -1e-12):
+        raise ValueError("probabilities must be non-negative")
+    array = np.clip(array, 0.0, None)
+    total = array.sum()
+    if total <= 0:
+        raise ValueError("distribution sums to zero")
+    if size is not None and array.shape[0] != size:
+        raise ValueError(f"expected a distribution of length {size}")
+    return array / total
+
+
+def state_fidelity(p_ideal, p_output) -> float:
+    """Paper Eq. 8: ``( sum_x sqrt(P_ideal(x) * P_output(x)) )^2``."""
+    ideal = _as_distribution(p_ideal)
+    output = _as_distribution(p_output, size=ideal.shape[0])
+    return float(np.sum(np.sqrt(ideal * output)) ** 2)
+
+
+def uniform_distribution(num_outcomes: int) -> np.ndarray:
+    """The uniform distribution over ``num_outcomes`` outcomes."""
+    if num_outcomes < 1:
+        raise ValueError("num_outcomes must be >= 1")
+    return np.full(num_outcomes, 1.0 / num_outcomes)
+
+
+def normalized_fidelity(p_ideal, p_output) -> float:
+    """Paper Eq. 9: state fidelity rescaled against the uniform distribution.
+
+    Returns 1 when the output matches the ideal distribution and 0 when it is
+    uniformly random; values below 0 indicate an output *worse* than random.
+    """
+    ideal = _as_distribution(p_ideal)
+    output = _as_distribution(p_output, size=ideal.shape[0])
+    uniform = uniform_distribution(ideal.shape[0])
+    raw = state_fidelity(ideal, output)
+    floor = state_fidelity(ideal, uniform)
+    if floor >= 1.0 - 1e-15:
+        # The ideal distribution *is* uniform; fall back to raw fidelity.
+        return raw
+    return float((raw - floor) / (1.0 - floor))
+
+
+def normalized_fidelity_from_counts(
+    p_ideal, counts: Mapping[str, int], num_qubits: int
+) -> float:
+    """Normalized fidelity computed from sampled bitstring counts."""
+    from repro.statevector.sampling import counts_to_probability_vector
+
+    output = counts_to_probability_vector(counts, num_qubits)
+    return normalized_fidelity(p_ideal, output)
+
+
+def hellinger_distance(p, q) -> float:
+    """Hellinger distance between two distributions (in [0, 1])."""
+    p = _as_distribution(p)
+    q = _as_distribution(q, size=p.shape[0])
+    return float(np.sqrt(max(0.0, 1.0 - np.sum(np.sqrt(p * q)))))
+
+
+def total_variation_distance(p, q) -> float:
+    """Total variation distance between two distributions (in [0, 1])."""
+    p = _as_distribution(p)
+    q = _as_distribution(q, size=p.shape[0])
+    return float(0.5 * np.sum(np.abs(p - q)))
+
+
+def distribution_mse(p, q) -> float:
+    """Mean squared error between two vectors (used by the QAOA landscapes)."""
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    if p.shape != q.shape:
+        raise ValueError("arrays must have the same shape")
+    return float(np.mean((p - q) ** 2))
+
+
+def pure_state_fidelity(state_a, state_b) -> float:
+    """Quantum fidelity |<a|b>|^2 between two pure statevectors."""
+    a = np.asarray(state_a, dtype=complex)
+    b = np.asarray(state_b, dtype=complex)
+    if a.shape != b.shape:
+        raise ValueError("statevectors must have the same length")
+    na, nb = np.linalg.norm(a), np.linalg.norm(b)
+    if na == 0 or nb == 0:
+        raise ValueError("statevectors must be non-zero")
+    return float(np.abs(np.vdot(a, b)) ** 2 / (na**2 * nb**2))

@@ -1,0 +1,84 @@
+"""Small statistics helpers used by the experiments and benchmarks."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "SummaryStatistics",
+    "summarize",
+    "geometric_mean",
+    "confidence_interval_95",
+    "bootstrap_mean_interval",
+]
+
+
+@dataclass(frozen=True)
+class SummaryStatistics:
+    """Mean / standard deviation / min / max of a sample."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+
+    @property
+    def standard_error(self) -> float:
+        """Standard error of the mean."""
+        return self.std / math.sqrt(self.count) if self.count else 0.0
+
+
+def summarize(values: Sequence[float]) -> SummaryStatistics:
+    """Compute summary statistics of a non-empty sample."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot summarise an empty sample")
+    return SummaryStatistics(
+        mean=float(array.mean()),
+        std=float(array.std(ddof=1)) if array.size > 1 else 0.0,
+        minimum=float(array.min()),
+        maximum=float(array.max()),
+        count=int(array.size),
+    )
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (the conventional way to average speedups)."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot average an empty sample")
+    if np.any(array <= 0):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(array))))
+
+
+def confidence_interval_95(values: Sequence[float]) -> tuple[float, float]:
+    """Normal-approximation 95% confidence interval of the mean."""
+    stats = summarize(values)
+    half_width = 1.96 * stats.standard_error
+    return stats.mean - half_width, stats.mean + half_width
+
+
+def bootstrap_mean_interval(
+    values: Sequence[float],
+    num_resamples: int = 1000,
+    confidence: float = 0.95,
+    rng: np.random.Generator | None = None,
+) -> tuple[float, float]:
+    """Bootstrap confidence interval of the mean (plug-in principle)."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    resample_means = np.array([
+        rng.choice(array, size=array.size, replace=True).mean()
+        for _ in range(num_resamples)
+    ])
+    lower = float(np.quantile(resample_means, (1.0 - confidence) / 2.0))
+    upper = float(np.quantile(resample_means, 1.0 - (1.0 - confidence) / 2.0))
+    return lower, upper

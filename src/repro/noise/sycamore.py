@@ -1,0 +1,181 @@
+"""Noise-model presets derived from the error rates the paper quotes.
+
+The paper's evaluation (Sections 1 and 4.3) uses error rates characterised on
+Google's Sycamore processor: 0.1% for single-qubit gates, 1.5% for two-qubit
+gates, and, for the channels without published device parameters, conservative
+damping ratios of 0.01.  Thermal-relaxation parameters follow the published
+Sycamore averages (T1 ≈ 15 µs, T2 ≈ 20 µs; 25 ns single-qubit and 35 ns
+two-qubit gate durations).
+"""
+
+from __future__ import annotations
+
+from repro.noise.channels import (
+    AmplitudeDampingChannel,
+    DepolarizingChannel,
+    PhaseDampingChannel,
+    ReadoutError,
+    ThermalRelaxationChannel,
+)
+from repro.noise.model import NoiseModel
+
+__all__ = [
+    "SYCAMORE_SINGLE_QUBIT_ERROR",
+    "SYCAMORE_TWO_QUBIT_ERROR",
+    "SYCAMORE_READOUT_ERROR",
+    "SYCAMORE_T1_US",
+    "SYCAMORE_T2_US",
+    "SYCAMORE_GATE_TIME_1Q_US",
+    "SYCAMORE_GATE_TIME_2Q_US",
+    "sycamore_noise_model",
+    "depolarizing_noise_model",
+    "thermal_relaxation_noise_model",
+    "amplitude_damping_noise_model",
+    "phase_damping_noise_model",
+    "combined_noise_model",
+    "noise_model_by_code",
+    "NOISE_MODEL_CODES",
+]
+
+SYCAMORE_SINGLE_QUBIT_ERROR = 0.001
+SYCAMORE_TWO_QUBIT_ERROR = 0.015
+SYCAMORE_READOUT_ERROR = 0.038
+SYCAMORE_T1_US = 15.0
+SYCAMORE_T2_US = 20.0
+SYCAMORE_GATE_TIME_1Q_US = 0.025
+SYCAMORE_GATE_TIME_2Q_US = 0.035
+
+#: Conservative damping ratio used by the paper for AD / PD channels.
+DEFAULT_DAMPING_RATIO = 0.01
+
+
+def depolarizing_noise_model(
+    single_qubit_error: float = SYCAMORE_SINGLE_QUBIT_ERROR,
+    two_qubit_error: float = SYCAMORE_TWO_QUBIT_ERROR,
+    readout_error: float | None = None,
+) -> NoiseModel:
+    """Depolarizing-channel noise model (the paper's primary model, "DC")."""
+    readout = ReadoutError(readout_error) if readout_error else None
+    return NoiseModel(
+        single_qubit_channels=[DepolarizingChannel(single_qubit_error, 1)],
+        two_qubit_channels=[DepolarizingChannel(two_qubit_error, 2)],
+        readout_error=readout,
+        name="depolarizing",
+    )
+
+
+def sycamore_noise_model(
+    single_qubit_error: float = SYCAMORE_SINGLE_QUBIT_ERROR,
+    two_qubit_error: float = SYCAMORE_TWO_QUBIT_ERROR,
+    readout_error: float | None = None,
+) -> NoiseModel:
+    """Alias of :func:`depolarizing_noise_model` with Sycamore-derived rates."""
+    model = depolarizing_noise_model(single_qubit_error, two_qubit_error,
+                                     readout_error)
+    model.name = "sycamore_depolarizing"
+    return model
+
+
+def thermal_relaxation_noise_model(
+    t1_us: float = SYCAMORE_T1_US,
+    t2_us: float = SYCAMORE_T2_US,
+    gate_time_1q_us: float = SYCAMORE_GATE_TIME_1Q_US,
+    gate_time_2q_us: float = SYCAMORE_GATE_TIME_2Q_US,
+    readout_error: float | None = None,
+) -> NoiseModel:
+    """Thermal-relaxation noise model ("TR")."""
+    readout = ReadoutError(readout_error) if readout_error else None
+    return NoiseModel(
+        single_qubit_channels=[
+            ThermalRelaxationChannel(t1_us, t2_us, gate_time_1q_us)
+        ],
+        two_qubit_channels=[
+            ThermalRelaxationChannel(t1_us, t2_us, gate_time_2q_us)
+        ],
+        readout_error=readout,
+        name="thermal_relaxation",
+    )
+
+
+def amplitude_damping_noise_model(
+    damping_ratio: float = DEFAULT_DAMPING_RATIO,
+    readout_error: float | None = None,
+) -> NoiseModel:
+    """Amplitude-damping noise model ("AD") with the paper's 0.01 ratio."""
+    readout = ReadoutError(readout_error) if readout_error else None
+    return NoiseModel(
+        single_qubit_channels=[AmplitudeDampingChannel(damping_ratio)],
+        two_qubit_channels=[AmplitudeDampingChannel(damping_ratio)],
+        readout_error=readout,
+        name="amplitude_damping",
+    )
+
+
+def phase_damping_noise_model(
+    damping_ratio: float = DEFAULT_DAMPING_RATIO,
+    readout_error: float | None = None,
+) -> NoiseModel:
+    """Phase-damping noise model ("PD") with the paper's 0.01 ratio."""
+    readout = ReadoutError(readout_error) if readout_error else None
+    return NoiseModel(
+        single_qubit_channels=[PhaseDampingChannel(damping_ratio)],
+        two_qubit_channels=[PhaseDampingChannel(damping_ratio)],
+        readout_error=readout,
+        name="phase_damping",
+    )
+
+
+def combined_noise_model(readout_error: float = SYCAMORE_READOUT_ERROR) -> NoiseModel:
+    """The "ALL" model of Figure 16: every channel class applied together."""
+    return NoiseModel(
+        single_qubit_channels=[
+            DepolarizingChannel(SYCAMORE_SINGLE_QUBIT_ERROR, 1),
+            ThermalRelaxationChannel(
+                SYCAMORE_T1_US, SYCAMORE_T2_US, SYCAMORE_GATE_TIME_1Q_US
+            ),
+            AmplitudeDampingChannel(DEFAULT_DAMPING_RATIO),
+            PhaseDampingChannel(DEFAULT_DAMPING_RATIO),
+        ],
+        two_qubit_channels=[
+            DepolarizingChannel(SYCAMORE_TWO_QUBIT_ERROR, 2),
+            ThermalRelaxationChannel(
+                SYCAMORE_T1_US, SYCAMORE_T2_US, SYCAMORE_GATE_TIME_2Q_US
+            ),
+            AmplitudeDampingChannel(DEFAULT_DAMPING_RATIO),
+            PhaseDampingChannel(DEFAULT_DAMPING_RATIO),
+        ],
+        readout_error=ReadoutError(readout_error),
+        name="all_channels",
+    )
+
+
+#: Figure 16's noise-model codes -> factory.  "R" suffixes add readout error.
+NOISE_MODEL_CODES = (
+    "DC", "DCR", "TR", "TRR", "AD", "ADR", "PD", "PDR", "ALL",
+)
+
+
+def noise_model_by_code(code: str) -> NoiseModel:
+    """Build one of the nine Figure-16 noise models from its code."""
+    code = code.upper()
+    readout = SYCAMORE_READOUT_ERROR
+    if code == "DC":
+        return depolarizing_noise_model()
+    if code == "DCR":
+        return depolarizing_noise_model(readout_error=readout)
+    if code == "TR":
+        return thermal_relaxation_noise_model()
+    if code == "TRR":
+        return thermal_relaxation_noise_model(readout_error=readout)
+    if code == "AD":
+        return amplitude_damping_noise_model()
+    if code == "ADR":
+        return amplitude_damping_noise_model(readout_error=readout)
+    if code == "PD":
+        return phase_damping_noise_model()
+    if code == "PDR":
+        return phase_damping_noise_model(readout_error=readout)
+    if code == "ALL":
+        return combined_noise_model()
+    raise ValueError(f"unknown noise-model code {code!r}; expected one of "
+                     f"{NOISE_MODEL_CODES}")

@@ -1,0 +1,142 @@
+"""Monte-Carlo wave-function (quantum trajectory) noise sampling.
+
+Each noisy *shot* evolves a pure state: after every gate the attached error
+channels are sampled.  Mixed-unitary channels (Pauli / depolarizing) use the
+state-independent fast path; general Kraus channels sample the operator index
+with probability ``||K_i |psi>||^2`` and renormalise — the standard quantum
+trajectories method (Dalibard et al. 1992; Mølmer & Castin 1996) that the
+paper relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.gate import Gate
+from repro.noise.channels import KrausChannel
+from repro.noise.model import NoiseModel
+from repro.statevector.apply import apply_unitary
+
+__all__ = [
+    "sample_channel_on_state",
+    "apply_gate_noise",
+    "NoiseRealization",
+    "sample_noise_realization",
+    "apply_noise_realization_event",
+]
+
+
+def sample_channel_on_state(
+    state: np.ndarray,
+    channel: KrausChannel,
+    qubits: tuple[int, ...],
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, int]:
+    """Sample one Kraus branch of ``channel`` and apply it to ``state``.
+
+    Returns the new statevector and the index of the sampled operator (the
+    mixture index for mixed-unitary channels, the Kraus index otherwise).
+    """
+    if channel.is_mixed_unitary:
+        probabilities, unitaries = channel.mixture()
+        index = int(rng.choice(len(probabilities), p=probabilities))
+        unitary = unitaries[index]
+        if index == 0 and np.allclose(unitary, np.eye(unitary.shape[0])):
+            return state, index
+        return apply_unitary(state, unitary, qubits), index
+
+    # General Kraus channel: branch probabilities depend on the state.
+    branch_states = []
+    branch_probabilities = []
+    for operator in channel.kraus_operators:
+        candidate = apply_unitary(state, operator, qubits)
+        probability = float(np.real(np.vdot(candidate, candidate)))
+        branch_states.append(candidate)
+        branch_probabilities.append(max(probability, 0.0))
+    total = sum(branch_probabilities)
+    if total <= 0:
+        raise ValueError(f"channel {channel.name!r} annihilated the state")
+    probabilities = np.array(branch_probabilities) / total
+    index = int(rng.choice(len(probabilities), p=probabilities))
+    chosen = branch_states[index]
+    norm = np.linalg.norm(chosen)
+    return chosen / norm, index
+
+
+def apply_gate_noise(
+    state: np.ndarray,
+    gate: Gate,
+    noise_model: NoiseModel,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Apply every noise event attached to ``gate`` by the noise model."""
+    for event in noise_model.events_for_gate(gate):
+        state, _ = sample_channel_on_state(state, event.channel, event.qubits, rng)
+    return state
+
+
+class NoiseRealization:
+    """A concrete draw of noise-operator choices for one shot of a circuit.
+
+    The realization records, for every (gate index, event index), which
+    mixture/Kraus branch was selected.  It is what the redundancy-elimination
+    comparator (:mod:`repro.redunelim`) deduplicates across shots, and it lets
+    tests replay a trajectory deterministically.
+    """
+
+    __slots__ = ("choices",)
+
+    def __init__(self, choices: list[list[int]]) -> None:
+        self.choices = choices
+
+    def __len__(self) -> int:
+        return len(self.choices)
+
+    def branch(self, gate_index: int, event_index: int) -> int:
+        """The branch chosen for the given gate/event position."""
+        return self.choices[gate_index][event_index]
+
+    def prefix_key(self, num_gates: int) -> tuple:
+        """Hashable key of the realization restricted to the first gates."""
+        return tuple(tuple(row) for row in self.choices[:num_gates])
+
+    def is_identity(self) -> bool:
+        """True when no non-trivial branch was chosen anywhere."""
+        return all(branch == 0 for row in self.choices for branch in row)
+
+
+def sample_noise_realization(
+    circuit, noise_model: NoiseModel, rng: np.random.Generator
+) -> NoiseRealization:
+    """Pre-sample the mixture branches of every *mixed-unitary* noise event.
+
+    Only valid for noise models whose channels are all mixtures of unitaries
+    (branch probabilities do not depend on the state); general Kraus channels
+    raise, because their branch statistics cannot be drawn ahead of time.
+    """
+    choices: list[list[int]] = []
+    for gate in circuit:
+        row: list[int] = []
+        for event in noise_model.events_for_gate(gate):
+            probabilities, _ = event.channel.mixture()
+            row.append(int(rng.choice(len(probabilities), p=probabilities)))
+        choices.append(row)
+    return NoiseRealization(choices)
+
+
+def apply_noise_realization_event(
+    state: np.ndarray,
+    gate: Gate,
+    noise_model: NoiseModel,
+    realization: NoiseRealization,
+    gate_index: int,
+) -> np.ndarray:
+    """Apply the pre-sampled branches for one gate of a realization."""
+    for event_index, event in enumerate(noise_model.events_for_gate(gate)):
+        branch = realization.branch(gate_index, event_index)
+        _, unitaries = event.channel.mixture()
+        unitary = unitaries[branch]
+        if branch == 0:
+            continue
+        state = apply_unitary(state, unitary, event.qubits)
+    return state

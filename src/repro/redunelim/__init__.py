@@ -1,0 +1,13 @@
+"""Inter-shot redundancy-elimination comparator (Li et al.)."""
+
+from repro.redunelim.simulator import (
+    RedundancyAnalysis,
+    analyze_redundancy_elimination,
+    tqsim_normalized_computation,
+)
+
+__all__ = [
+    "RedundancyAnalysis",
+    "analyze_redundancy_elimination",
+    "tqsim_normalized_computation",
+]

@@ -1,0 +1,112 @@
+"""Inter-shot redundancy elimination (Li et al., DAC 2020) — Figure 19.
+
+The comparator works on the *noise realizations* of a multi-shot simulation:
+two shots whose error-operator choices agree on a prefix of the circuit can
+share the computation of that prefix.  Organising all sampled realizations in
+a prefix tree (trie), the computation actually required is the number of trie
+nodes, while the baseline recomputes every gate of every shot.  The paper's
+point (and Figure 19) is that the approach collapses for long circuits: the
+probability that two shots share a long prefix of identical error choices
+vanishes as the gate count grows, whereas TQSim's reuse is structural and
+independent of the error draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.core.copycost import DEFAULT_COPY_COST_IN_GATES
+from repro.core.partitioners import DynamicCircuitPartitioner
+from repro.noise.model import NoiseModel
+from repro.noise.trajectory import sample_noise_realization
+
+__all__ = ["RedundancyAnalysis", "analyze_redundancy_elimination", "tqsim_normalized_computation"]
+
+
+@dataclass(frozen=True)
+class RedundancyAnalysis:
+    """Result of the redundancy-elimination analysis on one circuit."""
+
+    circuit_name: str
+    num_qubits: int
+    num_gates: int
+    shots: int
+    baseline_gate_applications: int
+    redun_elim_gate_applications: int
+
+    @property
+    def normalized_computation(self) -> float:
+        """Computation of redundancy elimination relative to the baseline."""
+        return self.redun_elim_gate_applications / self.baseline_gate_applications
+
+    @property
+    def eliminated_fraction(self) -> float:
+        """Fraction of the baseline's gate applications eliminated."""
+        return 1.0 - self.normalized_computation
+
+
+def analyze_redundancy_elimination(
+    circuit: Circuit,
+    noise_model: NoiseModel,
+    shots: int,
+    seed: int | None = None,
+) -> RedundancyAnalysis:
+    """Count the computation left after inter-shot redundancy elimination.
+
+    Each shot's noise realization (one branch choice per noise event) is
+    sampled ahead of time — valid because the paper's comparison uses the
+    depolarizing channel, a mixture of unitaries.  Shots are inserted into a
+    prefix trie whose nodes each represent one gate application; the trie's
+    node count is the computation the redundancy-elimination method performs.
+    """
+    if shots < 1:
+        raise ValueError("shots must be >= 1")
+    rng = np.random.default_rng(seed)
+    num_gates = circuit.num_gates
+    trie_nodes = 0
+    # Trie encoded as a set of realized prefixes (hashable tuples).  Every new
+    # prefix corresponds to one gate application that cannot be shared.
+    seen_prefixes: set[tuple] = set()
+    for _ in range(shots):
+        realization = sample_noise_realization(circuit, noise_model, rng)
+        prefix: list[tuple[int, ...]] = []
+        for gate_index in range(num_gates):
+            prefix.append(tuple(realization.choices[gate_index]))
+            key = tuple(prefix)
+            if key not in seen_prefixes:
+                seen_prefixes.add(key)
+                trie_nodes += 1
+    return RedundancyAnalysis(
+        circuit_name=circuit.name or "circuit",
+        num_qubits=circuit.num_qubits,
+        num_gates=num_gates,
+        shots=shots,
+        baseline_gate_applications=shots * num_gates,
+        redun_elim_gate_applications=trie_nodes,
+    )
+
+
+def tqsim_normalized_computation(
+    circuit: Circuit,
+    noise_model: NoiseModel,
+    shots: int,
+    copy_cost_in_gates: float = DEFAULT_COPY_COST_IN_GATES,
+    margin_of_error: float | None = None,
+) -> float:
+    """TQSim's computation (incl. copy overhead) relative to the baseline."""
+    if margin_of_error is None:
+        partitioner = DynamicCircuitPartitioner(copy_cost_in_gates=copy_cost_in_gates)
+    else:
+        partitioner = DynamicCircuitPartitioner(
+            copy_cost_in_gates=copy_cost_in_gates, margin_of_error=margin_of_error
+        )
+    plan = partitioner.plan(circuit, shots, noise_model)
+    tqsim_cost = (
+        plan.tree.computation_cost(plan.subcircuit_lengths)
+        + plan.tree.state_copies * copy_cost_in_gates
+    )
+    baseline_cost = shots * circuit.num_gates
+    return tqsim_cost / baseline_cost

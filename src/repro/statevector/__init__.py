@@ -1,0 +1,33 @@
+"""Ideal statevector simulation substrate."""
+
+from repro.statevector.apply import (
+    apply_gate,
+    apply_kraus_to_density,
+    apply_unitary,
+    apply_unitary_to_density,
+)
+from repro.statevector.sampling import (
+    apply_readout_error_to_counts,
+    bitstring_to_index,
+    counts_to_probability_vector,
+    index_to_bitstring,
+    merge_counts,
+    sample_from_probabilities,
+)
+from repro.statevector.state import Statevector
+from repro.statevector.simulator import StatevectorSimulator
+
+__all__ = [
+    "Statevector",
+    "StatevectorSimulator",
+    "apply_unitary",
+    "apply_gate",
+    "apply_unitary_to_density",
+    "apply_kraus_to_density",
+    "sample_from_probabilities",
+    "counts_to_probability_vector",
+    "merge_counts",
+    "apply_readout_error_to_counts",
+    "index_to_bitstring",
+    "bitstring_to_index",
+]

@@ -1,0 +1,132 @@
+"""Gate-application kernels for statevectors and density matrices.
+
+The statevector of an ``n``-qubit register is stored as a 1-D complex array of
+length ``2**n`` using little-endian ordering: the amplitude at index ``b``
+corresponds to the basis state whose qubit ``q`` holds bit ``(b >> q) & 1``.
+
+Gate matrices use the matching local convention (see
+:mod:`repro.circuits.stdgates`): the first operand qubit is the least
+significant bit of the gate's local index space.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "apply_unitary",
+    "apply_matrix_inplace_view",
+    "apply_gate",
+    "apply_unitary_to_density",
+    "apply_kraus_to_density",
+]
+
+
+def apply_unitary(
+    state: np.ndarray, matrix: np.ndarray, targets: Sequence[int]
+) -> np.ndarray:
+    """Apply a ``k``-qubit unitary to the given target qubits of ``state``.
+
+    Parameters
+    ----------
+    state:
+        Statevector of length ``2**n`` (not modified).
+    matrix:
+        ``2**k x 2**k`` unitary in the local little-endian basis of
+        ``targets`` (``targets[0]`` is the least significant local bit).
+    targets:
+        Distinct qubit indices the gate acts on.
+
+    Returns
+    -------
+    numpy.ndarray
+        The transformed statevector (a new array).
+    """
+    state = np.asarray(state)
+    num_amplitudes = state.shape[0]
+    num_qubits = int(num_amplitudes).bit_length() - 1
+    if 2**num_qubits != num_amplitudes:
+        raise ValueError("statevector length is not a power of two")
+    k = len(targets)
+    if matrix.shape != (2**k, 2**k):
+        raise ValueError(
+            f"matrix shape {matrix.shape} does not match {k} target qubits"
+        )
+    if len(set(targets)) != k:
+        raise ValueError("target qubits must be distinct")
+    for target in targets:
+        if not 0 <= target < num_qubits:
+            raise ValueError(f"target qubit {target} out of range")
+
+    tensor = state.reshape((2,) * num_qubits)
+    matrix_tensor = np.asarray(matrix, dtype=complex).reshape((2,) * (2 * k))
+    # Axis of the state tensor holding qubit q (C-order: axis 0 = qubit n-1).
+    state_axes = [num_qubits - 1 - q for q in targets]
+    # Input axes of the matrix tensor for each operand j: the column index is
+    # laid out with operand k-1 as its most significant bit, i.e. axis k.
+    matrix_in_axes = [k + (k - 1 - j) for j in range(k)]
+    contracted = np.tensordot(matrix_tensor, tensor, axes=(matrix_in_axes, state_axes))
+    # Output axes 0..k-1 of ``contracted`` correspond to operands k-1..0.
+    destinations = [num_qubits - 1 - targets[k - 1 - i] for i in range(k)]
+    result = np.moveaxis(contracted, list(range(k)), destinations)
+    return np.ascontiguousarray(result).reshape(num_amplitudes)
+
+
+def apply_gate(state: np.ndarray, gate) -> np.ndarray:
+    """Apply a :class:`~repro.circuits.gate.Gate` to a statevector."""
+    return apply_unitary(state, gate.to_matrix(), gate.qubits)
+
+
+def apply_matrix_inplace_view(
+    state: np.ndarray, matrix: np.ndarray, targets: Sequence[int]
+) -> np.ndarray:
+    """Like :func:`apply_unitary` but writes the result back into ``state``.
+
+    Returns ``state`` for convenience.  A temporary of the same size is still
+    allocated by the contraction; "in place" refers to the destination buffer.
+    """
+    state[...] = apply_unitary(state, matrix, targets)
+    return state
+
+
+def apply_unitary_to_density(
+    rho: np.ndarray, matrix: np.ndarray, targets: Sequence[int]
+) -> np.ndarray:
+    """Apply ``U rho U†`` on the given target qubits of a density matrix."""
+    dim = rho.shape[0]
+    num_qubits = int(dim).bit_length() - 1
+    if rho.shape != (dim, dim) or 2**num_qubits != dim:
+        raise ValueError("density matrix must be square with power-of-two dimension")
+    # Treat rho as a vector over (row ⊗ column) and apply U to the row index
+    # and U* to the column index.  Row qubits are 0..n-1, column qubits n..2n-1
+    # in the flattened little-endian layout of rho.reshape(-1) with the column
+    # index as the fastest-varying block — easier: operate on the 2-D form.
+    flat = rho.reshape(-1)
+    # Row index is the most significant part of the flattened index:
+    # flat[r * dim + c].  In little-endian terms the column qubits occupy bits
+    # 0..n-1 and row qubits bits n..2n-1.
+    row_targets = [t + num_qubits for t in targets]
+    col_targets = list(targets)
+    flat = apply_unitary(flat, np.asarray(matrix, dtype=complex), row_targets)
+    flat = apply_unitary(flat, np.asarray(matrix, dtype=complex).conj(), col_targets)
+    return flat.reshape(dim, dim)
+
+
+def apply_kraus_to_density(
+    rho: np.ndarray, kraus_operators: Sequence[np.ndarray], targets: Sequence[int]
+) -> np.ndarray:
+    """Apply a CPTP map ``rho -> sum_i K_i rho K_i†`` on the target qubits."""
+    dim = rho.shape[0]
+    num_qubits = int(dim).bit_length() - 1
+    row_targets = [t + num_qubits for t in targets]
+    col_targets = list(targets)
+    flat = rho.reshape(-1)
+    total = np.zeros_like(flat)
+    for kraus in kraus_operators:
+        kraus = np.asarray(kraus, dtype=complex)
+        term = apply_unitary(flat, kraus, row_targets)
+        term = apply_unitary(term, kraus.conj(), col_targets)
+        total += term
+    return total.reshape(dim, dim)

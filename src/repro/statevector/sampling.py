@@ -1,0 +1,106 @@
+"""Measurement-outcome sampling utilities shared by every simulator."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+__all__ = [
+    "sample_from_probabilities",
+    "counts_to_probability_vector",
+    "merge_counts",
+    "apply_readout_error_to_counts",
+    "index_to_bitstring",
+    "bitstring_to_index",
+]
+
+
+def index_to_bitstring(index: int, num_qubits: int) -> str:
+    """Format a basis-state index as a bitstring (qubit ``n-1`` first)."""
+    return format(index, f"0{num_qubits}b")
+
+
+def bitstring_to_index(bitstring: str) -> int:
+    """Inverse of :func:`index_to_bitstring`."""
+    return int(bitstring, 2)
+
+
+def sample_from_probabilities(
+    probabilities: np.ndarray,
+    shots: int,
+    num_qubits: int,
+    rng: np.random.Generator | None = None,
+) -> dict[str, int]:
+    """Draw ``shots`` outcomes from a probability vector.
+
+    Uses a multinomial draw, which is equivalent to, and much faster than,
+    per-shot categorical sampling.
+    """
+    if shots < 0:
+        raise ValueError("shots must be non-negative")
+    rng = rng if rng is not None else np.random.default_rng()
+    probabilities = np.asarray(probabilities, dtype=float)
+    probabilities = np.clip(probabilities, 0.0, None)
+    total = probabilities.sum()
+    if total <= 0:
+        raise ValueError("probability vector sums to zero")
+    probabilities = probabilities / total
+    draws = rng.multinomial(shots, probabilities)
+    counts: dict[str, int] = {}
+    for index in np.nonzero(draws)[0]:
+        counts[index_to_bitstring(int(index), num_qubits)] = int(draws[index])
+    return counts
+
+
+def counts_to_probability_vector(
+    counts: Mapping[str, int], num_qubits: int
+) -> np.ndarray:
+    """Convert bitstring counts to a dense probability vector."""
+    vector = np.zeros(2**num_qubits, dtype=float)
+    total = 0
+    for bitstring, count in counts.items():
+        if len(bitstring) != num_qubits:
+            raise ValueError(
+                f"bitstring {bitstring!r} does not have {num_qubits} bits"
+            )
+        vector[bitstring_to_index(bitstring)] += count
+        total += count
+    if total <= 0:
+        raise ValueError("counts are empty")
+    return vector / total
+
+
+def merge_counts(*count_dicts: Mapping[str, int]) -> dict[str, int]:
+    """Merge several counts dictionaries by summing per-bitstring counts."""
+    merged: dict[str, int] = {}
+    for counts in count_dicts:
+        for bitstring, count in counts.items():
+            merged[bitstring] = merged.get(bitstring, 0) + int(count)
+    return merged
+
+
+def apply_readout_error_to_counts(
+    counts: Mapping[str, int],
+    flip_probability: float,
+    rng: np.random.Generator | None = None,
+) -> dict[str, int]:
+    """Flip each classical bit of each sampled shot with the given probability.
+
+    This models the readout (measurement) error channel described in the
+    paper's Section 4.3 without touching the quantum state.
+    """
+    if not 0.0 <= flip_probability <= 1.0:
+        raise ValueError("flip probability must be in [0, 1]")
+    if flip_probability == 0.0:
+        return dict(counts)
+    rng = rng if rng is not None else np.random.default_rng()
+    noisy: dict[str, int] = {}
+    for bitstring, count in counts.items():
+        bits = np.array([int(b) for b in bitstring], dtype=np.int8)
+        flips = rng.random((count, bits.size)) < flip_probability
+        flipped = np.bitwise_xor(bits[None, :], flips.astype(np.int8))
+        for row in flipped:
+            key = "".join("1" if bit else "0" for bit in row)
+            noisy[key] = noisy.get(key, 0) + 1
+    return noisy

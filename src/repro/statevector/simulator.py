@@ -1,0 +1,64 @@
+"""Ideal (noise-free) Schrödinger-style statevector simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.statevector.apply import apply_gate
+from repro.statevector.sampling import sample_from_probabilities
+from repro.statevector.state import Statevector
+
+__all__ = ["StatevectorSimulator"]
+
+
+class StatevectorSimulator:
+    """Simulate a circuit exactly by sequential gate application.
+
+    This is the substrate on which both the baseline noisy simulator and the
+    TQSim reuse engine are built (the paper uses Qulacs in the same role).
+    """
+
+    def __init__(self, seed: int | None = None) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def run(
+        self, circuit: Circuit, initial_state: Statevector | None = None
+    ) -> Statevector:
+        """Return the final statevector of ``circuit``.
+
+        Parameters
+        ----------
+        circuit:
+            The circuit to simulate.
+        initial_state:
+            Optional starting state; defaults to |0...0>.  The state is not
+            modified.
+        """
+        if initial_state is None:
+            state = Statevector.zero_state(circuit.num_qubits).data
+        else:
+            if initial_state.num_qubits != circuit.num_qubits:
+                raise ValueError(
+                    "initial state width does not match the circuit width"
+                )
+            state = initial_state.data.copy()
+        for gate in circuit:
+            state = apply_gate(state, gate)
+        return Statevector(state)
+
+    def probabilities(self, circuit: Circuit) -> np.ndarray:
+        """Exact output probability distribution of the circuit."""
+        return self.run(circuit).probabilities()
+
+    def sample(
+        self,
+        circuit: Circuit,
+        shots: int,
+        initial_state: Statevector | None = None,
+    ) -> dict[str, int]:
+        """Simulate once, then sample ``shots`` measurement outcomes."""
+        final_state = self.run(circuit, initial_state)
+        return sample_from_probabilities(
+            final_state.probabilities(), shots, circuit.num_qubits, self._rng
+        )

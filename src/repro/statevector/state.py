@@ -1,0 +1,156 @@
+"""The :class:`Statevector` wrapper type."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.statevector.apply import apply_unitary
+
+__all__ = ["Statevector"]
+
+
+class Statevector:
+    """A pure quantum state of ``num_qubits`` qubits.
+
+    Amplitudes use little-endian ordering (qubit 0 is the least significant
+    bit of the basis-state index).
+    """
+
+    __slots__ = ("data", "num_qubits")
+
+    def __init__(self, data: np.ndarray | Iterable[complex]) -> None:
+        array = np.asarray(list(data) if not isinstance(data, np.ndarray) else data,
+                           dtype=complex)
+        if array.ndim != 1:
+            raise ValueError("statevector data must be one-dimensional")
+        num_qubits = int(array.shape[0]).bit_length() - 1
+        if 2**num_qubits != array.shape[0] or array.shape[0] < 2:
+            raise ValueError("statevector length must be a power of two (>= 2)")
+        self.data = array
+        self.num_qubits = num_qubits
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero_state(cls, num_qubits: int) -> "Statevector":
+        """|00...0> on ``num_qubits`` qubits."""
+        data = np.zeros(2**num_qubits, dtype=complex)
+        data[0] = 1.0
+        return cls(data)
+
+    @classmethod
+    def from_label(cls, label: str) -> "Statevector":
+        """Build a computational basis state from a bitstring.
+
+        The label is written most-significant-qubit first, i.e. ``"10"`` puts
+        qubit 1 in |1> and qubit 0 in |0>.
+        """
+        if not label or any(c not in "01" for c in label):
+            raise ValueError(f"invalid basis-state label {label!r}")
+        num_qubits = len(label)
+        index = int(label, 2)
+        data = np.zeros(2**num_qubits, dtype=complex)
+        data[index] = 1.0
+        return cls(data)
+
+    @classmethod
+    def random(cls, num_qubits: int, rng: np.random.Generator | None = None
+               ) -> "Statevector":
+        """A Haar-random pure state."""
+        rng = rng if rng is not None else np.random.default_rng()
+        data = rng.normal(size=2**num_qubits) + 1j * rng.normal(size=2**num_qubits)
+        return cls(data / np.linalg.norm(data))
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    def copy(self) -> "Statevector":
+        """Deep copy of the state (the reuse engine counts these)."""
+        return Statevector(self.data.copy())
+
+    def norm(self) -> float:
+        """Euclidean norm of the amplitude vector."""
+        return float(np.linalg.norm(self.data))
+
+    def normalize(self) -> "Statevector":
+        """Return the state scaled to unit norm."""
+        norm = self.norm()
+        if norm == 0:
+            raise ValueError("cannot normalise the zero vector")
+        return Statevector(self.data / norm)
+
+    def evolve(self, matrix: np.ndarray, targets) -> "Statevector":
+        """Apply a unitary to the given target qubits (returns a new state)."""
+        return Statevector(apply_unitary(self.data, matrix, tuple(targets)))
+
+    def probabilities(self) -> np.ndarray:
+        """Measurement probabilities in the computational basis."""
+        return np.abs(self.data) ** 2
+
+    def probability_dict(self, threshold: float = 1e-12) -> dict[str, float]:
+        """Probabilities keyed by bitstring (most-significant qubit first)."""
+        probs = self.probabilities()
+        result = {}
+        for index, value in enumerate(probs):
+            if value > threshold:
+                result[format(index, f"0{self.num_qubits}b")] = float(value)
+        return result
+
+    def expectation_diagonal(self, diagonal: np.ndarray) -> float:
+        """Expectation value of a diagonal observable given by its diagonal."""
+        diagonal = np.asarray(diagonal, dtype=float)
+        if diagonal.shape != self.data.shape:
+            raise ValueError("diagonal length must match the statevector")
+        return float(np.real(np.sum(self.probabilities() * diagonal)))
+
+    def inner(self, other: "Statevector") -> complex:
+        """Inner product <self|other>."""
+        if other.num_qubits != self.num_qubits:
+            raise ValueError("states have different widths")
+        return complex(np.vdot(self.data, other.data))
+
+    def fidelity(self, other: "Statevector") -> float:
+        """Pure-state fidelity |<self|other>|^2."""
+        return float(np.abs(self.inner(other)) ** 2)
+
+    def to_density_matrix(self) -> np.ndarray:
+        """Outer product |psi><psi|."""
+        return np.outer(self.data, self.data.conj())
+
+    def sample_counts(
+        self, shots: int, rng: np.random.Generator | None = None
+    ) -> dict[str, int]:
+        """Sample measurement outcomes; returns counts keyed by bitstring."""
+        rng = rng if rng is not None else np.random.default_rng()
+        probs = self.probabilities()
+        probs = probs / probs.sum()
+        outcomes = rng.choice(len(probs), size=shots, p=probs)
+        counts: dict[str, int] = {}
+        for outcome in outcomes:
+            key = format(int(outcome), f"0{self.num_qubits}b")
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Statevector):
+            return NotImplemented
+        return self.num_qubits == other.num_qubits and np.allclose(
+            self.data, other.data
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Statevector of {self.num_qubits} qubits>"
+
+
+def counts_to_probabilities(counts: Mapping[str, int]) -> dict[str, float]:
+    """Convert a counts dictionary to a probability dictionary."""
+    total = sum(counts.values())
+    if total <= 0:
+        raise ValueError("counts are empty")
+    return {key: value / total for key, value in counts.items()}

@@ -1,0 +1,25 @@
+"""QAOA / Max-Cut support for the variational-workload study."""
+
+from repro.vqa.landscape import (
+    LandscapeResult,
+    compare_landscapes,
+    qaoa_cost_landscape,
+)
+from repro.vqa.maxcut import (
+    best_cut_brute_force,
+    cut_value,
+    expected_cut_from_counts,
+    expected_cut_from_probabilities,
+    maxcut_cost_diagonal,
+)
+
+__all__ = [
+    "cut_value",
+    "maxcut_cost_diagonal",
+    "expected_cut_from_probabilities",
+    "expected_cut_from_counts",
+    "best_cut_brute_force",
+    "LandscapeResult",
+    "qaoa_cost_landscape",
+    "compare_landscapes",
+]

@@ -1,0 +1,74 @@
+"""Max-Cut cost functions for the QAOA / VQA workloads (Figure 18)."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import networkx as nx
+import numpy as np
+
+__all__ = [
+    "cut_value",
+    "maxcut_cost_diagonal",
+    "expected_cut_from_probabilities",
+    "expected_cut_from_counts",
+    "best_cut_brute_force",
+]
+
+
+def cut_value(graph: nx.Graph, assignment: str) -> int:
+    """Number of cut edges for a bitstring assignment (qubit n-1 first)."""
+    num_nodes = graph.number_of_nodes()
+    if len(assignment) != num_nodes:
+        raise ValueError(
+            f"assignment {assignment!r} does not have {num_nodes} bits"
+        )
+    # assignment is written most-significant-qubit first.
+    bits = {node: int(assignment[num_nodes - 1 - node]) for node in graph.nodes}
+    return sum(1 for u, v in graph.edges if bits[u] != bits[v])
+
+
+def maxcut_cost_diagonal(graph: nx.Graph) -> np.ndarray:
+    """Cut value of every computational basis state, as a dense vector."""
+    num_nodes = graph.number_of_nodes()
+    if sorted(graph.nodes) != list(range(num_nodes)):
+        raise ValueError("graph nodes must be labelled 0..n-1")
+    diagonal = np.zeros(2**num_nodes, dtype=float)
+    edges = list(graph.edges)
+    for index in range(2**num_nodes):
+        value = 0
+        for u, v in edges:
+            if ((index >> u) & 1) != ((index >> v) & 1):
+                value += 1
+        diagonal[index] = value
+    return diagonal
+
+
+def expected_cut_from_probabilities(graph: nx.Graph, probabilities: np.ndarray
+                                    ) -> float:
+    """Expected cut value of an output distribution."""
+    diagonal = maxcut_cost_diagonal(graph)
+    probabilities = np.asarray(probabilities, dtype=float)
+    if probabilities.shape != diagonal.shape:
+        raise ValueError("distribution length does not match the graph size")
+    total = probabilities.sum()
+    if total <= 0:
+        raise ValueError("distribution sums to zero")
+    return float(np.dot(diagonal, probabilities / total))
+
+
+def expected_cut_from_counts(graph: nx.Graph, counts: Mapping[str, int]) -> float:
+    """Expected cut value of sampled measurement counts."""
+    total = sum(counts.values())
+    if total <= 0:
+        raise ValueError("counts are empty")
+    return sum(
+        cut_value(graph, bitstring) * count for bitstring, count in counts.items()
+    ) / total
+
+
+def best_cut_brute_force(graph: nx.Graph) -> int:
+    """The optimal Max-Cut value (exponential scan; small graphs only)."""
+    if graph.number_of_nodes() > 20:
+        raise ValueError("brute force limited to 20 nodes")
+    return int(maxcut_cost_diagonal(graph).max())

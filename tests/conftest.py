@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.circuits.library import bv_circuit, ghz_circuit, qft_circuit
+from repro.noise import depolarizing_noise_model
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_circuit() -> Circuit:
+    """A 3-qubit circuit mixing 1-, 2- and parametric gates."""
+    circuit = Circuit(3, name="small")
+    circuit.h(0).cx(0, 1).ry(0.3, 2).cz(1, 2).rz(0.7, 0).cx(2, 0)
+    return circuit
+
+
+@pytest.fixture
+def ghz3() -> Circuit:
+    """The 3-qubit GHZ preparation circuit."""
+    return ghz_circuit(3)
+
+
+@pytest.fixture
+def bv6() -> Circuit:
+    """The 6-qubit Bernstein-Vazirani benchmark circuit."""
+    return bv_circuit(6)
+
+
+@pytest.fixture
+def qft5() -> Circuit:
+    """A small QFT benchmark circuit."""
+    return qft_circuit(5)
+
+
+@pytest.fixture
+def depolarizing_model():
+    """The paper's primary (Sycamore-rate depolarizing) noise model."""
+    return depolarizing_noise_model()
+
+
+@pytest.fixture
+def strong_depolarizing_model():
+    """A deliberately strong depolarizing model for fast statistical tests."""
+    return depolarizing_noise_model(single_qubit_error=0.05, two_qubit_error=0.10)

@@ -1,0 +1,151 @@
+"""Unit tests for the Circuit container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import Circuit, Gate, split_equal_gates
+
+
+def test_builder_appends_in_order(small_circuit):
+    names = [gate.name for gate in small_circuit]
+    assert names == ["h", "cx", "ry", "cz", "rz", "cx"]
+    assert small_circuit.num_gates == 6
+    assert len(small_circuit) == 6
+
+
+def test_append_validates_qubit_range():
+    circuit = Circuit(2)
+    with pytest.raises(ValueError):
+        circuit.h(2)
+    with pytest.raises(ValueError):
+        circuit.cx(0, 5)
+
+
+def test_invalid_width_rejected():
+    with pytest.raises(ValueError):
+        Circuit(0)
+
+
+def test_count_ops_and_arity(small_circuit):
+    ops = small_circuit.count_ops()
+    assert ops["cx"] == 2
+    assert ops["h"] == 1
+    arity = small_circuit.count_by_arity()
+    assert arity[1] == 3
+    assert arity[2] == 3
+    assert small_circuit.two_qubit_gate_count() == 3
+
+
+def test_depth_of_parallel_and_serial_gates():
+    circuit = Circuit(3)
+    circuit.h(0).h(1).h(2)
+    assert circuit.depth() == 1
+    circuit.cx(0, 1)
+    assert circuit.depth() == 2
+    circuit.cx(1, 2)
+    assert circuit.depth() == 3
+
+
+def test_used_qubits():
+    circuit = Circuit(5)
+    circuit.h(0).cx(0, 3)
+    assert circuit.used_qubits() == {0, 3}
+
+
+def test_copy_is_independent(small_circuit):
+    clone = small_circuit.copy()
+    clone.x(0)
+    assert len(clone) == len(small_circuit) + 1
+
+
+def test_compose_concatenates(ghz3):
+    other = Circuit(3).x(0)
+    combined = ghz3.compose(other)
+    assert combined.num_gates == ghz3.num_gates + 1
+    with pytest.raises(ValueError):
+        Circuit(2).compose(Circuit(3))
+
+
+def test_inverse_cancels_circuit(small_circuit):
+    identity = small_circuit.compose(small_circuit.inverse()).to_matrix()
+    assert np.allclose(identity, np.eye(2**small_circuit.num_qubits), atol=1e-9)
+
+
+def test_remap_changes_operands(ghz3):
+    remapped = ghz3.remap({0: 2, 1: 1, 2: 0})
+    assert remapped[0].qubits == (2,)
+    assert remapped[1].qubits == (2, 1)
+
+
+def test_getitem_slice_returns_circuit(small_circuit):
+    head = small_circuit[:3]
+    assert isinstance(head, Circuit)
+    assert head.num_gates == 3
+    assert head.num_qubits == small_circuit.num_qubits
+
+
+def test_subcircuit_and_split_cover_circuit(small_circuit):
+    pieces = small_circuit.split([2, 4])
+    assert [p.num_gates for p in pieces] == [2, 2, 2]
+    rebuilt = pieces[0].compose(pieces[1]).compose(pieces[2])
+    assert rebuilt == small_circuit
+
+
+def test_split_rejects_bad_boundaries(small_circuit):
+    with pytest.raises(ValueError):
+        small_circuit.split([10])
+    with pytest.raises(ValueError):
+        small_circuit.subcircuit(4, 2)
+
+
+def test_split_equal_gates_sizes():
+    circuit = Circuit(2)
+    for _ in range(10):
+        circuit.x(0)
+    pieces = split_equal_gates(circuit, 3)
+    assert [p.num_gates for p in pieces] == [4, 3, 3]
+
+
+def test_equality_considers_gates_and_width(ghz3):
+    assert ghz3 == ghz3.copy()
+    assert ghz3 != Circuit(3)
+    other = ghz3.copy()
+    other.x(0)
+    assert ghz3 != other
+
+
+def test_to_matrix_matches_known_bell_circuit():
+    circuit = Circuit(2).h(0).cx(0, 1)
+    state = circuit.to_matrix() @ np.array([1, 0, 0, 0], dtype=complex)
+    expected = np.array([1, 0, 0, 1], dtype=complex) / np.sqrt(2)
+    assert np.allclose(state, expected)
+
+
+def test_to_matrix_refuses_large_circuits():
+    with pytest.raises(ValueError):
+        Circuit(11).to_matrix()
+
+
+def test_unitary_gate_append(rng):
+    from repro.circuits.stdgates import random_unitary
+
+    circuit = Circuit(3)
+    circuit.unitary(random_unitary(4, rng), [0, 2], label="block")
+    assert circuit[0].num_qubits == 2
+    assert circuit[0].label == "block"
+
+
+@settings(max_examples=20, deadline=None)
+@given(num_gates=st.integers(1, 40), parts=st.integers(1, 6))
+def test_split_equal_gates_property(num_gates, parts):
+    circuit = Circuit(2)
+    for index in range(num_gates):
+        circuit.rz(0.01 * index, index % 2)
+    if parts > num_gates:
+        with pytest.raises(ValueError):
+            split_equal_gates(circuit, parts)
+        return
+    pieces = split_equal_gates(circuit, parts)
+    assert sum(p.num_gates for p in pieces) == num_gates
+    assert max(p.num_gates for p in pieces) - min(p.num_gates for p in pieces) <= 1

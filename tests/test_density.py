@@ -1,0 +1,103 @@
+"""Tests for the density-matrix type and exact noisy simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.circuits.library import ghz_circuit
+from repro.density import DensityMatrix, DensityMatrixSimulator
+from repro.noise import ReadoutError, depolarizing_noise_model
+from repro.noise.model import NoiseModel
+from repro.statevector import Statevector, StatevectorSimulator
+
+
+def test_zero_state_and_validity():
+    rho = DensityMatrix.zero_state(2)
+    assert rho.trace() == pytest.approx(1.0)
+    assert rho.purity() == pytest.approx(1.0)
+    assert rho.is_valid()
+
+
+def test_construction_validation():
+    with pytest.raises(ValueError):
+        DensityMatrix(np.ones((2, 3)))
+    with pytest.raises(ValueError):
+        DensityMatrix(np.ones((3, 3)))
+
+
+def test_from_statevector_and_fidelity(rng):
+    psi = Statevector.random(2, rng)
+    rho = DensityMatrix.from_statevector(psi)
+    assert rho.purity() == pytest.approx(1.0)
+    assert rho.fidelity_with_pure(psi) == pytest.approx(1.0)
+
+
+def test_maximally_mixed_properties():
+    rho = DensityMatrix.maximally_mixed(3)
+    assert rho.purity() == pytest.approx(1.0 / 8.0)
+    assert rho.probabilities() == pytest.approx(np.full(8, 1.0 / 8.0))
+
+
+def test_evolution_matches_statevector(small_circuit):
+    rho = DensityMatrix.zero_state(small_circuit.num_qubits)
+    for gate in small_circuit:
+        rho = rho.evolve_unitary(gate.to_matrix(), gate.qubits)
+    expected = StatevectorSimulator().probabilities(small_circuit)
+    assert np.allclose(rho.probabilities(), expected, atol=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Exact noisy simulator
+# ---------------------------------------------------------------------------
+def test_ideal_density_simulation_matches_statevector(ghz3):
+    simulator = DensityMatrixSimulator()
+    probs = simulator.probabilities(ghz3)
+    assert probs == pytest.approx([0.5, 0, 0, 0, 0, 0, 0, 0.5], abs=1e-9)
+
+
+def test_noisy_density_simulation_reduces_fidelity(bv6, depolarizing_model):
+    ideal = StatevectorSimulator().probabilities(bv6)
+    noisy = DensityMatrixSimulator(depolarizing_model).probabilities(bv6)
+    assert noisy.sum() == pytest.approx(1.0)
+    # Noise spreads probability away from the ideal peak.
+    assert noisy.max() < ideal.max()
+    # The circuit is shallow, so the ideal peak (0.5) only degrades slightly.
+    assert noisy.max() > 0.4
+
+
+def test_single_qubit_depolarizing_analytic():
+    """One X gate followed by depolarizing(p) leaves p*2/3 in |0>."""
+    p = 0.3
+    model = depolarizing_noise_model(single_qubit_error=p, two_qubit_error=p)
+    circuit = Circuit(1).x(0)
+    probs = DensityMatrixSimulator(model).probabilities(circuit)
+    # X and Z branches keep |1>, Y also keeps |1>?  X|1>=|0>, Y|1>~|0>, Z|1>=|1>.
+    expected_zero = p * (2.0 / 3.0)
+    assert probs[0] == pytest.approx(expected_zero)
+    assert probs[1] == pytest.approx(1.0 - expected_zero)
+
+
+def test_readout_error_convolution():
+    model = NoiseModel(readout_error=ReadoutError(0.1))
+    circuit = Circuit(1).x(0)
+    probs = DensityMatrixSimulator(model).probabilities(circuit)
+    assert probs == pytest.approx([0.1, 0.9])
+
+
+def test_width_limit_enforced():
+    simulator = DensityMatrixSimulator()
+    with pytest.raises(ValueError):
+        simulator.run(ghz_circuit(DensityMatrixSimulator.MAX_QUBITS + 1))
+
+
+def test_sampling_from_exact_distribution(ghz3):
+    simulator = DensityMatrixSimulator(seed=5)
+    counts = simulator.sample(ghz3, 400)
+    assert sum(counts.values()) == 400
+    assert set(counts) <= {"000", "111"}
+
+
+def test_initial_state_width_checked(ghz3):
+    simulator = DensityMatrixSimulator()
+    with pytest.raises(ValueError):
+        simulator.run(ghz3, initial_state=DensityMatrix.zero_state(2))

@@ -1,0 +1,79 @@
+"""Tests for the simulated multi-node cluster and the scaling studies."""
+
+import pytest
+
+from repro.circuits.library import bv_circuit, qft_circuit
+from repro.core import UniformCircuitPartitioner
+from repro.distributed import (
+    XEON_CLUSTER,
+    ClusterConfig,
+    DistributedCostModel,
+    strong_scaling,
+    weak_scaling,
+)
+from repro.noise import depolarizing_noise_model
+
+
+NOISE = depolarizing_noise_model()
+
+
+def test_cluster_config_validation():
+    with pytest.raises(ValueError):
+        ClusterConfig("bad", -1, 1, 1, 0)
+    with pytest.raises(ValueError):
+        XEON_CLUSTER.validate_node_count(3)
+    XEON_CLUSTER.validate_node_count(8)
+
+
+def test_cluster_partitioning_arithmetic():
+    assert XEON_CLUSTER.global_qubits(8) == 3
+    assert XEON_CLUSTER.local_amplitudes(20, 4) == 2**18
+    assert XEON_CLUSTER.fits_in_memory(30, 4)
+    assert not XEON_CLUSTER.fits_in_memory(45, 4)
+
+
+def test_global_gates_cost_more_than_local():
+    local = XEON_CLUSTER.local_gate_seconds(24, 8)
+    global_ = XEON_CLUSTER.global_gate_seconds(24, 8)
+    assert global_ > local
+    # On a single node there is no communication at all.
+    assert XEON_CLUSTER.global_gate_seconds(24, 1) == pytest.approx(
+        XEON_CLUSTER.local_gate_seconds(24, 1)
+    )
+
+
+def test_distributed_cost_model_baseline_vs_tqsim():
+    circuit = qft_circuit(16)
+    model = DistributedCostModel(XEON_CLUSTER)
+    plan = UniformCircuitPartitioner(4).plan(circuit, 1024, NOISE)
+    baseline = model.baseline_estimate(circuit, 1024, 4)
+    tqsim = model.tqsim_estimate(plan, 4)
+    assert baseline.total_seconds > 0
+    assert tqsim.total_seconds < baseline.total_seconds
+    assert tqsim.copy_seconds > 0
+
+
+def test_strong_scaling_reduces_time_for_large_circuits():
+    points = strong_scaling(qft_circuit(22), 1024, (1, 4, 16), NOISE)
+    times = [p.tqsim_seconds for p in points]
+    assert times[0] > times[1] > times[2]
+    # TQSim wins over the baseline at every node count.
+    assert all(p.tqsim_speedup > 1.0 for p in points)
+
+
+def test_strong_scaling_small_circuits_scale_poorly():
+    """Figure 13a: communication overheads dominate small circuits."""
+    small = strong_scaling(bv_circuit(16), 2048, (1, 32), NOISE)
+    large = strong_scaling(qft_circuit(24), 2048, (1, 32), NOISE)
+    small_speedup = small[0].tqsim_seconds / small[-1].tqsim_seconds
+    large_speedup = large[0].tqsim_seconds / large[-1].tqsim_seconds
+    assert large_speedup > small_speedup
+
+
+def test_weak_scaling_tqsim_always_wins():
+    circuits = [qft_circuit(w) for w in (16, 17, 18)]
+    points = weak_scaling(circuits, 512, (1, 2, 4), NOISE)
+    assert len(points) == 3
+    assert all(p.tqsim_speedup > 1.0 for p in points)
+    with pytest.raises(ValueError):
+        weak_scaling(circuits, 512, (1, 2), NOISE)

@@ -1,0 +1,120 @@
+"""Smoke and consistency tests for the experiment harness (tiny scale)."""
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig, compare_simulators
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+from repro.circuits.library import qft_circuit
+from repro.noise import depolarizing_noise_model
+
+#: Deliberately tiny configuration so the whole module runs in seconds.
+TINY = ExperimentConfig(shots=48, max_qubits=6, seed=5, copy_cost_in_gates=5.0)
+
+
+def test_registry_covers_every_table_and_figure():
+    expected = {
+        "fig1", "fig4", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12",
+        "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+        "table2", "table3",
+    }
+    assert set(EXPERIMENTS) == expected
+    assert get_experiment("FIG11").identifier == "fig11"
+    with pytest.raises(KeyError):
+        get_experiment("fig99")
+
+
+def test_experiment_config_scaling_helpers():
+    config = ExperimentConfig(shots=320)
+    assert config.scaled(shots=10).shots == 10
+    assert config.effective_margin_of_error > 0.015  # scaled up for fewer shots
+    explicit = ExperimentConfig(shots=320, margin_of_error=0.02)
+    assert explicit.effective_margin_of_error == 0.02
+    partitioner = config.dcp_partitioner()
+    assert partitioner.min_first_layer_shots >= 16
+
+
+def test_compare_simulators_row(depolarizing_model):
+    row = compare_simulators(qft_circuit(5), depolarizing_model, TINY)
+    assert row.num_gates == qft_circuit(5).num_gates
+    assert row.cost_speedup > 0
+    assert 0 <= row.fidelity_difference <= 2
+    as_dict = row.as_dict()
+    assert as_dict["tree"].startswith("(")
+
+
+def test_fig4_memory_scaling_headline():
+    result = run_experiment("fig4", TINY)
+    assert result.laptop_statevector_qubits >= 29
+    assert result.el_capitan_density_qubits < 25
+
+
+def test_fig8_parallel_shots_headline():
+    result = run_experiment("fig8", TINY)
+    assert result.max_speedup_at_20_qubits > 2.0
+    assert result.max_speedup_at_25_qubits < 1.3
+    assert result.memory_fraction_per_shot_at_24_qubits < 0.01
+
+
+def test_fig9_memory_reuse():
+    result = run_experiment("fig9", TINY)
+    assert len(result.points) == 5
+    assert all(p.memory_fraction_of_node < 0.5 for p in result.points)
+    assert all(p.modeled_speedup >= 1.0 for p in result.points)
+
+
+def test_fig10_copy_cost():
+    result = run_experiment("fig10", TINY)
+    assert result.local_average > 0
+    assert result.paper_systems["xeon_6130_server_cpu"] > \
+        result.paper_systems["v100_server_gpu"]
+
+
+def test_fig11_and_fig14_suite_sweep():
+    result = run_experiment("fig11", TINY)
+    assert result.rows
+    assert result.average_speedup > 0.5
+    table = result.table()
+    assert {"class", "cost_speedup", "paper_class_speedup"} <= set(table[0])
+    fidelity = run_experiment("fig14", TINY.scaled(max_qubits=5))
+    assert fidelity.max_difference >= fidelity.average_difference >= 0.0
+
+
+def test_fig13_multinode():
+    result = run_experiment("fig13", TINY.scaled(extra={
+        "strong_widths": (16,), "weak_widths": (16, 17)}))
+    series = next(iter(result.strong.values()))
+    assert len(series) == 6
+    speedups = result.strong_scaling_speedups(next(iter(result.strong)))
+    assert speedups[0] == pytest.approx(1.0)
+
+
+def test_fig17_tradeoff_structures():
+    result = run_experiment("fig17", TINY.scaled(shots=120, max_qubits=6))
+    labels = [row.label for row in result.rows]
+    assert labels[0] == "dcp"
+    assert len(labels) == 6
+    degenerate = result.row("degenerate_250_1_1")
+    assert degenerate.total_outcomes < result.shots
+    with pytest.raises(KeyError):
+        result.row("missing")
+
+
+def test_fig19_redundancy_comparison():
+    result = run_experiment("fig19", TINY)
+    assert result.rows == sorted(result.rows, key=lambda r: r.num_gates)
+    assert all(0 < r.redun_elim_normalized <= 1.0 for r in result.rows)
+
+
+def test_table2_rows():
+    result = run_experiment("table2", TINY)
+    assert len(result.rows) == 8
+    qft_row = next(r for r in result.rows if r.benchmark_class == "QFT")
+    assert qft_row.paper_gate_range == (146, 787)
+    assert qft_row.generated_width_range[0] >= 8
+
+
+def test_table3_rows():
+    result = run_experiment("table3", TINY)
+    assert len(result.rows) == 3
+    assert set(result.paper_rows) == {"qv_18", "qv_20", "qft_20"}
+    assert all(r.baseline_seconds > 0 for r in result.rows)

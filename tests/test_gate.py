@@ -1,0 +1,98 @@
+"""Unit tests for the Gate instruction type."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Gate, stdgates
+
+
+def test_standard_gate_construction():
+    gate = Gate.standard("cx", (0, 2))
+    assert gate.name == "cx"
+    assert gate.qubits == (0, 2)
+    assert gate.num_qubits == 2
+    assert gate.is_two_qubit
+    assert np.allclose(gate.to_matrix(), stdgates.cx_matrix())
+
+
+def test_parametric_gate_construction():
+    gate = Gate.standard("rz", (1,), 0.25)
+    assert gate.params == (0.25,)
+    assert np.allclose(gate.to_matrix(), stdgates.rz_matrix(0.25))
+
+
+def test_standard_gate_rejects_wrong_arity():
+    with pytest.raises(ValueError):
+        Gate.standard("cx", (0,))
+    with pytest.raises(ValueError):
+        Gate.standard("h", (0, 1))
+
+
+def test_standard_gate_rejects_wrong_param_count():
+    with pytest.raises(ValueError):
+        Gate.standard("rz", (0,))
+    with pytest.raises(ValueError):
+        Gate.standard("h", (0,), 0.5)
+
+
+def test_unknown_gate_name_rejected():
+    with pytest.raises(ValueError):
+        Gate.standard("frobnicate", (0,))
+
+
+def test_duplicate_qubits_rejected():
+    with pytest.raises(ValueError):
+        Gate(name="cx", qubits=(1, 1))
+
+
+def test_empty_qubits_rejected():
+    with pytest.raises(ValueError):
+        Gate(name="x", qubits=())
+
+
+def test_from_matrix_validates_unitarity_and_shape():
+    with pytest.raises(ValueError):
+        Gate.from_matrix(np.array([[1.0, 0.0], [0.0, 2.0]]), (0,))
+    with pytest.raises(ValueError):
+        Gate.from_matrix(np.eye(2), (0, 1))
+    gate = Gate.from_matrix(stdgates.h_matrix(), (3,), name="hadamard")
+    assert gate.name == "hadamard"
+    assert np.allclose(gate.to_matrix(), stdgates.h_matrix())
+
+
+def test_inverse_of_self_inverse_gates():
+    for name in ("x", "h", "cx", "cz", "swap", "ccx"):
+        qubits = tuple(range({"x": 1, "h": 1, "cx": 2, "cz": 2, "swap": 2,
+                              "ccx": 3}[name]))
+        gate = Gate.standard(name, qubits)
+        assert gate.inverse() is gate
+
+
+def test_inverse_of_phase_gates():
+    assert Gate.standard("s", (0,)).inverse().name == "sdg"
+    assert Gate.standard("tdg", (0,)).inverse().name == "t"
+
+
+def test_inverse_of_parametric_gate_negates_angle():
+    gate = Gate.standard("rz", (0,), 0.4)
+    assert gate.inverse().params == (-0.4,)
+    product = gate.to_matrix() @ gate.inverse().to_matrix()
+    assert np.allclose(product, np.eye(2))
+
+
+def test_inverse_of_matrix_gate_is_adjoint():
+    unitary = stdgates.random_unitary(4, np.random.default_rng(1))
+    gate = Gate.from_matrix(unitary, (0, 1))
+    assert np.allclose(gate.inverse().to_matrix(), unitary.conj().T)
+
+
+def test_remap_relabels_qubits():
+    gate = Gate.standard("cx", (0, 1))
+    remapped = gate.remap({0: 4, 1: 2})
+    assert remapped.qubits == (4, 2)
+    assert remapped.name == "cx"
+
+
+def test_gate_str_contains_name_and_qubits():
+    text = str(Gate.standard("cp", (1, 3), 0.5))
+    assert "cp" in text and "1" in text and "3" in text

@@ -1,0 +1,267 @@
+"""Tests for the benchmark circuit library (Table 2 workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.library import (
+    BENCHMARK_CLASSES,
+    PAPER_SUITE,
+    adder_circuit,
+    benchmark_suite,
+    build_circuit,
+    bv_circuit,
+    bv_hidden_string,
+    ghz_circuit,
+    mul_circuit,
+    paper_table2_rows,
+    qaoa_maxcut_circuit,
+    qft_circuit,
+    qpe_circuit,
+    qsc_circuit,
+    qv_circuit,
+    random_maxcut_graph,
+    regular_graph,
+    star_graph,
+)
+from repro.circuits.library.suite import BenchmarkSpec
+from repro.statevector import StatevectorSimulator
+
+
+SIM = StatevectorSimulator(seed=0)
+
+
+def _top_bitstring(circuit):
+    probs = SIM.probabilities(circuit)
+    return format(int(np.argmax(probs)), f"0{circuit.num_qubits}b"), probs.max()
+
+
+# ---------------------------------------------------------------------------
+# BV
+# ---------------------------------------------------------------------------
+def test_bv_recovers_hidden_string():
+    secret = "10110"
+    circuit = bv_circuit(6, secret=secret)
+    probs = SIM.probabilities(circuit)
+    # The data register must equal the secret with certainty; the ancilla is
+    # in |-> so it is measured 0/1 with equal probability.
+    data_distribution = {}
+    for index, p in enumerate(probs):
+        if p < 1e-9:
+            continue
+        bits = format(index, "06b")
+        data_distribution[bits[1:]] = data_distribution.get(bits[1:], 0.0) + p
+    assert data_distribution == pytest.approx({secret: 1.0})
+
+
+def test_bv_default_secret_is_all_ones():
+    assert bv_hidden_string(5) == "11111"
+    seeded = bv_hidden_string(8, seed=3)
+    assert len(seeded) == 8 and "1" in seeded
+
+
+def test_bv_gate_count_grows_linearly():
+    counts = [bv_circuit(width).num_gates for width in (6, 8, 10, 12)]
+    diffs = {b - a for a, b in zip(counts, counts[1:])}
+    assert len(diffs) == 1  # constant increment per two extra qubits
+
+
+def test_bv_validates_inputs():
+    with pytest.raises(ValueError):
+        bv_circuit(1)
+    with pytest.raises(ValueError):
+        bv_circuit(4, secret="11")  # wrong length
+
+
+# ---------------------------------------------------------------------------
+# ADDER / MUL
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("a,b", [(0, 0), (1, 2), (3, 3), (2, 1)])
+def test_adder_computes_sum(a, b):
+    circuit = adder_circuit(6, a_value=a, b_value=b, decompose=False)
+    bitstring, peak = _top_bitstring(circuit)
+    assert peak == pytest.approx(1.0)
+    # Register layout: [carry_in, b0, a0, b1, a1, carry_out]; the sum lives in
+    # (carry_out, b1, b0).
+    bits = bitstring[::-1]  # little-endian
+    total = int(bits[1]) + 2 * int(bits[3]) + 4 * int(bits[5])
+    assert total == a + b
+
+
+def test_adder_decomposed_matches_undecomposed():
+    plain = adder_circuit(6, a_value=2, b_value=3, decompose=False)
+    lowered = adder_circuit(6, a_value=2, b_value=3, decompose=True)
+    assert all(g.num_qubits <= 2 for g in lowered)
+    assert np.allclose(SIM.probabilities(plain), SIM.probabilities(lowered),
+                       atol=1e-9)
+
+
+def test_adder_width_validation():
+    with pytest.raises(ValueError):
+        adder_circuit(5)
+    with pytest.raises(ValueError):
+        adder_circuit(6, a_value=7)
+
+
+@pytest.mark.parametrize("a,b", [(1, 1), (2, 3), (3, 3)])
+def test_multiplier_computes_product(a, b):
+    circuit = mul_circuit(9, a_value=a, b_value=b, decompose=False)
+    bitstring, peak = _top_bitstring(circuit)
+    assert peak == pytest.approx(1.0)
+    bits = bitstring[::-1]
+    product = sum(int(bits[4 + k]) << k for k in range(4))
+    assert product == a * b
+
+
+def test_multiplier_width_validation():
+    with pytest.raises(ValueError):
+        mul_circuit(8)
+    with pytest.raises(ValueError):
+        mul_circuit(9, a_value=4)
+
+
+# ---------------------------------------------------------------------------
+# GHZ / QFT / QPE
+# ---------------------------------------------------------------------------
+def test_ghz_distribution():
+    probs = SIM.probabilities(ghz_circuit(4))
+    assert probs[0] == pytest.approx(0.5)
+    assert probs[-1] == pytest.approx(0.5)
+
+
+def test_qft_circuit_is_unitary_and_invertible():
+    from repro.circuits.library import append_inverse_qft
+
+    circuit = qft_circuit(4, prepare_input=False)
+    append_inverse_qft(circuit)
+    probs = SIM.probabilities(circuit)
+    assert probs[0] == pytest.approx(1.0, abs=1e-9)
+
+
+def test_qft_gate_count_scales_quadratically():
+    small = qft_circuit(6).num_gates
+    large = qft_circuit(12).num_gates
+    assert large > 3 * small
+
+
+def test_qft_decompose_flag_changes_gate_set():
+    native = qft_circuit(5, decompose=False)
+    lowered = qft_circuit(5, decompose=True)
+    assert "cp" in native.count_ops()
+    assert "cp" not in lowered.count_ops()
+    assert np.allclose(SIM.probabilities(native), SIM.probabilities(lowered),
+                       atol=1e-9)
+
+
+def test_qpe_estimates_representable_phase():
+    # theta = 1/4 is exactly representable with >= 2 counting bits.
+    circuit = qpe_circuit(5, theta=0.25)
+    probs = SIM.probabilities(circuit)
+    top = int(np.argmax(probs))
+    counting_value = top & 0b1111  # counting register = qubits 0..3
+    assert counting_value / 16 == pytest.approx(0.25)
+    assert probs[top] > 0.9
+
+
+def test_qpe_default_phase_gives_peaked_distribution():
+    circuit = qpe_circuit(7)
+    probs = SIM.probabilities(circuit)
+    assert probs.max() > 0.25  # narrow bell, not uniform
+
+
+def test_qpe_validates_width():
+    with pytest.raises(ValueError):
+        qpe_circuit(1)
+
+
+# ---------------------------------------------------------------------------
+# QAOA / QSC / QV
+# ---------------------------------------------------------------------------
+def test_qaoa_circuit_structure():
+    graph = random_maxcut_graph(6, seed=1)
+    circuit = qaoa_maxcut_circuit(graph, p=2)
+    ops = circuit.count_ops()
+    assert ops["h"] == 6
+    assert ops["rx"] == 12
+    assert ops["cx"] == 4 * graph.number_of_edges()
+
+
+def test_qaoa_graph_helpers():
+    assert star_graph(5).number_of_edges() == 4
+    assert regular_graph(6, degree=3).number_of_edges() == 9
+    with pytest.raises(ValueError):
+        regular_graph(5, degree=3)
+
+
+def test_qaoa_rejects_mislabelled_graph():
+    import networkx as nx
+
+    graph = nx.Graph([("a", "b")])
+    with pytest.raises(ValueError):
+        qaoa_maxcut_circuit(graph)
+
+
+def test_qsc_is_reproducible_and_two_qubit_limited():
+    first = qsc_circuit(8, seed=5)
+    second = qsc_circuit(8, seed=5)
+    assert first == second
+    assert all(gate.num_qubits <= 2 for gate in first)
+    assert qsc_circuit(8, seed=6) != first
+
+
+def test_qv_layer_structure():
+    circuit = qv_circuit(6, seed=2)
+    assert circuit.num_qubits == 6
+    # Each of the 6 layers pairs 3 disjoint qubit pairs with 3 CX per block.
+    assert circuit.count_ops()["cx"] == 6 * 3 * 3
+    assert all(gate.num_qubits <= 2 for gate in circuit)
+
+
+def test_qv_and_qsc_reject_single_qubit():
+    with pytest.raises(ValueError):
+        qv_circuit(1)
+    with pytest.raises(ValueError):
+        qsc_circuit(1)
+
+
+# ---------------------------------------------------------------------------
+# Suite
+# ---------------------------------------------------------------------------
+def test_paper_suite_has_48_entries_in_8_classes():
+    assert len(PAPER_SUITE) == 48
+    assert {spec.benchmark_class for spec in PAPER_SUITE} == set(BENCHMARK_CLASSES)
+    per_class = {}
+    for spec in PAPER_SUITE:
+        per_class[spec.benchmark_class] = per_class.get(spec.benchmark_class, 0) + 1
+    assert all(count == 6 for count in per_class.values())
+
+
+def test_benchmark_suite_respects_width_budget():
+    pairs = benchmark_suite(max_qubits=8)
+    assert pairs
+    assert all(spec.paper_width <= 8 for spec, _ in pairs)
+    assert all(circuit.num_qubits <= 8 for _, circuit in pairs)
+
+
+def test_benchmark_suite_class_filter():
+    pairs = benchmark_suite(max_qubits=12, classes=["bv", "QFT"])
+    assert {spec.benchmark_class for spec, _ in pairs} == {"BV", "QFT"}
+
+
+def test_build_circuit_names_and_variants():
+    spec = BenchmarkSpec("QSC", 8, 38, variant=1)
+    circuit = build_circuit(spec)
+    assert circuit.name == "qsc_8_1"
+    other = build_circuit(BenchmarkSpec("QSC", 8, 38, variant=0))
+    assert circuit != other  # variants differ
+
+
+def test_build_circuit_rejects_unknown_class():
+    with pytest.raises(ValueError):
+        build_circuit(BenchmarkSpec("FFT", 4, 10))
+
+
+def test_paper_table2_rows_match_table():
+    rows = {row["class"]: row for row in paper_table2_rows()}
+    assert rows["QFT"]["paper_width_range"] == (8, 18)
+    assert rows["MUL"]["paper_gate_range"] == (92, 1477)
+    assert len(rows) == 8

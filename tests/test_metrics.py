@@ -1,0 +1,134 @@
+"""Tests for the fidelity metrics and statistics helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics import (
+    bootstrap_mean_interval,
+    confidence_interval_95,
+    distribution_mse,
+    geometric_mean,
+    hellinger_distance,
+    normalized_fidelity,
+    normalized_fidelity_from_counts,
+    pure_state_fidelity,
+    state_fidelity,
+    summarize,
+    total_variation_distance,
+    uniform_distribution,
+)
+
+
+def test_state_fidelity_identical_and_orthogonal():
+    p = np.array([0.5, 0.5, 0.0, 0.0])
+    q = np.array([0.0, 0.0, 0.5, 0.5])
+    assert state_fidelity(p, p) == pytest.approx(1.0)
+    assert state_fidelity(p, q) == pytest.approx(0.0)
+
+
+def test_state_fidelity_against_uniform_is_not_zero():
+    ideal = np.array([1.0, 0.0, 0.0, 0.0])
+    uniform = uniform_distribution(4)
+    assert state_fidelity(ideal, uniform) == pytest.approx(0.25)
+
+
+def test_normalized_fidelity_eq9_anchors():
+    """Eq. 9: ideal output -> 1, uniformly random output -> 0."""
+    ideal = np.array([0.7, 0.3, 0.0, 0.0])
+    assert normalized_fidelity(ideal, ideal) == pytest.approx(1.0)
+    assert normalized_fidelity(ideal, uniform_distribution(4)) == pytest.approx(0.0,
+                                                                                abs=1e-12)
+
+
+def test_normalized_fidelity_worse_than_random_is_negative():
+    ideal = np.array([1.0, 0.0])
+    opposite = np.array([0.0, 1.0])
+    assert normalized_fidelity(ideal, opposite) < 0.0
+
+
+def test_normalized_fidelity_uniform_ideal_falls_back():
+    uniform = uniform_distribution(4)
+    assert normalized_fidelity(uniform, uniform) == pytest.approx(1.0)
+
+
+def test_normalized_fidelity_from_counts():
+    ideal = np.array([1.0, 0.0, 0.0, 0.0])
+    value = normalized_fidelity_from_counts(ideal, {"00": 90, "11": 10}, 2)
+    assert 0.0 < value < 1.0
+
+
+def test_distribution_validation():
+    with pytest.raises(ValueError):
+        state_fidelity([0.5, 0.5], [0.3, 0.3, 0.4])
+    with pytest.raises(ValueError):
+        state_fidelity([-0.1, 1.1], [0.5, 0.5])
+    with pytest.raises(ValueError):
+        state_fidelity([0.0, 0.0], [0.5, 0.5])
+
+
+def test_distances():
+    p = np.array([1.0, 0.0])
+    q = np.array([0.5, 0.5])
+    assert total_variation_distance(p, p) == 0.0
+    assert total_variation_distance(p, q) == pytest.approx(0.5)
+    assert 0.0 < hellinger_distance(p, q) < 1.0
+    assert hellinger_distance(p, np.array([0.0, 1.0])) == pytest.approx(1.0)
+
+
+def test_distribution_mse():
+    assert distribution_mse([1.0, 2.0], [1.0, 4.0]) == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        distribution_mse([1.0], [1.0, 2.0])
+
+
+def test_pure_state_fidelity():
+    plus = np.array([1.0, 1.0]) / np.sqrt(2)
+    minus = np.array([1.0, -1.0]) / np.sqrt(2)
+    assert pure_state_fidelity(plus, plus) == pytest.approx(1.0)
+    assert pure_state_fidelity(plus, minus) == pytest.approx(0.0, abs=1e-12)
+    with pytest.raises(ValueError):
+        pure_state_fidelity(plus, np.zeros(2))
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_normalized_fidelity_bounded_above_by_one(seed):
+    rng = np.random.default_rng(seed)
+    ideal = rng.random(8) + 1e-9
+    output = rng.random(8) + 1e-9
+    value = normalized_fidelity(ideal, output)
+    assert value <= 1.0 + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Statistics helpers
+# ---------------------------------------------------------------------------
+def test_summarize():
+    stats = summarize([1.0, 2.0, 3.0])
+    assert stats.mean == pytest.approx(2.0)
+    assert stats.minimum == 1.0 and stats.maximum == 3.0
+    assert stats.count == 3
+    assert stats.standard_error > 0
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_geometric_mean():
+    assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, -1.0])
+    with pytest.raises(ValueError):
+        geometric_mean([])
+
+
+def test_confidence_interval_contains_mean():
+    lower, upper = confidence_interval_95([1.0, 2.0, 3.0, 4.0])
+    assert lower < 2.5 < upper
+
+
+def test_bootstrap_interval(rng):
+    lower, upper = bootstrap_mean_interval([1.0, 2.0, 3.0, 4.0], rng=rng)
+    assert lower <= upper
+    with pytest.raises(ValueError):
+        bootstrap_mean_interval([])

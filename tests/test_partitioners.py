@@ -1,0 +1,166 @@
+"""Tests for the UCP / XCP / DCP partitioning policies."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.library import qft_circuit
+from repro.core import (
+    DynamicCircuitPartitioner,
+    ExponentialCircuitPartitioner,
+    ManualPartitioner,
+    SingleShotPartitioner,
+    UniformCircuitPartitioner,
+)
+from repro.core.partitioners import PartitionPlan
+from repro.core.tree import TreeStructure
+from repro.noise import depolarizing_noise_model
+
+
+NOISE = depolarizing_noise_model()
+
+
+def _assert_plan_covers(plan: PartitionPlan, circuit, shots):
+    assert plan.total_gates == circuit.num_gates
+    rebuilt = plan.subcircuits[0]
+    for piece in plan.subcircuits[1:]:
+        rebuilt = rebuilt.compose(piece)
+    assert rebuilt == circuit
+    assert plan.total_outcomes >= shots
+
+
+def test_single_shot_partitioner_is_baseline(qft5):
+    plan = SingleShotPartitioner().plan(qft5, 100, NOISE)
+    assert plan.tree.arities == (100,)
+    assert len(plan.subcircuits) == 1
+    _assert_plan_covers(plan, qft5, 100)
+    assert plan.theoretical_speedup() == pytest.approx(1.0)
+
+
+def test_ucp_equal_arities(qft5):
+    plan = UniformCircuitPartitioner(3).plan(qft5, 1000, NOISE)
+    _assert_plan_covers(plan, qft5, 1000)
+    assert plan.tree.num_subcircuits == 3
+    assert plan.tree.arities[1] == plan.tree.arities[2] == 10
+    assert "UCP".lower() == plan.policy
+
+
+def test_xcp_decreasing_arities(qft5):
+    plan = ExponentialCircuitPartitioner(3).plan(qft5, 1000, NOISE)
+    _assert_plan_covers(plan, qft5, 1000)
+    arities = plan.tree.arities
+    assert arities[0] >= arities[1] >= arities[2]
+    assert arities[0] > arities[2]
+
+
+def test_xcp_matches_paper_shape_for_1000_shots(qft5):
+    """Section 5.6 quotes XCP = (20, 10, 5) for 1000 shots and 3 subcircuits."""
+    plan = ExponentialCircuitPartitioner(3).plan(qft5, 1000, NOISE)
+    assert plan.tree.arities == (20, 10, 5)
+
+
+def test_ucp_xcp_validation():
+    with pytest.raises(ValueError):
+        UniformCircuitPartitioner(0)
+    with pytest.raises(ValueError):
+        ExponentialCircuitPartitioner(3, ratio=1.0)
+
+
+def test_manual_partitioner_uses_given_structure(qft5):
+    plan = ManualPartitioner((25, 2, 2)).plan(qft5, 100, NOISE)
+    assert plan.tree.arities == (25, 2, 2)
+    _assert_plan_covers(plan, qft5, 100)
+    lengths = [10, 20, qft5.num_gates - 30]
+    plan = ManualPartitioner((10, 5), subcircuit_lengths=lengths[:2] + []).plan
+    # wrong lengths sum must raise
+    with pytest.raises(ValueError):
+        ManualPartitioner((10, 5), subcircuit_lengths=[10, 20]).plan(qft5, 50, NOISE)
+
+
+def test_partition_plan_validation(qft5):
+    from repro.circuits import split_equal_gates
+
+    subcircuits = split_equal_gates(qft5, 2)
+    with pytest.raises(ValueError):
+        PartitionPlan(subcircuits, TreeStructure((4, 4, 4)), policy="bad")
+
+
+def test_dcp_paper_worked_example():
+    """Section 5.1: QFT_14 (472 gates, 0.1%/1.5% errors, 32 000 shots) is
+    split into 7 subcircuits with ~500 first-layer shots."""
+    circuit = qft_circuit(14)
+    # Use the paper's gate count scale: our decomposed QFT_14 has ~500 gates.
+    partitioner = DynamicCircuitPartitioner(copy_cost_in_gates=30.0)
+    plan = partitioner.plan(circuit, 32000, NOISE)
+    assert plan.policy == "dcp"
+    assert 5 <= plan.tree.num_subcircuits <= 9
+    assert 200 <= plan.tree.arities[0] <= 900
+    assert all(a >= 2 for a in plan.tree.arities[1:])
+    assert plan.total_outcomes >= 32000
+    assert plan.theoretical_speedup(30.0) > 2.0
+
+
+def test_dcp_short_circuit_falls_back_to_baseline(bv6):
+    partitioner = DynamicCircuitPartitioner(copy_cost_in_gates=50.0)
+    plan = partitioner.plan(bv6, 1000, NOISE)
+    assert plan.tree.num_subcircuits == 1
+    assert plan.tree.arities == (1000,)
+    assert "reason" in plan.parameters
+
+
+def test_dcp_few_shots_falls_back(qft5):
+    plan = DynamicCircuitPartitioner(copy_cost_in_gates=5.0).plan(qft5, 1, NOISE)
+    assert plan.tree.arities == (1,)
+
+
+def test_dcp_respects_max_subcircuits(qft5):
+    partitioner = DynamicCircuitPartitioner(copy_cost_in_gates=2.0,
+                                            max_subcircuits=3)
+    plan = partitioner.plan(qft5, 4000, NOISE)
+    assert plan.tree.num_subcircuits <= 3
+
+
+def test_dcp_min_first_layer_shots_floor(qft5):
+    partitioner = DynamicCircuitPartitioner(copy_cost_in_gates=2.0,
+                                            margin_of_error=0.5,
+                                            min_first_layer_shots=64)
+    plan = partitioner.plan(qft5, 500, NOISE)
+    assert plan.tree.arities[0] >= 64
+
+
+def test_dcp_without_noise_model(qft5):
+    plan = DynamicCircuitPartitioner(copy_cost_in_gates=5.0).plan(qft5, 512, None)
+    _assert_plan_covers(plan, qft5, 512)
+
+
+def test_dcp_validation():
+    with pytest.raises(ValueError):
+        DynamicCircuitPartitioner(copy_cost_in_gates=-1.0)
+    with pytest.raises(ValueError):
+        DynamicCircuitPartitioner(min_first_layer_shots=0)
+
+
+def test_plan_describe_and_lengths(qft5):
+    plan = UniformCircuitPartitioner(2).plan(qft5, 64, NOISE)
+    text = plan.describe()
+    assert "ucp" in text
+    assert sum(plan.subcircuit_lengths) == qft5.num_gates
+
+
+@settings(max_examples=15, deadline=None)
+@given(shots=st.integers(2, 5000), copy_cost=st.floats(1.0, 40.0))
+def test_dcp_plans_always_cover_and_reach_shots(shots, copy_cost):
+    circuit = qft_circuit(6)
+    plan = DynamicCircuitPartitioner(copy_cost_in_gates=copy_cost).plan(
+        circuit, shots, NOISE
+    )
+    assert plan.total_gates == circuit.num_gates
+    assert plan.total_outcomes >= shots
+    assert all(length >= 1 for length in plan.subcircuit_lengths)
+    if plan.tree.num_subcircuits > 1:
+        # Every non-first subcircuit must be reused at least twice.
+        assert all(a >= 2 for a in plan.tree.arities[1:])
+        # Remaining subcircuits are at least one copy-cost long.
+        assert all(length >= math.floor(copy_cost)
+                   for length in plan.subcircuit_lengths[1:-1] or [math.floor(copy_cost)])

@@ -1,0 +1,95 @@
+"""Tests for OpenQASM export/import and the decomposition passes."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    Circuit,
+    decompose_to_two_qubit_gates,
+    from_qasm,
+    to_qasm,
+)
+from repro.circuits.transpile import decompose_ccx, decompose_cswap, decompose_swap
+
+
+def test_qasm_roundtrip_preserves_circuit(small_circuit):
+    text = to_qasm(small_circuit)
+    parsed = from_qasm(text)
+    assert parsed.num_qubits == small_circuit.num_qubits
+    assert [g.name for g in parsed] == [g.name for g in small_circuit]
+    assert np.allclose(parsed.to_matrix(), small_circuit.to_matrix())
+
+
+def test_qasm_header_and_gate_lines(ghz3):
+    text = to_qasm(ghz3)
+    assert text.startswith("OPENQASM 2.0;")
+    assert "qreg q[3];" in text
+    assert "cx q[1],q[2];" in text
+
+
+def test_qasm_import_handles_pi_expressions():
+    text = (
+        'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[1];\ncreg c[1];\n'
+        "rz(pi/4) q[0];\nu1(2*pi) q[0];\n"
+    )
+    circuit = from_qasm(text)
+    assert circuit[0].params[0] == pytest.approx(np.pi / 4)
+    assert circuit[1].name == "p"
+
+
+def test_qasm_rejects_unknown_gate():
+    with pytest.raises(ValueError):
+        from_qasm("OPENQASM 2.0;\nqreg q[1];\nmystery q[0];\n")
+
+
+def test_qasm_requires_qreg():
+    with pytest.raises(ValueError):
+        from_qasm("OPENQASM 2.0;\nh q[0];\n")
+
+
+def test_qasm_export_rejects_matrix_gates(rng):
+    from repro.circuits.stdgates import random_unitary
+
+    circuit = Circuit(2).unitary(random_unitary(2, rng), [0])
+    with pytest.raises(ValueError):
+        to_qasm(circuit)
+
+
+def _unitary_of_gates(gates, num_qubits):
+    circuit = Circuit(num_qubits)
+    for gate in gates:
+        circuit.append(gate)
+    return circuit.to_matrix()
+
+
+def test_ccx_decomposition_is_exact():
+    reference = Circuit(3).ccx(0, 1, 2).to_matrix()
+    decomposed = _unitary_of_gates(decompose_ccx(0, 1, 2), 3)
+    assert np.allclose(decomposed, reference, atol=1e-9)
+
+
+def test_cswap_decomposition_is_exact():
+    reference = Circuit(3).cswap(0, 1, 2).to_matrix()
+    decomposed = _unitary_of_gates(decompose_cswap(0, 1, 2), 3)
+    assert np.allclose(decomposed, reference, atol=1e-9)
+
+
+def test_swap_decomposition_is_exact():
+    reference = Circuit(2).swap(0, 1).to_matrix()
+    decomposed = _unitary_of_gates(decompose_swap(0, 1), 2)
+    assert np.allclose(decomposed, reference, atol=1e-9)
+
+
+def test_decompose_circuit_preserves_unitary():
+    circuit = Circuit(4, name="toffoli_mix")
+    circuit.h(0).ccx(0, 1, 2).cx(2, 3).cswap(3, 0, 1).swap(1, 2)
+    lowered = decompose_to_two_qubit_gates(circuit, expand_swap=True)
+    assert all(gate.num_qubits <= 2 for gate in lowered)
+    assert np.allclose(lowered.to_matrix(), circuit.to_matrix(), atol=1e-9)
+    assert lowered.name == "toffoli_mix"
+
+
+def test_decompose_keeps_swap_by_default():
+    circuit = Circuit(2).swap(0, 1)
+    lowered = decompose_to_two_qubit_gates(circuit)
+    assert [gate.name for gate in lowered] == ["swap"]

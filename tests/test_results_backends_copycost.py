@@ -1,0 +1,146 @@
+"""Tests for cost counters, result containers, device profiles and profiling."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    A100,
+    CORE_I7,
+    DEVICE_PROFILES,
+    RTX_3060,
+    V100,
+    XEON_6130,
+    CostCounters,
+    DeviceProfile,
+    NumpyBackend,
+    SimulationResult,
+    measure_copy_cost,
+    merge_results,
+)
+from repro.core.copycost import MODELED_SYSTEM_COPY_COSTS
+
+
+# ---------------------------------------------------------------------------
+# CostCounters / SimulationResult
+# ---------------------------------------------------------------------------
+def test_cost_counters_gate_equivalents():
+    cost = CostCounters(gate_applications=100, noise_applications=20, state_copies=4)
+    assert cost.gate_equivalents(copy_cost_in_gates=10.0) == pytest.approx(160.0)
+    merged = cost.merged_with(CostCounters(gate_applications=1, state_copies=1))
+    assert merged.gate_applications == 101
+    assert merged.state_copies == 5
+
+
+def _result(counts, cost=None, shots=None):
+    return SimulationResult(
+        counts=counts,
+        num_qubits=2,
+        shots=shots if shots is not None else sum(counts.values()),
+        cost=cost if cost is not None else CostCounters(),
+    )
+
+
+def test_result_probabilities_and_top_outcomes():
+    result = _result({"00": 3, "11": 1})
+    assert result.probabilities() == pytest.approx([0.75, 0, 0, 0.25])
+    assert result.probability_of("00") == pytest.approx(0.75)
+    assert result.probability_of("01") == 0.0
+    assert result.top_outcomes(1) == [("00", 3)]
+    assert result.total_outcomes == 4
+
+
+def test_result_speedup_over():
+    slow = _result({"00": 10}, CostCounters(gate_applications=1000,
+                                            wall_time_seconds=2.0))
+    fast = _result({"00": 10}, CostCounters(gate_applications=250, state_copies=10,
+                                            wall_time_seconds=1.0))
+    assert fast.speedup_over(slow, copy_cost_in_gates=5.0) == pytest.approx(1000 / 300)
+    assert fast.speedup_over(slow, use_wall_time=True) == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        _result({"00": 1}).speedup_over(slow)
+
+
+def test_merge_results():
+    merged = merge_results(_result({"00": 2}), _result({"00": 1, "11": 1}))
+    assert merged.counts == {"00": 3, "11": 1}
+    assert merged.shots == 4
+    with pytest.raises(ValueError):
+        merge_results(
+            _result({"00": 1}),
+            SimulationResult(counts={"0": 1}, num_qubits=1, shots=1),
+        )
+
+
+def test_result_summary_flattens_metadata():
+    result = _result({"00": 1})
+    result.metadata["tree"] = "(4,2)"
+    summary = result.summary()
+    assert summary["meta_tree"] == "(4,2)"
+    assert summary["outcomes"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Backends and device profiles
+# ---------------------------------------------------------------------------
+def test_numpy_backend_roundtrip(depolarizing_model, rng):
+    from repro.circuits import Gate
+
+    backend = NumpyBackend()
+    state = backend.initial_state(3)
+    assert state[0] == 1.0
+    copy = backend.copy_state(state)
+    copy[0] = 0.0
+    assert state[0] == 1.0
+    evolved = backend.apply_gate(state, Gate.standard("h", (0,)))
+    assert np.isclose(np.linalg.norm(evolved), 1.0)
+    noisy = backend.apply_noise(evolved, Gate.standard("h", (0,)),
+                                depolarizing_model, rng)
+    assert np.isclose(np.linalg.norm(noisy), 1.0)
+
+
+def test_device_profile_times_scale_with_width():
+    assert A100.gate_time(28) > A100.gate_time(20)
+    assert A100.copy_time(24) > 0
+    assert XEON_6130.max_statevector_qubits() >= 30
+
+
+def test_device_profile_copy_cost_ordering():
+    """Figure 10: server CPUs pay the highest copy cost, HBM2 GPUs the least."""
+    width = 20
+    server = XEON_6130.copy_cost_in_gates(width)
+    desktop = CORE_I7.copy_cost_in_gates(width)
+    gpu = V100.copy_cost_in_gates(width)
+    assert server > desktop > gpu
+
+
+def test_device_profile_estimate_seconds():
+    cost = CostCounters(gate_applications=1000, noise_applications=100,
+                        state_copies=10)
+    estimate = RTX_3060.estimate_seconds(cost, 20)
+    assert estimate > 0
+    assert estimate > RTX_3060.estimate_seconds(
+        CostCounters(gate_applications=500), 20
+    )
+
+
+def test_device_profiles_registry():
+    assert set(MODELED_SYSTEM_COPY_COSTS) <= {
+        name for name in list(DEVICE_PROFILES) + list(MODELED_SYSTEM_COPY_COSTS)
+    }
+    assert "a100_server_gpu" in DEVICE_PROFILES
+
+
+# ---------------------------------------------------------------------------
+# Copy-cost profiling
+# ---------------------------------------------------------------------------
+def test_measure_copy_cost_profile():
+    profile = measure_copy_cost(widths=(6, 8), repeats=3)
+    assert set(profile.per_width) == {6, 8}
+    assert profile.average > 0
+    assert profile.cost_for(7) in profile.per_width.values()
+    assert all(value > 0 for value in profile.gate_seconds.values())
+
+
+def test_measure_copy_cost_validates_width():
+    with pytest.raises(ValueError):
+        measure_copy_cost(widths=(1,), repeats=1)

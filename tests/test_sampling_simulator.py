@@ -1,0 +1,109 @@
+"""Tests for outcome sampling and the ideal statevector simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import Circuit
+from repro.statevector import (
+    StatevectorSimulator,
+    apply_readout_error_to_counts,
+    bitstring_to_index,
+    counts_to_probability_vector,
+    index_to_bitstring,
+    merge_counts,
+    sample_from_probabilities,
+)
+
+
+def test_bitstring_round_trip():
+    assert index_to_bitstring(5, 4) == "0101"
+    assert bitstring_to_index("0101") == 5
+
+
+def test_sample_from_probabilities_totals(rng):
+    probabilities = np.array([0.5, 0.5, 0.0, 0.0])
+    counts = sample_from_probabilities(probabilities, 1000, 2, rng)
+    assert sum(counts.values()) == 1000
+    assert set(counts) <= {"00", "01"}
+
+
+def test_sample_from_probabilities_validation(rng):
+    with pytest.raises(ValueError):
+        sample_from_probabilities(np.zeros(4), 10, 2, rng)
+    with pytest.raises(ValueError):
+        sample_from_probabilities(np.ones(4) / 4, -1, 2, rng)
+
+
+def test_counts_to_probability_vector():
+    vector = counts_to_probability_vector({"00": 3, "11": 1}, 2)
+    assert vector == pytest.approx([0.75, 0, 0, 0.25])
+    with pytest.raises(ValueError):
+        counts_to_probability_vector({"0": 1}, 2)
+    with pytest.raises(ValueError):
+        counts_to_probability_vector({}, 2)
+
+
+def test_merge_counts():
+    merged = merge_counts({"00": 2}, {"00": 1, "11": 3})
+    assert merged == {"00": 3, "11": 3}
+
+
+def test_readout_error_zero_probability_is_identity(rng):
+    counts = {"01": 10, "10": 5}
+    assert apply_readout_error_to_counts(counts, 0.0, rng) == counts
+
+
+def test_readout_error_flips_all_bits_at_probability_one(rng):
+    counts = apply_readout_error_to_counts({"01": 10}, 1.0, rng)
+    assert counts == {"10": 10}
+
+
+def test_readout_error_validates_probability(rng):
+    with pytest.raises(ValueError):
+        apply_readout_error_to_counts({"0": 1}, 1.5, rng)
+
+
+@settings(max_examples=20, deadline=None)
+@given(shots=st.integers(1, 500), seed=st.integers(0, 1000))
+def test_sampling_conserves_shots(shots, seed):
+    rng = np.random.default_rng(seed)
+    probabilities = rng.random(8)
+    counts = sample_from_probabilities(probabilities, shots, 3, rng)
+    assert sum(counts.values()) == shots
+
+
+# ---------------------------------------------------------------------------
+# Ideal simulator
+# ---------------------------------------------------------------------------
+def test_bell_state_probabilities():
+    simulator = StatevectorSimulator(seed=0)
+    probs = simulator.probabilities(Circuit(2).h(0).cx(0, 1))
+    assert probs == pytest.approx([0.5, 0, 0, 0.5])
+
+
+def test_simulator_initial_state_override():
+    from repro.statevector import Statevector
+
+    simulator = StatevectorSimulator()
+    circuit = Circuit(2).x(0)
+    final = simulator.run(circuit, initial_state=Statevector.from_label("10"))
+    assert np.allclose(np.abs(final.data) ** 2, [0, 0, 0, 1])
+    with pytest.raises(ValueError):
+        simulator.run(circuit, initial_state=Statevector.zero_state(3))
+
+
+def test_simulator_sample_counts(ghz3):
+    simulator = StatevectorSimulator(seed=1)
+    counts = simulator.sample(ghz3, 500)
+    assert sum(counts.values()) == 500
+    assert set(counts) <= {"000", "111"}
+    assert abs(counts.get("000", 0) - 250) < 100
+
+
+def test_simulator_matches_dense_unitary(small_circuit):
+    simulator = StatevectorSimulator()
+    final = simulator.run(small_circuit).data
+    init = np.zeros(2**small_circuit.num_qubits, dtype=complex)
+    init[0] = 1.0
+    assert np.allclose(final, small_circuit.to_matrix() @ init)

@@ -1,0 +1,143 @@
+"""Unit tests for the standard gate matrices."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import stdgates
+
+
+ALL_STATIC = sorted(stdgates.STATIC_GATES)
+ALL_PARAMETRIC = sorted(stdgates.PARAMETRIC_GATES)
+
+
+@pytest.mark.parametrize("name", ALL_STATIC)
+def test_static_gates_are_unitary(name):
+    matrix = stdgates.STATIC_GATES[name]()
+    assert stdgates.is_unitary(matrix)
+
+
+@pytest.mark.parametrize("name", ALL_PARAMETRIC)
+def test_parametric_gates_are_unitary(name):
+    factory, _, n_params = stdgates.PARAMETRIC_GATES[name]
+    matrix = factory(*([0.37] * n_params))
+    assert stdgates.is_unitary(matrix)
+
+
+def test_pauli_algebra():
+    x, y, z = stdgates.x_matrix(), stdgates.y_matrix(), stdgates.z_matrix()
+    assert np.allclose(x @ x, np.eye(2))
+    assert np.allclose(x @ y, 1j * z)
+    assert np.allclose(y @ z, 1j * x)
+    assert np.allclose(z @ x, 1j * y)
+
+
+def test_hadamard_diagonalizes_x():
+    h, x, z = stdgates.h_matrix(), stdgates.x_matrix(), stdgates.z_matrix()
+    assert np.allclose(h @ x @ h, z)
+
+
+def test_s_and_t_relations():
+    s, t = stdgates.s_matrix(), stdgates.t_matrix()
+    assert np.allclose(t @ t, s)
+    assert np.allclose(s @ stdgates.sdg_matrix(), np.eye(2))
+    assert np.allclose(t @ stdgates.tdg_matrix(), np.eye(2))
+
+
+def test_sx_squares_to_x():
+    sx = stdgates.sx_matrix()
+    assert np.allclose(sx @ sx, stdgates.x_matrix())
+
+
+def test_rotation_gates_at_zero_are_identity():
+    assert np.allclose(stdgates.rx_matrix(0.0), np.eye(2))
+    assert np.allclose(stdgates.ry_matrix(0.0), np.eye(2))
+    assert np.allclose(stdgates.rz_matrix(0.0), np.eye(2))
+
+
+def test_rx_pi_is_x_up_to_phase():
+    rx = stdgates.rx_matrix(np.pi)
+    assert np.allclose(rx, -1j * stdgates.x_matrix())
+
+
+def test_u_gate_generalises_rotations():
+    theta = 0.7
+    assert np.allclose(stdgates.u_matrix(theta, -np.pi / 2, np.pi / 2),
+                       stdgates.rx_matrix(theta))
+    assert np.allclose(stdgates.u_matrix(theta, 0.0, 0.0),
+                       stdgates.ry_matrix(theta))
+
+
+def test_controlled_places_control_on_first_operand():
+    cx = stdgates.cx_matrix()
+    # |control=1, target=0> is index 1 (control = least significant bit);
+    # CX must map it to |control=1, target=1> = index 3.
+    state = np.zeros(4)
+    state[1] = 1.0
+    assert np.allclose(cx @ state, np.eye(4)[3])
+    # |control=0, target=1> stays put.
+    state = np.zeros(4)
+    state[2] = 1.0
+    assert np.allclose(cx @ state, state)
+
+
+def test_cz_is_symmetric_diag():
+    assert np.allclose(stdgates.cz_matrix(), np.diag([1, 1, 1, -1]))
+
+
+def test_swap_matrix_action():
+    swap = stdgates.swap_matrix()
+    state = np.zeros(4)
+    state[1] = 1.0  # |q1=0, q0=1>
+    assert np.allclose(swap @ state, np.eye(4)[2])
+
+
+def test_ccx_flips_only_when_both_controls_set():
+    ccx = stdgates.ccx_matrix()
+    # controls are operands 0 and 1, target operand 2 -> basis |t c1 c0>.
+    state = np.zeros(8)
+    state[3] = 1.0  # c0=1, c1=1, t=0
+    assert np.allclose(ccx @ state, np.eye(8)[7])
+    state = np.zeros(8)
+    state[1] = 1.0  # only c0 set
+    assert np.allclose(ccx @ state, state)
+
+
+def test_rzz_diagonal_phases():
+    theta = 0.9
+    rzz = stdgates.rzz_matrix(theta)
+    assert np.allclose(np.abs(np.diag(rzz)), np.ones(4))
+    assert np.allclose(rzz[0, 0], np.exp(-1j * theta / 2))
+    assert np.allclose(rzz[1, 1], np.exp(1j * theta / 2))
+
+
+def test_fsim_reduces_to_identity():
+    assert np.allclose(stdgates.fsim_matrix(0.0, 0.0), np.eye(4))
+
+
+def test_is_unitary_rejects_non_unitary():
+    assert not stdgates.is_unitary(np.array([[1.0, 0.0], [0.0, 2.0]]))
+    assert not stdgates.is_unitary(np.ones((2, 3)))
+
+
+@settings(max_examples=25, deadline=None)
+@given(dim=st.sampled_from([2, 3, 4, 8]), seed=st.integers(0, 10_000))
+def test_random_unitary_is_unitary(dim, seed):
+    matrix = stdgates.random_unitary(dim, np.random.default_rng(seed))
+    assert stdgates.is_unitary(matrix)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_random_su4_has_unit_determinant(seed):
+    matrix = stdgates.random_su4(np.random.default_rng(seed))
+    assert stdgates.is_unitary(matrix)
+    assert np.isclose(np.linalg.det(matrix), 1.0)
+
+
+def test_static_gate_matrix_is_cached_and_read_only():
+    first = stdgates.static_gate_matrix("h")
+    second = stdgates.static_gate_matrix("h")
+    assert first is second
+    with pytest.raises(ValueError):
+        first[0, 0] = 5.0

@@ -1,0 +1,161 @@
+"""Tests for the simulation tree and the DCP sampling theory (Eq. 2, 4, 5)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    TreeStructure,
+    combined_error_rate,
+    margin_of_error_for_sample,
+    minimum_sample_size,
+    standard_error,
+)
+
+
+# ---------------------------------------------------------------------------
+# TreeStructure
+# ---------------------------------------------------------------------------
+def test_baseline_tree_matches_paper_figure6():
+    """Figure 6: the (64,1,1) baseline tree has 193 nodes and 64 outcomes."""
+    tree = TreeStructure.baseline(64, 3)
+    assert tree.arities == (64, 1, 1)
+    assert tree.total_outcomes == 64
+    assert tree.total_nodes == 193
+    assert tree.subcircuit_instances == [64, 64, 64]
+    assert tree.state_copies == 128
+
+
+def test_dcp_tree_matches_paper_figure7():
+    """Figure 7: the (16,2,2) TQSim tree has 113 nodes and 64 outcomes."""
+    tree = TreeStructure((16, 2, 2))
+    assert tree.total_outcomes == 64
+    assert tree.total_nodes == 113
+    assert tree.subcircuit_instances == [16, 32, 64]
+    assert tree.state_copies == 96
+    assert tree.peak_stored_states == 3
+
+
+def test_tree_validation():
+    with pytest.raises(ValueError):
+        TreeStructure(())
+    with pytest.raises(ValueError):
+        TreeStructure((4, 0))
+    with pytest.raises(ValueError):
+        TreeStructure.baseline(10, 0)
+
+
+def test_tree_dunder_protocol():
+    tree = TreeStructure((4, 2))
+    assert len(tree) == 2
+    assert list(tree) == [4, 2]
+    assert tree[1] == 2
+    assert str(tree) == "(4,2)"
+    assert tree == TreeStructure((4, 2))
+
+
+def test_computation_cost_and_speedup():
+    tree = TreeStructure((16, 2, 2))
+    lengths = [10, 10, 10]
+    assert tree.computation_cost(lengths) == 16 * 10 + 32 * 10 + 64 * 10
+    speedup = tree.speedup_versus_baseline(lengths)
+    assert speedup == pytest.approx(64 * 30 / 1120)
+    with_copies = tree.speedup_versus_baseline(lengths, copy_cost_in_gates=5.0)
+    assert with_copies < speedup
+    with pytest.raises(ValueError):
+        tree.computation_cost([1, 2])
+
+
+def test_paper_qft14_worked_example():
+    """Section 5.1: QFT_14 (472 gates, 7 subcircuits, A0=500) -> ~3.53x."""
+    tree = TreeStructure((500, 2, 2, 2, 2, 2, 2))
+    assert tree.total_outcomes == 32000
+    lengths = [472 // 7 + (1 if i < 472 % 7 else 0) for i in range(7)]
+    speedup = tree.speedup_versus_baseline(lengths, baseline_shots=32000)
+    assert speedup == pytest.approx(3.53, abs=0.08)
+
+
+def test_ideal_equal_partition_speedup_formula():
+    assert TreeStructure.ideal_equal_partition_speedup(2, 10**6) == pytest.approx(
+        2.0, abs=1e-3
+    )
+    assert TreeStructure.ideal_equal_partition_speedup(7, 32000) == pytest.approx(
+        7 * 32000 / (6 + 32000)
+    )
+    with pytest.raises(ValueError):
+        TreeStructure.ideal_equal_partition_speedup(0, 10)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arities=st.lists(st.integers(1, 8), min_size=1, max_size=5))
+def test_tree_invariants(arities):
+    tree = TreeStructure(arities)
+    assert tree.total_outcomes == math.prod(arities)
+    assert tree.total_nodes == 1 + sum(tree.subcircuit_instances)
+    # Instance counts never decrease with depth.
+    instances = tree.subcircuit_instances
+    assert all(a <= b for a, b in zip(instances, instances[1:]))
+    assert tree.state_copies == sum(instances[1:])
+
+
+# ---------------------------------------------------------------------------
+# Sampling theory (Eq. 2, 4, 5)
+# ---------------------------------------------------------------------------
+def test_combined_error_rate_eq4():
+    assert combined_error_rate([]) == 0.0
+    assert combined_error_rate([0.1]) == pytest.approx(0.1)
+    assert combined_error_rate([0.1, 0.2]) == pytest.approx(1 - 0.9 * 0.8)
+    with pytest.raises(ValueError):
+        combined_error_rate([1.5])
+
+
+def test_minimum_sample_size_paper_operating_point():
+    """The QFT_14 worked example: a ~3% first-subcircuit error rate and
+    32 000 shots yield roughly 500 first-layer nodes at the default z/epsilon
+    (the paper assigns 500 shots to QFT_14's first subcircuit)."""
+    a0 = minimum_sample_size(0.03, 32000)
+    assert 400 <= a0 <= 600
+
+
+def test_minimum_sample_size_monotonicity():
+    base = minimum_sample_size(0.05, 10_000)
+    assert minimum_sample_size(0.10, 10_000) > base
+    assert minimum_sample_size(0.05, 10_000, margin_of_error=0.005) > base
+    assert minimum_sample_size(0.05, 100) <= 100
+
+
+def test_minimum_sample_size_bounds_and_validation():
+    assert minimum_sample_size(0.0, 1000) == 1
+    assert minimum_sample_size(0.5, 10) <= 10
+    with pytest.raises(ValueError):
+        minimum_sample_size(0.5, 0)
+    with pytest.raises(ValueError):
+        minimum_sample_size(-0.1, 100)
+    with pytest.raises(ValueError):
+        minimum_sample_size(0.1, 100, margin_of_error=0.0)
+
+
+def test_standard_error_eq2():
+    assert standard_error(2.0, 4) == pytest.approx(1.0)
+    assert standard_error(0.0, 10) == 0.0
+    with pytest.raises(ValueError):
+        standard_error(1.0, 0)
+
+
+def test_margin_of_error_inversion():
+    population = 32000
+    error_rate = 0.03
+    a0 = minimum_sample_size(error_rate, population, margin_of_error=0.015)
+    recovered = margin_of_error_for_sample(a0, error_rate, population)
+    assert recovered <= 0.015 + 1e-6
+    assert margin_of_error_for_sample(population, error_rate, population) == 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    error_rate=st.floats(0.0, 1.0),
+    population=st.integers(1, 100_000),
+)
+def test_minimum_sample_size_never_exceeds_population(error_rate, population):
+    assert 1 <= minimum_sample_size(error_rate, population) <= population
