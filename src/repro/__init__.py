@@ -9,6 +9,10 @@ The package is organised as follows:
 ``repro.circuits``
     Circuit intermediate representation, standard gates and the benchmark
     circuit library used by the paper (Table 2).
+``repro.backends``
+    Pluggable execution backends: the :class:`~repro.backends.base.Backend`
+    ABC, the string-keyed registry, the reference tensordot backend and the
+    default in-place optimized NumPy backend.
 ``repro.statevector``
     Ideal Schrödinger-style statevector simulator (the substrate the paper
     builds on, here implemented with NumPy instead of Qulacs).
@@ -35,6 +39,14 @@ The package is organised as follows:
     One module per paper table/figure, returning structured results.
 """
 
+from repro.backends import (
+    Backend,
+    NumpyBackend,
+    OptimizedNumpyBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 from repro.circuits import Circuit, Gate
 from repro.core import (
     BaselineNoisySimulator,
@@ -61,6 +73,12 @@ __all__ = [
     "DynamicCircuitPartitioner",
     "BaselineNoisySimulator",
     "TQSimEngine",
+    "Backend",
+    "NumpyBackend",
+    "OptimizedNumpyBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
     "normalized_fidelity",
     "state_fidelity",
 ]

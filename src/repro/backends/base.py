@@ -1,0 +1,131 @@
+"""The :class:`Backend` abstraction every simulator executes on.
+
+A backend owns the numerics of statevector simulation: allocating and copying
+state buffers, applying unitaries and sampled noise, and drawing measurement
+outcomes.  The TQSim engine, the per-shot baseline and the ideal statevector
+simulator are all written against this interface, which is what makes the
+paper's central claim — that tree-based trajectory reuse is backend
+independent — testable: any registered backend can be swapped in via
+:func:`repro.backends.get_backend`.
+
+Mutation contract
+-----------------
+``apply_unitary`` / ``apply_gate`` / ``apply_noise`` *may* transform the state
+in place and always return the array holding the result; callers must use the
+returned array and must not assume the input was left intact.  The reference
+:class:`~repro.backends.numpy_backend.NumpyBackend` is purely functional while
+:class:`~repro.backends.optimized.OptimizedNumpyBackend` works in place, and
+both honour this contract.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from repro.circuits.gate import Gate
+from repro.noise.channels import ReadoutError
+from repro.noise.model import NoiseModel
+from repro.statevector.sampling import index_to_bitstring, inverse_cdf_index
+
+__all__ = ["Backend"]
+
+
+class Backend(ABC):
+    """Abstract execution backend for statevector simulation."""
+
+    #: Registry key of the backend (subclasses override).
+    name = "abstract"
+
+    # ------------------------------------------------------------------
+    # State management
+    # ------------------------------------------------------------------
+    def allocate_state(self, num_qubits: int) -> np.ndarray:
+        """Allocate an *uninitialised* state buffer (for buffer pools)."""
+        return np.empty(2**num_qubits, dtype=complex)
+
+    def initial_state(self, num_qubits: int) -> np.ndarray:
+        """Allocate |0...0>."""
+        return self.reset_state(self.allocate_state(num_qubits))
+
+    def reset_state(self, state: np.ndarray) -> np.ndarray:
+        """Overwrite ``state`` with |0...0> in place and return it."""
+        state.fill(0.0)
+        state[0] = 1.0
+        return state
+
+    def copy_state(self, state: np.ndarray) -> np.ndarray:
+        """Deep copy of a statevector (the operation TQSim pays for reuse)."""
+        return state.copy()
+
+    def copy_into(self, dest: np.ndarray, src: np.ndarray) -> np.ndarray:
+        """Copy ``src`` into the preallocated ``dest`` buffer and return it."""
+        np.copyto(dest, src)
+        return dest
+
+    # ------------------------------------------------------------------
+    # Evolution
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def apply_unitary(
+        self, state: np.ndarray, matrix: np.ndarray, targets: Sequence[int]
+    ) -> np.ndarray:
+        """Apply a ``2**k x 2**k`` matrix to the target qubits of ``state``.
+
+        Returns the array holding the result (see the mutation contract in
+        the module docstring).  The matrix is not required to be unitary —
+        Kraus operators are applied through the same kernels.
+        """
+
+    def apply_gate(self, state: np.ndarray, gate: Gate) -> np.ndarray:
+        """Apply one ideal gate."""
+        return self.apply_unitary(state, gate.to_matrix(), gate.qubits)
+
+    def apply_noise(
+        self,
+        state: np.ndarray,
+        gate: Gate,
+        noise_model: NoiseModel,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Sample and apply the noise events attached to ``gate``."""
+        from repro.noise.trajectory import apply_gate_noise
+
+        return apply_gate_noise(state, gate, noise_model, rng, backend=self)
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+    def probabilities(self, state: np.ndarray) -> np.ndarray:
+        """Born-rule probabilities of ``state`` (not normalised)."""
+        return np.square(state.real) + np.square(state.imag)
+
+    def sample_outcome(
+        self,
+        state: np.ndarray,
+        rng: np.random.Generator,
+        readout_error: ReadoutError | None = None,
+    ) -> str:
+        """Sample one measurement outcome, including optional readout error.
+
+        Uses an inverse-CDF draw (``cumsum`` + ``searchsorted``) instead of
+        ``rng.choice(p=...)``, and vectorised per-bit readout flips.  This is
+        the single shared implementation behind every trajectory simulator.
+        """
+        cumulative = np.cumsum(self.probabilities(state))
+        outcome = inverse_cdf_index(cumulative, rng)
+        num_qubits = int(cumulative.size).bit_length() - 1
+        if readout_error is not None:
+            positions = np.arange(num_qubits)
+            bits = (outcome >> positions) & 1
+            flip_probability = np.where(
+                bits == 1, readout_error.p0_given_1, readout_error.p1_given_0
+            )
+            bits ^= rng.random(num_qubits) < flip_probability
+            outcome = int((bits << positions).sum())
+        return index_to_bitstring(outcome, num_qubits)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"

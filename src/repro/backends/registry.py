@@ -1,0 +1,74 @@
+"""String-keyed backend registry.
+
+Backends register a zero-argument factory under one or more names;
+:func:`get_backend` turns a name (or ``None`` for the default, or an already
+constructed :class:`~repro.backends.base.Backend`) into a backend instance.
+Factories are invoked on every lookup so each simulator owns its backend —
+backends keep per-instance scratch buffers and are not thread-safe to share.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.backends.base import Backend
+
+__all__ = [
+    "DEFAULT_BACKEND_NAME",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+]
+
+#: Name resolved when no backend is requested explicitly.
+DEFAULT_BACKEND_NAME = "optimized"
+
+_FACTORIES: dict[str, Callable[[], Backend]] = {}
+
+
+def register_backend(
+    name: str,
+    factory: Callable[[], Backend],
+    *,
+    aliases: tuple[str, ...] = (),
+    overwrite: bool = False,
+) -> None:
+    """Register a backend factory under ``name`` (plus optional aliases).
+
+    ``factory`` is any zero-argument callable returning a
+    :class:`~repro.backends.base.Backend` — typically the class itself.
+    """
+    keys = [key.lower() for key in (name, *aliases)]
+    if not overwrite:
+        for key in keys:
+            if key in _FACTORIES:
+                raise ValueError(f"backend {key!r} is already registered")
+    for key in keys:
+        _FACTORIES[key] = factory
+
+
+def available_backends() -> tuple[str, ...]:
+    """Sorted names under which backends are registered."""
+    return tuple(sorted(_FACTORIES))
+
+
+def get_backend(backend: str | Backend | None = None) -> Backend:
+    """Resolve a backend name (or pass an instance through).
+
+    Parameters
+    ----------
+    backend:
+        ``None`` for the default backend, a registered name (case
+        insensitive), or an existing :class:`Backend` instance, which is
+        returned unchanged.
+    """
+    if isinstance(backend, Backend):
+        return backend
+    key = (DEFAULT_BACKEND_NAME if backend is None else str(backend)).lower()
+    try:
+        factory = _FACTORIES[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {key!r}; available: {', '.join(available_backends())}"
+        ) from None
+    return factory()

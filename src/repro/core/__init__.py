@@ -9,8 +9,13 @@ from repro.core.backends import (
     V100,
     XEON_6130,
     XEON_6138,
+    Backend,
     DeviceProfile,
     NumpyBackend,
+    OptimizedNumpyBackend,
+    available_backends,
+    get_backend,
+    register_backend,
 )
 from repro.core.baseline import BaselineNoisySimulator
 from repro.core.copycost import (
@@ -54,7 +59,12 @@ __all__ = [
     "DynamicCircuitPartitioner",
     "BaselineNoisySimulator",
     "TQSimEngine",
+    "Backend",
     "NumpyBackend",
+    "OptimizedNumpyBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
     "DeviceProfile",
     "DEVICE_PROFILES",
     "XEON_6130",

@@ -1,9 +1,11 @@
-"""Execution backends and modeled device profiles.
+"""Modeled device profiles (and a re-export shim for execution backends).
 
 The paper demonstrates TQSim on three backends (Qulacs CPU, CuStateVec GPU,
 qHiPSTER cluster) and argues the gains are backend independent because they
-come from *computation reduction*.  Here the numerics always run on the NumPy
-backend; :class:`DeviceProfile` additionally lets experiments convert the
+come from *computation reduction*.  The concrete execution backends now live
+in :mod:`repro.backends` (a :class:`~repro.backends.base.Backend` ABC behind
+a string-keyed registry); they are re-exported here so existing imports keep
+working.  :class:`DeviceProfile` additionally lets experiments convert the
 backend-independent cost counters into modeled wall-clock on the paper's
 devices (used by the GPU-backend and parallel-shot studies).
 """
@@ -12,16 +14,23 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
-from repro.circuits.gate import Gate
+from repro.backends import (
+    Backend,
+    NumpyBackend,
+    OptimizedNumpyBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 from repro.core.results import CostCounters
-from repro.noise.model import NoiseModel
-from repro.noise.trajectory import apply_gate_noise
-from repro.statevector.apply import apply_gate
 
 __all__ = [
+    "Backend",
     "NumpyBackend",
+    "OptimizedNumpyBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
     "DeviceProfile",
     "XEON_6130",
     "XEON_6138",
@@ -32,36 +41,6 @@ __all__ = [
     "A100",
     "DEVICE_PROFILES",
 ]
-
-
-class NumpyBackend:
-    """The concrete statevector backend used for all numerics."""
-
-    name = "numpy"
-
-    def initial_state(self, num_qubits: int) -> np.ndarray:
-        """Allocate |0...0>."""
-        state = np.zeros(2**num_qubits, dtype=complex)
-        state[0] = 1.0
-        return state
-
-    def copy_state(self, state: np.ndarray) -> np.ndarray:
-        """Deep copy of a statevector (the operation TQSim pays for reuse)."""
-        return state.copy()
-
-    def apply_gate(self, state: np.ndarray, gate: Gate) -> np.ndarray:
-        """Apply one ideal gate."""
-        return apply_gate(state, gate)
-
-    def apply_noise(
-        self,
-        state: np.ndarray,
-        gate: Gate,
-        noise_model: NoiseModel,
-        rng: np.random.Generator,
-    ) -> np.ndarray:
-        """Sample and apply the noise events attached to ``gate``."""
-        return apply_gate_noise(state, gate, noise_model, rng)
 
 
 @dataclass(frozen=True)

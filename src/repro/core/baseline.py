@@ -2,7 +2,9 @@
 
 This plays the role of the noisy Qulacs / Qiskit Aer baseline in the paper:
 every shot starts from |0...0>, applies every gate followed by freshly sampled
-noise operators, and contributes exactly one measurement outcome.
+noise operators, and contributes exactly one measurement outcome.  A single
+state buffer is reset between shots, so with an in-place backend the loop
+allocates nothing.
 """
 
 from __future__ import annotations
@@ -11,11 +13,10 @@ import time
 
 import numpy as np
 
+from repro.backends import Backend, get_backend
 from repro.circuits.circuit import Circuit
-from repro.core.backends import NumpyBackend
 from repro.core.results import CostCounters, SimulationResult
 from repro.noise.model import NoiseModel
-from repro.statevector.sampling import index_to_bitstring
 
 __all__ = ["BaselineNoisySimulator"]
 
@@ -27,10 +28,10 @@ class BaselineNoisySimulator:
         self,
         noise_model: NoiseModel | None = None,
         seed: int | None = None,
-        backend: NumpyBackend | None = None,
+        backend: str | Backend | None = None,
     ) -> None:
         self.noise_model = noise_model
-        self.backend = backend if backend is not None else NumpyBackend()
+        self.backend = get_backend(backend)
         self._rng = np.random.default_rng(seed)
 
     # ------------------------------------------------------------------
@@ -38,22 +39,25 @@ class BaselineNoisySimulator:
         """Simulate ``shots`` independent noisy trajectories of ``circuit``."""
         if shots < 1:
             raise ValueError("shots must be >= 1")
+        backend = self.backend
         counts: dict[str, int] = {}
         cost = CostCounters()
+        readout = self.noise_model.readout_error if self.noise_model else None
         start = time.perf_counter()
+        buffer = backend.allocate_state(circuit.num_qubits)
         for _ in range(shots):
-            state = self.backend.initial_state(circuit.num_qubits)
+            state = backend.reset_state(buffer)
             for gate in circuit:
-                state = self.backend.apply_gate(state, gate)
+                state = backend.apply_gate(state, gate)
                 cost.gate_applications += 1
                 if self.noise_model is not None:
-                    state = self.backend.apply_noise(
+                    state = backend.apply_noise(
                         state, gate, self.noise_model, self._rng
                     )
                     cost.noise_applications += len(
                         self.noise_model.events_for_gate(gate)
                     )
-            bitstring = self._sample_outcome(state, circuit.num_qubits)
+            bitstring = backend.sample_outcome(state, self._rng, readout)
             counts[bitstring] = counts.get(bitstring, 0) + 1
             cost.leaf_samples += 1
         cost.wall_time_seconds = time.perf_counter() - start
@@ -62,21 +66,12 @@ class BaselineNoisySimulator:
             num_qubits=circuit.num_qubits,
             shots=shots,
             cost=cost,
-            metadata={"simulator": "baseline", "noise_model": _noise_name(self)},
+            metadata={
+                "simulator": "baseline",
+                "backend": backend.name,
+                "noise_model": _noise_name(self),
+            },
         )
-
-    # ------------------------------------------------------------------
-    def _sample_outcome(self, state: np.ndarray, num_qubits: int) -> str:
-        """Sample one measurement outcome, including readout error."""
-        probabilities = np.abs(state) ** 2
-        probabilities = probabilities / probabilities.sum()
-        outcome = int(self._rng.choice(len(probabilities), p=probabilities))
-        bits = [(outcome >> q) & 1 for q in range(num_qubits)]
-        readout = self.noise_model.readout_error if self.noise_model else None
-        if readout is not None:
-            bits = [readout.sample_flip(bit, self._rng) for bit in bits]
-        index = sum(bit << q for q, bit in enumerate(bits))
-        return index_to_bitstring(index, num_qubits)
 
 
 def _noise_name(simulator: BaselineNoisySimulator) -> str:

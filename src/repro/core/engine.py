@@ -1,11 +1,18 @@
 """The TQSim engine: tree-based noisy simulation with intermediate-state reuse.
 
 Given a :class:`~repro.core.partitioners.PartitionPlan`, the engine walks the
-simulation tree depth-first.  A node at layer ``i`` copies its parent's
-intermediate state, applies subcircuit ``i`` with freshly sampled noise, and
-hands the resulting state to its ``A_{i+1}`` children; leaves sample one
-measurement outcome each.  Only one intermediate state per layer is alive at a
-time, which is exactly the memory footprint the paper reports in Figure 9.
+simulation tree depth-first with an explicit, iterative traversal.  A node at
+layer ``i`` copies its parent's intermediate state, applies subcircuit ``i``
+with freshly sampled noise, and hands the resulting state to its ``A_{i+1}``
+children; leaves sample one measurement outcome each.
+
+States live in a *buffer pool* with exactly one preallocated statevector per
+tree layer — the Figure-9 memory footprint.  Reuse copies are ``np.copyto``
+into the pooled buffer of the child's layer instead of fresh allocations, so
+with an in-place backend and mixed-unitary noise (the paper's depolarizing
+models) the steady-state traversal allocates nothing.  General Kraus
+channels still allocate per-branch candidates, since their branch
+probabilities depend on the state.
 """
 
 from __future__ import annotations
@@ -14,8 +21,8 @@ import time
 
 import numpy as np
 
+from repro.backends import Backend, get_backend
 from repro.circuits.circuit import Circuit
-from repro.core.backends import NumpyBackend
 from repro.core.copycost import DEFAULT_COPY_COST_IN_GATES
 from repro.core.partitioners import (
     CircuitPartitioner,
@@ -24,7 +31,6 @@ from repro.core.partitioners import (
 )
 from repro.core.results import CostCounters, SimulationResult
 from repro.noise.model import NoiseModel
-from repro.statevector.sampling import index_to_bitstring
 
 __all__ = ["TQSimEngine"]
 
@@ -36,11 +42,11 @@ class TQSimEngine:
         self,
         noise_model: NoiseModel | None = None,
         seed: int | None = None,
-        backend: NumpyBackend | None = None,
+        backend: str | Backend | None = None,
         copy_cost_in_gates: float = DEFAULT_COPY_COST_IN_GATES,
     ) -> None:
         self.noise_model = noise_model
-        self.backend = backend if backend is not None else NumpyBackend()
+        self.backend = get_backend(backend)
         self.copy_cost_in_gates = float(copy_cost_in_gates)
         self._rng = np.random.default_rng(seed)
 
@@ -83,8 +89,7 @@ class TQSimEngine:
         counts: dict[str, int] = {}
         cost = CostCounters()
         start = time.perf_counter()
-        initial = self.backend.initial_state(circuit.num_qubits)
-        self._simulate_node(initial, 0, plan, counts, cost)
+        self._run_tree(circuit, plan, counts, cost)
         cost.wall_time_seconds = time.perf_counter() - start
 
         return SimulationResult(
@@ -94,6 +99,7 @@ class TQSimEngine:
             cost=cost,
             metadata={
                 "simulator": "tqsim",
+                "backend": self.backend.name,
                 "policy": plan.policy,
                 "tree": str(plan.tree),
                 "subcircuit_lengths": plan.subcircuit_lengths,
@@ -105,58 +111,65 @@ class TQSimEngine:
         )
 
     # ------------------------------------------------------------------
-    def _simulate_node(
+    def _run_tree(
         self,
-        parent_state: np.ndarray,
-        layer: int,
+        circuit: Circuit,
         plan: PartitionPlan,
         counts: dict[str, int],
         cost: CostCounters,
     ) -> None:
-        """Depth-first traversal of the simulation tree below one node."""
+        """Iterative depth-first traversal over the pooled state buffers.
+
+        ``pool[i]`` holds the intermediate state produced by the node of
+        layer ``i`` currently on the traversal path; ``progress[i]`` counts
+        how many of that node's parent's children have already executed.
+        """
+        backend = self.backend
+        arities = plan.tree.arities
         num_layers = plan.tree.num_subcircuits
-        if layer == num_layers:
-            bitstring = self._sample_outcome(parent_state)
-            counts[bitstring] = counts.get(bitstring, 0) + 1
-            cost.leaf_samples += 1
-            return
-        subcircuit = plan.subcircuits[layer]
-        arity = plan.tree.arities[layer]
-        for _ in range(arity):
+        subcircuits = plan.subcircuits
+        readout = self.noise_model.readout_error if self.noise_model else None
+        pool = [backend.allocate_state(circuit.num_qubits) for _ in range(num_layers)]
+        progress = [0] * num_layers
+
+        layer = 0
+        while layer >= 0:
+            if progress[layer] == arities[layer]:
+                # All children of the layer-(i-1) node are done; pop back up.
+                progress[layer] = 0
+                layer -= 1
+                continue
+            progress[layer] += 1
             if layer == 0:
                 # First-layer nodes start from |0...0> just like the baseline;
-                # re-allocating it is not counted as a reuse copy.
-                child_state = self.backend.initial_state(subcircuit.num_qubits)
+                # resetting the pooled buffer is not counted as a reuse copy.
+                state = backend.reset_state(pool[0])
             else:
-                child_state = self.backend.copy_state(parent_state)
+                state = backend.copy_into(pool[layer], pool[layer - 1])
                 cost.state_copies += 1
-            child_state = self._apply_subcircuit(child_state, subcircuit, cost)
-            self._simulate_node(child_state, layer + 1, plan, counts, cost)
+            state = self._apply_subcircuit(state, subcircuits[layer], cost)
+            # Rebind in case the backend works out of place; in-place
+            # backends return the pooled buffer itself.
+            pool[layer] = state
+            if layer == num_layers - 1:
+                bitstring = backend.sample_outcome(state, self._rng, readout)
+                counts[bitstring] = counts.get(bitstring, 0) + 1
+                cost.leaf_samples += 1
+            else:
+                layer += 1
 
     def _apply_subcircuit(
         self, state: np.ndarray, subcircuit: Circuit, cost: CostCounters
     ) -> np.ndarray:
         """Apply one subcircuit with freshly sampled trajectory noise."""
+        backend = self.backend
         for gate in subcircuit:
-            state = self.backend.apply_gate(state, gate)
+            state = backend.apply_gate(state, gate)
             cost.gate_applications += 1
             if self.noise_model is not None:
-                state = self.backend.apply_noise(state, gate, self.noise_model,
-                                                 self._rng)
+                state = backend.apply_noise(state, gate, self.noise_model,
+                                            self._rng)
                 cost.noise_applications += len(
                     self.noise_model.events_for_gate(gate)
                 )
         return state
-
-    def _sample_outcome(self, state: np.ndarray) -> str:
-        """Sample one outcome from a leaf state, including readout error."""
-        probabilities = np.abs(state) ** 2
-        probabilities = probabilities / probabilities.sum()
-        num_qubits = int(len(probabilities)).bit_length() - 1
-        outcome = int(self._rng.choice(len(probabilities), p=probabilities))
-        bits = [(outcome >> q) & 1 for q in range(num_qubits)]
-        readout = self.noise_model.readout_error if self.noise_model else None
-        if readout is not None:
-            bits = [readout.sample_flip(bit, self._rng) for bit in bits]
-        index = sum(bit << q for q, bit in enumerate(bits))
-        return index_to_bitstring(index, num_qubits)

@@ -11,6 +11,7 @@ import numpy as np
 from repro.circuits.circuit import Circuit
 from repro.density.densitymatrix import DensityMatrix
 from repro.noise.model import NoiseModel
+from repro.statevector.apply import apply_kraus_to_density, apply_unitary_to_density
 from repro.statevector.sampling import sample_from_probabilities
 
 __all__ = ["DensityMatrixSimulator"]
@@ -29,32 +30,47 @@ class DensityMatrixSimulator:
     MAX_QUBITS = 12
 
     def __init__(self, noise_model: NoiseModel | None = None,
-                 seed: int | None = None) -> None:
+                 seed: int | None = None, backend=None) -> None:
+        from repro.backends import get_backend
+
         self.noise_model = noise_model
+        self.backend = get_backend(backend)
         self._rng = np.random.default_rng(seed)
 
     def run(self, circuit: Circuit,
             initial_state: DensityMatrix | None = None) -> DensityMatrix:
-        """Return the exact output density matrix of ``circuit``."""
+        """Return the exact output density matrix of ``circuit``.
+
+        The density matrix is evolved as a statevector over the doubled
+        (row ⊗ column) qubit register so that the configured backend's gate
+        kernels drive the numerics: ``U rho U†`` is ``U`` on the row qubits
+        followed by ``U*`` on the column qubits.
+        """
         if circuit.num_qubits > self.MAX_QUBITS:
             raise ValueError(
                 f"density-matrix simulation of {circuit.num_qubits} qubits "
                 f"exceeds the {self.MAX_QUBITS}-qubit limit of this simulator"
             )
+        num_qubits = circuit.num_qubits
+        dim = 2**num_qubits
+        backend = self.backend
         if initial_state is None:
-            rho = DensityMatrix.zero_state(circuit.num_qubits)
+            rho = backend.initial_state(2 * num_qubits).reshape(dim, dim)
         else:
-            if initial_state.num_qubits != circuit.num_qubits:
+            if initial_state.num_qubits != num_qubits:
                 raise ValueError("initial state width does not match the circuit")
-            rho = DensityMatrix(initial_state.data.copy())
+            rho = backend.copy_state(initial_state.data.reshape(-1)).reshape(dim, dim)
         for gate in circuit:
-            rho = rho.evolve_unitary(gate.to_matrix(), gate.qubits)
+            rho = apply_unitary_to_density(
+                rho, gate.to_matrix(), gate.qubits, backend=backend
+            )
             if self.noise_model is not None:
                 for event in self.noise_model.events_for_gate(gate):
-                    rho = rho.evolve_channel(
-                        event.channel.kraus_operators, event.qubits
+                    rho = apply_kraus_to_density(
+                        rho, event.channel.kraus_operators, event.qubits,
+                        backend=backend,
                     )
-        return rho
+        return DensityMatrix(rho)
 
     def probabilities(self, circuit: Circuit) -> np.ndarray:
         """Exact output distribution, including readout error if configured."""

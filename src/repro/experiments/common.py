@@ -58,6 +58,9 @@ class ExperimentConfig:
         stays at the paper's operating point even though the scaled-down
         harness uses far fewer than 32 000 shots; pass an explicit value to
         use the formula verbatim.
+    backend:
+        Name of the execution backend (see :mod:`repro.backends`) every
+        simulator in the harness runs on.
     """
 
     shots: int = 256
@@ -65,6 +68,7 @@ class ExperimentConfig:
     seed: int = 7
     copy_cost_in_gates: float = 10.0
     margin_of_error: float | None = None
+    backend: str = "optimized"
     extra: dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -145,14 +149,19 @@ def compare_simulators(
     used as the reference for both normalized-fidelity values, mirroring the
     paper's methodology (Section 4.1).
     """
-    ideal = StatevectorSimulator(seed=config.seed).probabilities(circuit)
+    ideal = StatevectorSimulator(
+        seed=config.seed, backend=config.backend
+    ).probabilities(circuit)
 
-    baseline = BaselineNoisySimulator(noise_model, seed=config.seed)
+    baseline = BaselineNoisySimulator(
+        noise_model, seed=config.seed, backend=config.backend
+    )
     baseline_result = baseline.run(circuit, config.shots)
 
     engine = TQSimEngine(
         noise_model,
         seed=config.seed + 1,
+        backend=config.backend,
         copy_cost_in_gates=config.copy_cost_in_gates,
     )
     if partitioner is None:

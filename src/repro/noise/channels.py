@@ -23,6 +23,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.circuits import stdgates
+from repro.statevector.sampling import inverse_cdf_index
 
 __all__ = [
     "KrausChannel",
@@ -78,6 +79,10 @@ class KrausChannel:
         self.name = name
         self.num_qubits = num_qubits
         self._mixture = mixture
+        # Lazily built sampling caches (see sample_mixture_index).
+        self._mixture_cumulative: np.ndarray | None = None
+        self._mixture_unitaries: list[np.ndarray] | None = None
+        self._mixture_identity_first: bool | None = None
         if error_probability is None:
             overlap = abs(np.trace(operators[0]) / dim) ** 2
             error_probability = float(min(max(1.0 - overlap, 0.0), 1.0))
@@ -109,6 +114,38 @@ class KrausChannel:
             raise ValueError(f"channel {self.name!r} is not a mixture of unitaries")
         probabilities, unitaries = self._mixture
         return np.asarray(probabilities, dtype=float), list(unitaries)
+
+    def _build_mixture_caches(self) -> None:
+        probabilities, unitaries = self.mixture()
+        self._mixture_cumulative = np.cumsum(probabilities)
+        self._mixture_unitaries = unitaries
+        self._mixture_identity_first = bool(
+            np.allclose(unitaries[0], np.eye(unitaries[0].shape[0]))
+        )
+
+    def sample_mixture_index(self, rng: np.random.Generator) -> int:
+        """Draw one mixture branch index via an inverse-CDF lookup.
+
+        Equivalent in distribution to ``rng.choice(len(p), p=p)`` but far
+        cheaper per draw: the cumulative probabilities are cached on the
+        channel, so each sample costs one uniform draw plus a binary search.
+        """
+        if self._mixture_cumulative is None:
+            self._build_mixture_caches()
+        return inverse_cdf_index(self._mixture_cumulative, rng)
+
+    @property
+    def mixture_identity_first(self) -> bool:
+        """True when mixture branch 0 is the identity (checked once, cached)."""
+        if self._mixture_identity_first is None:
+            self._build_mixture_caches()
+        return self._mixture_identity_first
+
+    def mixture_unitary(self, index: int) -> np.ndarray:
+        """The unitary of one mixture branch (from the cached decomposition)."""
+        if self._mixture_unitaries is None:
+            self._build_mixture_caches()
+        return self._mixture_unitaries[index]
 
     def to_superoperator(self) -> np.ndarray:
         """Column-stacking superoperator sum_i conj(K_i) ⊗ K_i (for tests)."""

@@ -16,6 +16,7 @@ from repro.circuits.gate import Gate
 from repro.noise.channels import KrausChannel
 from repro.noise.model import NoiseModel
 from repro.statevector.apply import apply_unitary
+from repro.statevector.sampling import inverse_cdf_index
 
 __all__ = [
     "sample_channel_on_state",
@@ -31,36 +32,47 @@ def sample_channel_on_state(
     channel: KrausChannel,
     qubits: tuple[int, ...],
     rng: np.random.Generator,
+    backend=None,
 ) -> tuple[np.ndarray, int]:
     """Sample one Kraus branch of ``channel`` and apply it to ``state``.
 
     Returns the new statevector and the index of the sampled operator (the
     mixture index for mixed-unitary channels, the Kraus index otherwise).
+
+    When a :class:`~repro.backends.base.Backend` is supplied, the branch is
+    applied through its kernels and the backend's mutation contract applies
+    (``state`` may be transformed in place).  Without one, the application is
+    purely functional, as before.
     """
     if channel.is_mixed_unitary:
-        probabilities, unitaries = channel.mixture()
-        index = int(rng.choice(len(probabilities), p=probabilities))
-        unitary = unitaries[index]
-        if index == 0 and np.allclose(unitary, np.eye(unitary.shape[0])):
+        index = channel.sample_mixture_index(rng)
+        if index == 0 and channel.mixture_identity_first:
             return state, index
-        return apply_unitary(state, unitary, qubits), index
+        unitary = channel.mixture_unitary(index)
+        if backend is None:
+            return apply_unitary(state, unitary, qubits), index
+        return backend.apply_unitary(state, unitary, qubits), index
 
-    # General Kraus channel: branch probabilities depend on the state.
+    # General Kraus channel: branch probabilities depend on the state, so
+    # every candidate is computed out of place before one is selected.
     branch_states = []
     branch_probabilities = []
     for operator in channel.kraus_operators:
-        candidate = apply_unitary(state, operator, qubits)
+        if backend is None:
+            candidate = apply_unitary(state, operator, qubits)
+        else:
+            candidate = backend.apply_unitary(
+                backend.copy_state(state), operator, qubits
+            )
         probability = float(np.real(np.vdot(candidate, candidate)))
         branch_states.append(candidate)
         branch_probabilities.append(max(probability, 0.0))
-    total = sum(branch_probabilities)
-    if total <= 0:
+    if sum(branch_probabilities) <= 0:
         raise ValueError(f"channel {channel.name!r} annihilated the state")
-    probabilities = np.array(branch_probabilities) / total
-    index = int(rng.choice(len(probabilities), p=probabilities))
+    index = inverse_cdf_index(np.cumsum(branch_probabilities), rng)
     chosen = branch_states[index]
-    norm = np.linalg.norm(chosen)
-    return chosen / norm, index
+    chosen /= np.linalg.norm(chosen)
+    return chosen, index
 
 
 def apply_gate_noise(
@@ -68,10 +80,13 @@ def apply_gate_noise(
     gate: Gate,
     noise_model: NoiseModel,
     rng: np.random.Generator,
+    backend=None,
 ) -> np.ndarray:
     """Apply every noise event attached to ``gate`` by the noise model."""
     for event in noise_model.events_for_gate(gate):
-        state, _ = sample_channel_on_state(state, event.channel, event.qubits, rng)
+        state, _ = sample_channel_on_state(
+            state, event.channel, event.qubits, rng, backend=backend
+        )
     return state
 
 

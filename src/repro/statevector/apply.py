@@ -92,32 +92,43 @@ def apply_matrix_inplace_view(
 
 
 def apply_unitary_to_density(
-    rho: np.ndarray, matrix: np.ndarray, targets: Sequence[int]
+    rho: np.ndarray, matrix: np.ndarray, targets: Sequence[int], backend=None
 ) -> np.ndarray:
-    """Apply ``U rho U†`` on the given target qubits of a density matrix."""
+    """Apply ``U rho U†`` on the given target qubits of a density matrix.
+
+    When a :class:`~repro.backends.base.Backend` is supplied, its kernels
+    drive the numerics and its mutation contract applies (``rho`` may be
+    transformed in place); otherwise the application is purely functional.
+    """
     dim = rho.shape[0]
     num_qubits = int(dim).bit_length() - 1
     if rho.shape != (dim, dim) or 2**num_qubits != dim:
         raise ValueError("density matrix must be square with power-of-two dimension")
     # Treat rho as a vector over (row ⊗ column) and apply U to the row index
-    # and U* to the column index.  Row qubits are 0..n-1, column qubits n..2n-1
-    # in the flattened little-endian layout of rho.reshape(-1) with the column
-    # index as the fastest-varying block — easier: operate on the 2-D form.
+    # and U* to the column index.  Row index is the most significant part of
+    # the flattened index flat[r * dim + c], so in little-endian terms the
+    # column qubits occupy bits 0..n-1 and row qubits bits n..2n-1.
     flat = rho.reshape(-1)
-    # Row index is the most significant part of the flattened index:
-    # flat[r * dim + c].  In little-endian terms the column qubits occupy bits
-    # 0..n-1 and row qubits bits n..2n-1.
+    matrix = np.asarray(matrix, dtype=complex)
     row_targets = [t + num_qubits for t in targets]
     col_targets = list(targets)
-    flat = apply_unitary(flat, np.asarray(matrix, dtype=complex), row_targets)
-    flat = apply_unitary(flat, np.asarray(matrix, dtype=complex).conj(), col_targets)
+    apply = apply_unitary if backend is None else backend.apply_unitary
+    flat = apply(flat, matrix, row_targets)
+    flat = apply(flat, matrix.conj(), col_targets)
     return flat.reshape(dim, dim)
 
 
 def apply_kraus_to_density(
-    rho: np.ndarray, kraus_operators: Sequence[np.ndarray], targets: Sequence[int]
+    rho: np.ndarray,
+    kraus_operators: Sequence[np.ndarray],
+    targets: Sequence[int],
+    backend=None,
 ) -> np.ndarray:
-    """Apply a CPTP map ``rho -> sum_i K_i rho K_i†`` on the target qubits."""
+    """Apply a CPTP map ``rho -> sum_i K_i rho K_i†`` on the target qubits.
+
+    The optional ``backend`` routes every operator application through its
+    kernels; the Kraus sum itself always lands in a fresh array.
+    """
     dim = rho.shape[0]
     num_qubits = int(dim).bit_length() - 1
     row_targets = [t + num_qubits for t in targets]
@@ -126,7 +137,13 @@ def apply_kraus_to_density(
     total = np.zeros_like(flat)
     for kraus in kraus_operators:
         kraus = np.asarray(kraus, dtype=complex)
-        term = apply_unitary(flat, kraus, row_targets)
-        term = apply_unitary(term, kraus.conj(), col_targets)
+        if backend is None:
+            term = apply_unitary(flat, kraus, row_targets)
+            term = apply_unitary(term, kraus.conj(), col_targets)
+        else:
+            term = backend.apply_unitary(
+                backend.copy_state(flat), kraus, row_targets
+            )
+            term = backend.apply_unitary(term, kraus.conj(), col_targets)
         total += term
     return total.reshape(dim, dim)

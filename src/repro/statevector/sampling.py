@@ -7,6 +7,7 @@ from typing import Mapping
 import numpy as np
 
 __all__ = [
+    "inverse_cdf_index",
     "sample_from_probabilities",
     "counts_to_probability_vector",
     "merge_counts",
@@ -14,6 +15,22 @@ __all__ = [
     "index_to_bitstring",
     "bitstring_to_index",
 ]
+
+
+def inverse_cdf_index(
+    cumulative: np.ndarray, rng: np.random.Generator
+) -> int:
+    """Draw one index from an (unnormalised) cumulative probability array.
+
+    Equivalent in distribution to ``rng.choice(len(p), p=p)`` but costs one
+    uniform draw plus a binary search.  This is the single sampling primitive
+    behind backend outcome sampling and noise-branch selection.
+    """
+    total = cumulative[-1]
+    if total <= 0:
+        raise ValueError("cumulative probabilities sum to zero")
+    position = np.searchsorted(cumulative, rng.random() * total, side="right")
+    return int(min(position, cumulative.size - 1))
 
 
 def index_to_bitstring(index: int, num_qubits: int) -> str:
@@ -97,10 +114,15 @@ def apply_readout_error_to_counts(
     rng = rng if rng is not None else np.random.default_rng()
     noisy: dict[str, int] = {}
     for bitstring, count in counts.items():
-        bits = np.array([int(b) for b in bitstring], dtype=np.int8)
-        flips = rng.random((count, bits.size)) < flip_probability
-        flipped = np.bitwise_xor(bits[None, :], flips.astype(np.int8))
-        for row in flipped:
-            key = "".join("1" if bit else "0" for bit in row)
-            noisy[key] = noisy.get(key, 0) + 1
+        num_bits = len(bitstring)
+        bits = np.frombuffer(bitstring.encode("ascii"), dtype=np.uint8) - ord("0")
+        flips = rng.random((count, num_bits)) < flip_probability
+        flipped = np.bitwise_xor(bits[None, :].astype(np.int64), flips)
+        # bitstring[0] is the most significant bit, so fold each row into a
+        # basis-state index and aggregate with one unique() pass per key.
+        weights = 1 << np.arange(num_bits - 1, -1, -1, dtype=np.int64)
+        indices, flipped_counts = np.unique(flipped @ weights, return_counts=True)
+        for index, flipped_count in zip(indices, flipped_counts):
+            key = index_to_bitstring(int(index), num_bits)
+            noisy[key] = noisy.get(key, 0) + int(flipped_count)
     return noisy

@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.circuits.circuit import Circuit
-from repro.statevector.apply import apply_gate
 from repro.statevector.sampling import sample_from_probabilities
 from repro.statevector.state import Statevector
 
@@ -17,9 +16,14 @@ class StatevectorSimulator:
 
     This is the substrate on which both the baseline noisy simulator and the
     TQSim reuse engine are built (the paper uses Qulacs in the same role).
+    Gate numerics run on a pluggable backend from :mod:`repro.backends`.
     """
 
-    def __init__(self, seed: int | None = None) -> None:
+    def __init__(self, seed: int | None = None,
+                 backend=None) -> None:
+        from repro.backends import get_backend
+
+        self.backend = get_backend(backend)
         self._rng = np.random.default_rng(seed)
 
     def run(
@@ -35,16 +39,17 @@ class StatevectorSimulator:
             Optional starting state; defaults to |0...0>.  The state is not
             modified.
         """
+        backend = self.backend
         if initial_state is None:
-            state = Statevector.zero_state(circuit.num_qubits).data
+            state = backend.initial_state(circuit.num_qubits)
         else:
             if initial_state.num_qubits != circuit.num_qubits:
                 raise ValueError(
                     "initial state width does not match the circuit width"
                 )
-            state = initial_state.data.copy()
+            state = backend.copy_state(initial_state.data)
         for gate in circuit:
-            state = apply_gate(state, gate)
+            state = backend.apply_gate(state, gate)
         return Statevector(state)
 
     def probabilities(self, circuit: Circuit) -> np.ndarray:
