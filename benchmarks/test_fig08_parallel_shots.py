@@ -1,5 +1,8 @@
-"""Figure 8: parallel-shot saturation on a modeled A100."""
+"""Figure 8: parallel-shot saturation (modeled A100) + measured batched sweep."""
 
+import os
+
+import pytest
 from conftest import print_table
 
 from repro.experiments import fig08_parallel_shots
@@ -20,5 +23,27 @@ def test_fig08_parallel_shots(benchmark, bench_config):
             if p.parallel_shots in (1, 16)
         ],
     )
+    print_table(
+        "Figure 8 — measured batched-trajectory sweep (NumPy substrate)",
+        [
+            {
+                "circuit": p.circuit_name,
+                "qubits": p.num_qubits,
+                "batch": p.batch_size,
+                "shots": p.shots,
+                "per_shot_s": p.per_shot_seconds,
+                "batched_s": p.batched_seconds,
+                "speedup": p.speedup,
+            }
+            for p in result.measured_points
+        ],
+    )
     assert result.max_speedup_at_20_qubits > 2.0
     assert result.max_speedup_at_25_qubits < 1.3
+    if os.environ.get("CI"):
+        pytest.skip(
+            "measured-speedup assertion skipped on CI "
+            f"(measured {result.max_measured_speedup:.2f}x)"
+        )
+    # Batched execution must beat per-shot execution somewhere on the grid.
+    assert result.max_measured_speedup > 1.0

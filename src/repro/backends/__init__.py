@@ -15,6 +15,7 @@ the engines.
 """
 
 from repro.backends.base import Backend
+from repro.backends.batched import BatchedNumpyBackend
 from repro.backends.numpy_backend import NumpyBackend
 from repro.backends.optimized import OptimizedNumpyBackend
 from repro.backends.registry import (
@@ -26,6 +27,7 @@ from repro.backends.registry import (
 
 __all__ = [
     "Backend",
+    "BatchedNumpyBackend",
     "NumpyBackend",
     "OptimizedNumpyBackend",
     "DEFAULT_BACKEND_NAME",
@@ -36,3 +38,4 @@ __all__ = [
 
 register_backend("numpy", NumpyBackend, aliases=("reference",))
 register_backend("optimized", OptimizedNumpyBackend, aliases=("optimized_numpy",))
+register_backend("batched", BatchedNumpyBackend, aliases=("batched_numpy",))

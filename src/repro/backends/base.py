@@ -91,9 +91,24 @@ class Backend(ABC):
         rng: np.random.Generator,
     ) -> np.ndarray:
         """Sample and apply the noise events attached to ``gate``."""
-        from repro.noise.trajectory import apply_gate_noise
+        return self.apply_noise_events(
+            state, noise_model.events_for_gate(gate), rng
+        )
 
-        return apply_gate_noise(state, gate, noise_model, rng, backend=self)
+    def apply_noise_events(
+        self,
+        state: np.ndarray,
+        events,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Sample and apply already-matched noise events.
+
+        Engines that need the event list anyway (for cost accounting) call
+        this directly so ``events_for_gate`` matching runs once per gate.
+        """
+        from repro.noise.trajectory import apply_noise_events
+
+        return apply_noise_events(state, events, rng, backend=self)
 
     # ------------------------------------------------------------------
     # Measurement
@@ -118,14 +133,33 @@ class Backend(ABC):
         outcome = inverse_cdf_index(cumulative, rng)
         num_qubits = int(cumulative.size).bit_length() - 1
         if readout_error is not None:
-            positions = np.arange(num_qubits)
-            bits = (outcome >> positions) & 1
-            flip_probability = np.where(
-                bits == 1, readout_error.p0_given_1, readout_error.p1_given_0
+            outcome = int(
+                self._apply_readout_flips(
+                    np.array([outcome]), num_qubits, readout_error, rng
+                )[0]
             )
-            bits ^= rng.random(num_qubits) < flip_probability
-            outcome = int((bits << positions).sum())
         return index_to_bitstring(outcome, num_qubits)
+
+    @staticmethod
+    def _apply_readout_flips(
+        outcomes: np.ndarray,
+        num_qubits: int,
+        readout_error: ReadoutError,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Flip each measured bit of each outcome index with its error rate.
+
+        Vectorised over a batch of outcome indices — the single readout
+        implementation behind both per-shot and batched sampling, consuming
+        ``num_qubits`` uniforms per outcome in outcome order.
+        """
+        positions = np.arange(num_qubits)
+        bits = (outcomes[:, None] >> positions[None, :]) & 1
+        flip_probability = np.where(
+            bits == 1, readout_error.p0_given_1, readout_error.p1_given_0
+        )
+        bits ^= rng.random((outcomes.size, num_qubits)) < flip_probability
+        return bits @ (1 << positions)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name!r}>"

@@ -10,6 +10,7 @@ from repro.core.backends import (
     XEON_6130,
     XEON_6138,
     Backend,
+    BatchedNumpyBackend,
     DeviceProfile,
     NumpyBackend,
     OptimizedNumpyBackend,
@@ -18,6 +19,7 @@ from repro.core.backends import (
     register_backend,
 )
 from repro.core.baseline import BaselineNoisySimulator
+from repro.core.batched import BatchedTrajectorySimulator
 from repro.core.copycost import (
     DEFAULT_COPY_COST_IN_GATES,
     MODELED_SYSTEM_COPY_COSTS,
@@ -58,8 +60,10 @@ __all__ = [
     "ManualPartitioner",
     "DynamicCircuitPartitioner",
     "BaselineNoisySimulator",
+    "BatchedTrajectorySimulator",
     "TQSimEngine",
     "Backend",
+    "BatchedNumpyBackend",
     "NumpyBackend",
     "OptimizedNumpyBackend",
     "available_backends",

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 from repro.backends import (
     Backend,
+    BatchedNumpyBackend,
     NumpyBackend,
     OptimizedNumpyBackend,
     available_backends,
@@ -26,6 +27,7 @@ from repro.core.results import CostCounters
 
 __all__ = [
     "Backend",
+    "BatchedNumpyBackend",
     "NumpyBackend",
     "OptimizedNumpyBackend",
     "available_backends",

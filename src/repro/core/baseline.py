@@ -51,12 +51,14 @@ class BaselineNoisySimulator:
                 state = backend.apply_gate(state, gate)
                 cost.gate_applications += 1
                 if self.noise_model is not None:
-                    state = backend.apply_noise(
-                        state, gate, self.noise_model, self._rng
-                    )
-                    cost.noise_applications += len(
-                        self.noise_model.events_for_gate(gate)
-                    )
+                    # Single events_for_gate lookup per gate (application +
+                    # accounting).
+                    events = self.noise_model.events_for_gate(gate)
+                    if events:
+                        state = backend.apply_noise_events(
+                            state, events, self._rng
+                        )
+                        cost.noise_applications += len(events)
             bitstring = backend.sample_outcome(state, self._rng, readout)
             counts[bitstring] = counts.get(bitstring, 0) + 1
             cost.leaf_samples += 1

@@ -167,9 +167,10 @@ class TQSimEngine:
             state = backend.apply_gate(state, gate)
             cost.gate_applications += 1
             if self.noise_model is not None:
-                state = backend.apply_noise(state, gate, self.noise_model,
-                                            self._rng)
-                cost.noise_applications += len(
-                    self.noise_model.events_for_gate(gate)
-                )
+                # One events_for_gate lookup serves both the application and
+                # the cost accounting.
+                events = self.noise_model.events_for_gate(gate)
+                if events:
+                    state = backend.apply_noise_events(state, events, self._rng)
+                    cost.noise_applications += len(events)
         return state

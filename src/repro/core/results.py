@@ -102,6 +102,8 @@ class SimulationResult:
         if use_wall_time:
             if self.cost.wall_time_seconds <= 0:
                 raise ValueError("wall time was not recorded")
+            if baseline.cost.wall_time_seconds <= 0:
+                raise ValueError("baseline wall time was not recorded")
             return baseline.cost.wall_time_seconds / self.cost.wall_time_seconds
         own = self.cost.gate_equivalents(copy_cost_in_gates)
         if own <= 0:
@@ -122,9 +124,83 @@ class SimulationResult:
         }
 
 
+def _metadata_values_equal(first: Any, second: Any) -> bool:
+    """Equality that tolerates array-valued metadata entries."""
+    if isinstance(first, np.ndarray) or isinstance(second, np.ndarray):
+        return bool(np.array_equal(first, second))
+    try:
+        return bool(first == second)
+    except (TypeError, ValueError):
+        return False
+
+
+def _merge_metadata(first: dict[str, Any], second: dict[str, Any]
+                    ) -> dict[str, Any]:
+    """Union of two metadata dicts that never drops a shard's values.
+
+    Keys whose values agree (or appear on one side only) stay at the top
+    level.  Conflicting keys — two shards' ``tree`` / ``seed`` entries, for
+    example — are moved into ``metadata["shards"]``, a list with one dict of
+    the conflicting values per merged shard, so repeated merges keep every
+    shard's provenance instead of letting the last merge win.
+    """
+    first_shards = [dict(shard) for shard in first.get("shards", ())]
+    second_shards = [dict(shard) for shard in second.get("shards", ())]
+    first_plain = {k: v for k, v in first.items() if k != "shards"}
+    second_plain = {k: v for k, v in second.items() if k != "shards"}
+    first_shard_keys = {key for shard in first_shards for key in shard}
+    second_shard_keys = {key for shard in second_shards for key in shard}
+
+    merged: dict[str, Any] = {}
+    push_first: list[str] = []  # keys to record per-shard on the first side
+    push_second: list[str] = []
+    for key in {**first_plain, **second_plain}:
+        in_first = key in first_plain
+        in_second = key in second_plain
+        already_sharded = key in first_shard_keys or key in second_shard_keys
+        if in_first and in_second:
+            if not already_sharded and _metadata_values_equal(
+                first_plain[key], second_plain[key]
+            ):
+                merged[key] = first_plain[key]
+            else:
+                push_first.append(key)
+                push_second.append(key)
+        elif in_first:
+            if key in second_shard_keys:
+                push_first.append(key)
+            else:
+                merged[key] = first_plain[key]
+        else:
+            if key in first_shard_keys:
+                push_second.append(key)
+            else:
+                merged[key] = second_plain[key]
+
+    if push_first or push_second or first_shards or second_shards:
+        first_shards = first_shards or [{}]
+        second_shards = second_shards or [{}]
+        # The pushed value was uniform across that side's prior shards (it
+        # sat at the top level), so record it in each of them; shards that
+        # already carry the key keep their own value.
+        for key in push_first:
+            for shard in first_shards:
+                shard.setdefault(key, first_plain[key])
+        for key in push_second:
+            for shard in second_shards:
+                shard.setdefault(key, second_plain[key])
+        merged["shards"] = first_shards + second_shards
+    return merged
+
+
 def merge_results(first: SimulationResult, second: SimulationResult
                   ) -> SimulationResult:
-    """Merge two results of the same circuit (counts and costs are summed)."""
+    """Merge two results of the same circuit (counts and costs are summed).
+
+    Metadata keys on which the two results disagree are preserved per shard
+    under ``metadata["shards"]`` (see :func:`_merge_metadata`) rather than
+    silently clobbered by the second result.
+    """
     if first.num_qubits != second.num_qubits:
         raise ValueError("cannot merge results of different widths")
     counts = dict(first.counts)
@@ -135,5 +211,5 @@ def merge_results(first: SimulationResult, second: SimulationResult
         num_qubits=first.num_qubits,
         shots=first.shots + second.shots,
         cost=first.cost.merged_with(second.cost),
-        metadata={**first.metadata, **second.metadata},
+        metadata=_merge_metadata(first.metadata, second.metadata),
     )

@@ -24,6 +24,7 @@ from repro.noise.sycamore import (
 from repro.noise.trajectory import (
     NoiseRealization,
     apply_gate_noise,
+    apply_noise_events,
     apply_noise_realization_event,
     sample_channel_on_state,
     sample_noise_realization,
@@ -49,6 +50,7 @@ __all__ = [
     "noise_model_by_code",
     "NOISE_MODEL_CODES",
     "apply_gate_noise",
+    "apply_noise_events",
     "sample_channel_on_state",
     "NoiseRealization",
     "sample_noise_realization",

@@ -134,6 +134,22 @@ class KrausChannel:
             self._build_mixture_caches()
         return inverse_cdf_index(self._mixture_cumulative, rng)
 
+    def sample_mixture_indices(
+        self, rng: np.random.Generator, size: int
+    ) -> np.ndarray:
+        """Draw ``size`` independent mixture branch indices in one call.
+
+        The vectorised counterpart of :meth:`sample_mixture_index`, used by
+        the batched-trajectory backend to sample one branch per trajectory
+        with a single uniform draw and a single ``searchsorted``.
+        """
+        if self._mixture_cumulative is None:
+            self._build_mixture_caches()
+        cumulative = self._mixture_cumulative
+        draws = rng.random(size) * cumulative[-1]
+        indices = np.searchsorted(cumulative, draws, side="right")
+        return np.minimum(indices, cumulative.size - 1)
+
     @property
     def mixture_identity_first(self) -> bool:
         """True when mixture branch 0 is the identity (checked once, cached)."""

@@ -20,6 +20,7 @@ from repro.statevector.sampling import inverse_cdf_index
 
 __all__ = [
     "sample_channel_on_state",
+    "apply_noise_events",
     "apply_gate_noise",
     "NoiseRealization",
     "sample_noise_realization",
@@ -75,6 +76,26 @@ def sample_channel_on_state(
     return chosen, index
 
 
+def apply_noise_events(
+    state: np.ndarray,
+    events,
+    rng: np.random.Generator,
+    backend=None,
+) -> np.ndarray:
+    """Apply an already-matched sequence of noise events to ``state``.
+
+    Taking the events instead of re-deriving them from a gate lets callers
+    that already hold the ``events_for_gate`` result (the engines, which also
+    need the event count for cost accounting) run event matching once per
+    gate instead of twice.
+    """
+    for event in events:
+        state, _ = sample_channel_on_state(
+            state, event.channel, event.qubits, rng, backend=backend
+        )
+    return state
+
+
 def apply_gate_noise(
     state: np.ndarray,
     gate: Gate,
@@ -83,11 +104,9 @@ def apply_gate_noise(
     backend=None,
 ) -> np.ndarray:
     """Apply every noise event attached to ``gate`` by the noise model."""
-    for event in noise_model.events_for_gate(gate):
-        state, _ = sample_channel_on_state(
-            state, event.channel, event.qubits, rng, backend=backend
-        )
-    return state
+    return apply_noise_events(
+        state, noise_model.events_for_gate(gate), rng, backend=backend
+    )
 
 
 class NoiseRealization:
@@ -97,12 +116,23 @@ class NoiseRealization:
     mixture/Kraus branch was selected.  It is what the redundancy-elimination
     comparator (:mod:`repro.redunelim`) deduplicates across shots, and it lets
     tests replay a trajectory deterministically.
+
+    ``identity_first`` records, position by position, whether the sampled
+    channel's mixture branch 0 is the identity.  Branch 0 of a mixture is
+    *not* guaranteed to be the identity operator (only channels constructed
+    identity-first have that property), so replay and identity checks must
+    not treat a 0 entry as "no error" unconditionally.
     """
 
-    __slots__ = ("choices",)
+    __slots__ = ("choices", "identity_first")
 
-    def __init__(self, choices: list[list[int]]) -> None:
+    def __init__(
+        self,
+        choices: list[list[int]],
+        identity_first: list[list[bool]] | None = None,
+    ) -> None:
         self.choices = choices
+        self.identity_first = identity_first
 
     def __len__(self) -> int:
         return len(self.choices)
@@ -116,8 +146,19 @@ class NoiseRealization:
         return tuple(tuple(row) for row in self.choices[:num_gates])
 
     def is_identity(self) -> bool:
-        """True when no non-trivial branch was chosen anywhere."""
-        return all(branch == 0 for row in self.choices for branch in row)
+        """True when no non-trivial operator was chosen anywhere.
+
+        A branch-0 entry only counts as trivial when that channel's first
+        mixture operator is the identity; realizations sampled without the
+        ``identity_first`` record fall back to the branch-0 convention.
+        """
+        if self.identity_first is None:
+            return all(branch == 0 for row in self.choices for branch in row)
+        return all(
+            branch == 0 and first_is_identity
+            for row, flags in zip(self.choices, self.identity_first)
+            for branch, first_is_identity in zip(row, flags)
+        )
 
 
 def sample_noise_realization(
@@ -130,13 +171,17 @@ def sample_noise_realization(
     raise, because their branch statistics cannot be drawn ahead of time.
     """
     choices: list[list[int]] = []
+    identity_first: list[list[bool]] = []
     for gate in circuit:
         row: list[int] = []
+        flags: list[bool] = []
         for event in noise_model.events_for_gate(gate):
             probabilities, _ = event.channel.mixture()
             row.append(int(rng.choice(len(probabilities), p=probabilities)))
+            flags.append(event.channel.mixture_identity_first)
         choices.append(row)
-    return NoiseRealization(choices)
+        identity_first.append(flags)
+    return NoiseRealization(choices, identity_first)
 
 
 def apply_noise_realization_event(
@@ -149,9 +194,10 @@ def apply_noise_realization_event(
     """Apply the pre-sampled branches for one gate of a realization."""
     for event_index, event in enumerate(noise_model.events_for_gate(gate)):
         branch = realization.branch(gate_index, event_index)
-        _, unitaries = event.channel.mixture()
-        unitary = unitaries[branch]
-        if branch == 0:
+        # Branch 0 is only a no-op for channels whose first mixture operator
+        # is the identity; other mixtures carry a real operator at index 0.
+        if branch == 0 and event.channel.mixture_identity_first:
             continue
-        state = apply_unitary(state, unitary, event.qubits)
+        state = apply_unitary(state, event.channel.mixture_unitary(branch),
+                              event.qubits)
     return state

@@ -134,3 +134,39 @@ def test_engine_metadata_contains_theoretical_speedup(qft5, depolarizing_model):
     assert result.metadata["policy"] == "ucp"
     assert result.metadata["theoretical_speedup"] > 1.0
     assert result.metadata["noise_model"] == depolarizing_model.name
+
+
+# ---------------------------------------------------------------------------
+# Noise-event matching runs once per applied gate
+# ---------------------------------------------------------------------------
+class _CountingNoiseModel:
+    """Wrapper counting events_for_gate calls (a real lookup each time)."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.lookups = 0
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def events_for_gate(self, gate):
+        self.lookups += 1
+        return self._inner.events_for_gate(gate)
+
+
+def test_engine_matches_noise_events_once_per_gate(qft5, depolarizing_model):
+    """Regression: the engine used to call events_for_gate twice per gate
+    (once to apply, once just to count the applications)."""
+    plan = UniformCircuitPartitioner(2).plan(qft5, 32, depolarizing_model)
+    counting = _CountingNoiseModel(depolarizing_model)
+    engine = TQSimEngine(counting, seed=4)
+    result = engine.run(qft5, 32, plan=plan)
+    assert counting.lookups == result.cost.gate_applications
+    assert result.cost.noise_applications > 0
+
+
+def test_baseline_matches_noise_events_once_per_gate(bv6, depolarizing_model):
+    counting = _CountingNoiseModel(depolarizing_model)
+    result = BaselineNoisySimulator(counting, seed=4).run(bv6, 20)
+    assert counting.lookups == result.cost.gate_applications
+    assert result.cost.gate_applications == 20 * bv6.num_gates

@@ -53,6 +53,14 @@ def test_fig8_parallel_shots_headline():
     assert result.max_speedup_at_20_qubits > 2.0
     assert result.max_speedup_at_25_qubits < 1.3
     assert result.memory_fraction_per_shot_at_24_qubits < 0.01
+    # The measured batched-trajectory sweep: one width (capped at TINY's
+    # max_qubits) times three batch sizes, all with positive timings.
+    assert len(result.measured_points) == 3
+    assert {p.batch_size for p in result.measured_points} == {1, 4, 16}
+    assert all(p.num_qubits <= TINY.max_qubits for p in result.measured_points)
+    assert all(p.per_shot_seconds > 0 and p.batched_seconds > 0
+               for p in result.measured_points)
+    assert result.max_measured_speedup > 0
 
 
 def test_fig9_memory_reuse():

@@ -8,6 +8,7 @@ from repro.density import DensityMatrix
 from repro.noise import (
     AmplitudeDampingChannel,
     DepolarizingChannel,
+    KrausChannel,
     NoiseModel,
     PauliChannel,
     ReadoutError,
@@ -144,3 +145,57 @@ def test_noise_realization_rejects_non_mixture_channels(rng, bv6):
                        two_qubit_channels=[AmplitudeDampingChannel(0.1)])
     with pytest.raises(ValueError):
         sample_noise_realization(bv6, model, rng)
+
+
+# ---------------------------------------------------------------------------
+# Identity-not-first mixtures (replay regression)
+# ---------------------------------------------------------------------------
+def _always_x_channel():
+    """A single-branch mixture whose branch 0 is X, not the identity."""
+    x = np.array([[0.0, 1.0], [1.0, 0.0]], dtype=complex)
+    return KrausChannel([x], name="always_x", mixture=([1.0], [x]))
+
+
+def test_replay_applies_identity_not_first_branch_zero(rng):
+    """Regression: replay used to skip branch 0 unconditionally, silently
+    dropping the non-identity operator of identity-not-first mixtures."""
+    from repro.noise import apply_noise_realization_event
+
+    channel = _always_x_channel()
+    assert channel.is_mixed_unitary and not channel.mixture_identity_first
+    model = NoiseModel().add_gate_override("x", [channel])
+    circuit = Circuit(1).x(0)
+    realization = sample_noise_realization(circuit, model, rng)
+    assert realization.choices == [[0]]
+
+    gate = circuit.gates[0]
+    state = np.array([1.0, 0.0], dtype=complex)
+    state = np.asarray(gate.to_matrix()) @ state  # ideal X: |0> -> |1>
+    state = apply_noise_realization_event(state, gate, model, realization, 0)
+    # The replayed branch-0 X must undo the gate: |1> -> |0>.
+    np.testing.assert_allclose(state, [1.0, 0.0], atol=1e-12)
+
+
+def test_realization_with_identity_not_first_branch_is_not_identity(rng):
+    model = NoiseModel().add_gate_override("x", [_always_x_channel()])
+    circuit = Circuit(1).x(0)
+    realization = sample_noise_realization(circuit, model, rng)
+    assert realization.choices == [[0]]
+    assert not realization.is_identity()
+
+
+def test_realization_identity_first_branch_zero_still_identity(
+    rng, bv6, strong_depolarizing_model
+):
+    """All-zero draws of identity-first channels still count as identity."""
+    from repro.noise import NoiseRealization
+
+    realization = sample_noise_realization(bv6, strong_depolarizing_model, rng)
+    zeroed = NoiseRealization(
+        [[0] * len(row) for row in realization.choices],
+        realization.identity_first,
+    )
+    assert zeroed.is_identity()
+    # Realizations without the identity_first record keep the old convention.
+    assert NoiseRealization([[0], [0, 0]]).is_identity()
+    assert not NoiseRealization([[1], [0]]).is_identity()

@@ -60,6 +60,17 @@ def test_result_speedup_over():
         _result({"00": 1}).speedup_over(slow)
 
 
+def test_result_speedup_requires_both_wall_times():
+    """Regression: an unrecorded *baseline* wall time used to yield 0.0x."""
+    timed = _result({"00": 1}, CostCounters(gate_applications=10,
+                                            wall_time_seconds=1.0))
+    untimed = _result({"00": 1}, CostCounters(gate_applications=10))
+    with pytest.raises(ValueError, match="baseline wall time"):
+        timed.speedup_over(untimed, use_wall_time=True)
+    with pytest.raises(ValueError, match="wall time"):
+        untimed.speedup_over(timed, use_wall_time=True)
+
+
 def test_merge_results():
     merged = merge_results(_result({"00": 2}), _result({"00": 1, "11": 1}))
     assert merged.counts == {"00": 3, "11": 1}
@@ -69,6 +80,51 @@ def test_merge_results():
             _result({"00": 1}),
             SimulationResult(counts={"0": 1}, num_qubits=1, shots=1),
         )
+
+
+def test_merge_results_preserves_conflicting_metadata():
+    """Regression: the second shard's tree/seed used to clobber the first's."""
+    first = _result({"00": 2})
+    first.metadata.update({"simulator": "tqsim", "tree": "(4,2)", "seed": 1})
+    second = _result({"11": 1})
+    second.metadata.update({"simulator": "tqsim", "tree": "(8,)", "seed": 2})
+    merged = merge_results(first, second)
+    # Agreeing keys stay at the top level; conflicting keys keep both values.
+    assert merged.metadata["simulator"] == "tqsim"
+    assert "tree" not in merged.metadata and "seed" not in merged.metadata
+    assert merged.metadata["shards"] == [
+        {"tree": "(4,2)", "seed": 1},
+        {"tree": "(8,)", "seed": 2},
+    ]
+
+
+def test_merge_results_metadata_three_way_and_disjoint_keys():
+    first = _result({"00": 1})
+    first.metadata.update({"tree": "(4,)", "worker": "a"})
+    second = _result({"01": 1})
+    second.metadata.update({"tree": "(2,2)"})
+    third = _result({"10": 1})
+    third.metadata.update({"tree": "(8,)", "extra": 42})
+    merged = merge_results(merge_results(first, second), third)
+    assert merged.counts == {"00": 1, "01": 1, "10": 1}
+    # Keys present on only one shard survive at the top level ...
+    assert merged.metadata["worker"] == "a"
+    assert merged.metadata["extra"] == 42
+    # ... while each shard's conflicting tree is preserved, in merge order.
+    assert [shard["tree"] for shard in merged.metadata["shards"]] == [
+        "(4,)", "(2,2)", "(8,)"
+    ]
+
+
+def test_merge_results_identical_metadata_stays_flat():
+    first = _result({"00": 1})
+    first.metadata.update({"simulator": "baseline", "subcircuit_lengths": [3, 2]})
+    second = _result({"11": 1})
+    second.metadata.update({"simulator": "baseline", "subcircuit_lengths": [3, 2]})
+    merged = merge_results(first, second)
+    assert merged.metadata == {
+        "simulator": "baseline", "subcircuit_lengths": [3, 2]
+    }
 
 
 def test_result_summary_flattens_metadata():
