@@ -17,9 +17,21 @@ def test_fig09_memory_reuse(benchmark, bench_config):
                 "node_fraction": p.memory_fraction_of_node,
                 "subcircuits": p.num_subcircuits,
                 "modeled_speedup": p.modeled_speedup,
+                "batched_cap": p.batched_max_batch,
+                "batched_GB": p.batched_memory_bytes / 1e9,
+                "batched_fraction": p.batched_memory_fraction_of_node,
             }
             for p in result.points
         ],
     )
+    measured = result.measured
+    print(f"measured batched tree at {measured.num_qubits} qubits "
+          f"(tree {measured.tree}): {measured.batched_tree_speedup:.2f}x over "
+          f"sequential, counters_match={measured.counters_match}")
     assert all(p.memory_fraction_of_node < 0.5 for p in result.points)
     assert all(1.0 <= p.modeled_speedup <= 2.1 for p in result.points)
+    # Even the memory-hungry batched pool stays inside the Figure-9 budget,
+    # while batching at least the full leaf fan-out at every width.
+    assert all(p.batched_memory_fraction_of_node <= 0.5 for p in result.points)
+    assert all(p.batched_max_batch >= 2 for p in result.points)
+    assert measured.counters_match

@@ -13,6 +13,9 @@ __all__ = [
     "density_matrix_bytes",
     "baseline_simulation_bytes",
     "tqsim_simulation_bytes",
+    "batched_tree_pool_states",
+    "batched_tree_simulation_bytes",
+    "max_batch_for_budget",
     "max_statevector_qubits",
     "max_density_matrix_qubits",
     "MemoryScalingPoint",
@@ -61,6 +64,50 @@ def tqsim_simulation_bytes(num_qubits: int, num_subcircuits: int) -> float:
         raise ValueError("num_subcircuits must be >= 1")
     stored_states = max(num_subcircuits - 1, 0) + 1
     return stored_states * statevector_bytes(num_qubits) + statevector_bytes(num_qubits)
+
+
+def batched_tree_pool_states(arities, max_batch: int) -> int:
+    """Pooled statevectors of the batched tree engine: ``sum_i min(A_i, cap)``.
+
+    The batched traversal holds one ``(min(A_i, max_batch), 2**n)`` buffer
+    per layer (see :class:`~repro.core.engine.TQSimEngine`); this is its
+    total row count, the batched counterpart of the sequential engine's one
+    state per layer.
+    """
+    if max_batch < 1:
+        raise ValueError("max_batch must be >= 1")
+    arities = tuple(int(a) for a in arities)
+    if not arities or any(a < 1 for a in arities):
+        raise ValueError("arities must be a non-empty sequence of >= 1")
+    return sum(min(a, max_batch) for a in arities)
+
+
+def batched_tree_simulation_bytes(num_qubits: int, arities,
+                                  max_batch: int) -> float:
+    """Peak memory of the batched tree engine for the given plan and cap."""
+    return batched_tree_pool_states(arities, max_batch) * statevector_bytes(
+        num_qubits
+    )
+
+
+def max_batch_for_budget(num_qubits: int, arities,
+                         memory_bytes: float) -> int:
+    """Largest ``max_batch`` whose batched-tree pool fits the memory budget.
+
+    This is the Figure-9 trade-off knob: a larger cap amortises more
+    per-gate dispatch across sibling trajectories, a smaller one shrinks the
+    ``sum_i min(A_i, cap)`` statevector footprint toward the sequential
+    engine's one state per layer.  Returns at least 1 (the sequential
+    footprint) even when the budget is smaller than that.
+    """
+    best = 1
+    ceiling = max(int(a) for a in arities)
+    for candidate in range(2, ceiling + 1):
+        if batched_tree_simulation_bytes(num_qubits, arities,
+                                         candidate) > memory_bytes:
+            break
+        best = candidate
+    return best
 
 
 def max_statevector_qubits(memory_bytes: float) -> int:

@@ -39,6 +39,12 @@ class Backend(ABC):
     #: Registry key of the backend (subclasses override).
     name = "abstract"
 
+    #: True when the backend's kernels advance a ``(B, 2**n)`` batch of
+    #: trajectories per call (and it provides ``allocate_batch`` /
+    #: ``sample_outcomes``).  Batch-aware engines key off this flag instead
+    #: of probing for individual methods.
+    supports_batch = False
+
     # ------------------------------------------------------------------
     # State management
     # ------------------------------------------------------------------
@@ -64,6 +70,16 @@ class Backend(ABC):
         """Copy ``src`` into the preallocated ``dest`` buffer and return it."""
         np.copyto(dest, src)
         return dest
+
+    def broadcast_into(self, batch: np.ndarray, state: np.ndarray) -> np.ndarray:
+        """Copy one statevector into every row of a ``(B, 2**n)`` batch.
+
+        This is the reuse copy of the batched tree traversal: a parent's
+        pooled state fans out to ``B`` sibling trajectories in one write.
+        Each row is a full copy, so callers account ``B`` state copies.
+        """
+        np.copyto(batch, state.reshape(1, -1) if state.ndim == 1 else state)
+        return batch
 
     # ------------------------------------------------------------------
     # Evolution

@@ -17,10 +17,10 @@ optimized backend.  What this subclass adds is the batch semantics on top:
 mixed-unitary noise samples one branch *per trajectory* (a single vectorised
 draw), then applies each sampled branch's unitary to the sub-batch of rows
 that drew it; general Kraus channels fall back to a per-trajectory loop
-because their branch probabilities depend on the state.  Measurement draws
-one uniform and runs one ``searchsorted`` per trajectory over row-wise
-cumulative probabilities, with readout flips vectorised across the whole
-batch.
+because their branch probabilities depend on the state.  Measurement is one
+batched inverse-CDF pass over row-wise cumulative probabilities (a single
+uniform draw call and one vectorised comparison sum for the whole batch),
+with readout flips vectorised across the whole batch.
 """
 
 from __future__ import annotations
@@ -45,6 +45,7 @@ class BatchedNumpyBackend(OptimizedNumpyBackend):
     """The optimized in-place backend, vectorised over a batch of trajectories."""
 
     name = "batched"
+    supports_batch = True
 
     def __init__(self, batch_size: int = DEFAULT_BATCH_SIZE) -> None:
         super().__init__()
@@ -182,9 +183,13 @@ class BatchedNumpyBackend(OptimizedNumpyBackend):
     ) -> list[str]:
         """Sample one measurement outcome per trajectory.
 
-        Row-wise cumulative probabilities, one uniform draw and one
-        ``searchsorted`` per trajectory, and readout flips vectorised across
-        the whole batch (the shared :meth:`Backend._apply_readout_flips`).
+        One batched inverse-CDF pass: row-wise cumulative probabilities, one
+        uniform draw call for the whole batch, and one vectorised comparison
+        sum per row — ``sum(cumulative <= draw)`` is exactly
+        ``searchsorted(cumulative, draw, side="right")``, so outcomes are
+        bitwise identical to the per-trajectory draw.  Readout flips are
+        vectorised across the whole batch (the shared
+        :meth:`Backend._apply_readout_flips`).
         """
         batched = state if state.ndim == 2 else state.reshape(1, -1)
         probabilities = self.probabilities(batched)
@@ -195,10 +200,8 @@ class BatchedNumpyBackend(OptimizedNumpyBackend):
         batch, dim = cumulative.shape
         num_qubits = int(dim).bit_length() - 1
         draws = rng.random(batch) * totals
-        outcomes = np.empty(batch, dtype=np.int64)
-        for i in range(batch):
-            position = np.searchsorted(cumulative[i], draws[i], side="right")
-            outcomes[i] = min(int(position), dim - 1)
+        positions = np.sum(cumulative <= draws[:, None], axis=1)
+        outcomes = np.minimum(positions, dim - 1).astype(np.int64)
         if readout_error is not None:
             outcomes = self._apply_readout_flips(
                 outcomes, num_qubits, readout_error, rng

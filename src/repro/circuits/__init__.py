@@ -13,6 +13,7 @@ from repro.circuits.transpile import (
     decompose_cswap,
     decompose_swap,
     decompose_to_two_qubit_gates,
+    fuse_single_qubit_runs,
 )
 from repro.circuits import stdgates
 
@@ -29,4 +30,5 @@ __all__ = [
     "decompose_cswap",
     "decompose_swap",
     "decompose_to_two_qubit_gates",
+    "fuse_single_qubit_runs",
 ]

@@ -39,11 +39,10 @@ class BatchedTrajectorySimulator:
         self.noise_model = noise_model
         self.batch_size = int(batch_size)
         resolved = get_backend(backend)
-        if not (hasattr(resolved, "sample_outcomes")
-                and hasattr(resolved, "allocate_batch")):
+        if not resolved.supports_batch:
             raise TypeError(
                 f"backend {resolved.name!r} cannot run batched trajectories "
-                "(it provides no allocate_batch/sample_outcomes)"
+                "(supports_batch is False)"
             )
         self.backend = resolved
         self._rng = np.random.default_rng(seed)

@@ -6,13 +6,31 @@ layer ``i`` copies its parent's intermediate state, applies subcircuit ``i``
 with freshly sampled noise, and hands the resulting state to its ``A_{i+1}``
 children; leaves sample one measurement outcome each.
 
-States live in a *buffer pool* with exactly one preallocated statevector per
-tree layer — the Figure-9 memory footprint.  Reuse copies are ``np.copyto``
-into the pooled buffer of the child's layer instead of fresh allocations, so
-with an in-place backend and mixed-unitary noise (the paper's depolarizing
-models) the steady-state traversal allocates nothing.  General Kraus
-channels still allocate per-branch candidates, since their branch
-probabilities depend on the state.
+Two traversals implement that contract:
+
+* **Sequential** (any backend): states live in a *buffer pool* with exactly
+  one preallocated statevector per tree layer — the Figure-9 memory
+  footprint.  Reuse copies are ``np.copyto`` into the pooled buffer of the
+  child's layer, so with an in-place backend and mixed-unitary noise the
+  steady-state traversal allocates nothing.
+
+* **Batched** (backends with ``supports_batch``, the default when one is
+  configured): the ``A_{i+1}`` sibling subtrees below a reuse node execute
+  *together*.  The parent's pooled state is broadcast into a ``(B, 2**n)``
+  batch (``B`` = the child arity, chunked by ``batch_size`` / ``max_batch``
+  to respect the memory budget) and the child subcircuit runs once through
+  the batched kernels — per-trajectory mixed-unitary noise sampled group-wise
+  exactly as in :mod:`repro.backends.batched` — instead of ``A_{i+1}``
+  sequential passes.  At the leaf layer all ``B`` outcomes are drawn in one
+  batched inverse-CDF pass (row-wise cumulative probabilities, one uniform
+  draw call and one vectorised comparison sum for the whole chunk).  The
+  pool holds one ``(A_i_chunk, 2**n)`` buffer per layer, so peak memory is
+  ``sum_i min(A_i, cap)`` statevectors.
+
+Both traversals produce identical cost counters (``gate_applications``,
+``state_copies``, ``leaf_samples``, ``noise_applications``): a batched kernel
+advancing ``B`` rows counts as ``B`` applications, and a broadcast into ``B``
+rows counts as ``B`` reuse copies.
 """
 
 from __future__ import annotations
@@ -32,7 +50,12 @@ from repro.core.partitioners import (
 from repro.core.results import CostCounters, SimulationResult
 from repro.noise.model import NoiseModel
 
-__all__ = ["TQSimEngine"]
+__all__ = ["TQSimEngine", "DEFAULT_MAX_TREE_BATCH"]
+
+#: Ceiling on the sibling-chunk size of the batched traversal.  Each layer's
+#: pooled buffer holds ``min(A_i, max_batch)`` statevectors, so this bounds
+#: peak memory at ``num_layers * max_batch`` states regardless of arity.
+DEFAULT_MAX_TREE_BATCH = 64
 
 
 class TQSimEngine:
@@ -44,11 +67,53 @@ class TQSimEngine:
         seed: int | None = None,
         backend: str | Backend | None = None,
         copy_cost_in_gates: float = DEFAULT_COPY_COST_IN_GATES,
+        batch_size: int | None = None,
+        max_batch: int = DEFAULT_MAX_TREE_BATCH,
     ) -> None:
+        """Configure the engine.
+
+        Parameters
+        ----------
+        batch_size:
+            Sibling-chunk size of the batched traversal.  ``None`` (default)
+            lets every chunk grow to ``max_batch``; an explicit value caps
+            chunks at ``min(batch_size, max_batch)``.  Requesting a
+            ``batch_size`` implies the ``"batched"`` backend when no backend
+            is named, and raises if the configured backend cannot batch.
+            The traversal is batched whenever the backend supports it.
+        max_batch:
+            Hard memory ceiling on the per-layer pooled buffers (in
+            statevectors).  Larger values amortise more Python dispatch per
+            kernel call; smaller values shrink the ``sum_i min(A_i, cap)``
+            statevector footprint toward the sequential engine's one state
+            per layer.
+        """
+        if backend is None and batch_size is not None:
+            backend = "batched"
         self.noise_model = noise_model
         self.backend = get_backend(backend)
         self.copy_cost_in_gates = float(copy_cost_in_gates)
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if batch_size is not None:
+            if batch_size < 1:
+                raise ValueError("batch_size must be >= 1")
+            if not self.backend.supports_batch:
+                raise TypeError(
+                    f"backend {self.backend.name!r} cannot run the batched "
+                    "tree traversal (supports_batch is False)"
+                )
+        self.batch_size = None if batch_size is None else int(batch_size)
+        self.max_batch = int(max_batch)
         self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    @property
+    def chunk_cap(self) -> int:
+        """Effective sibling-chunk ceiling of the batched traversal."""
+        if self.batch_size is None:
+            return self.max_batch
+        return min(self.batch_size, self.max_batch)
 
     # ------------------------------------------------------------------
     def run(
@@ -71,6 +136,13 @@ class TQSimEngine:
             this engine's state-copy cost.
         plan:
             A pre-built plan (overrides ``partitioner``).
+
+        Returns
+        -------
+        SimulationResult
+            ``result.shots`` records the outcomes actually produced (the
+            plan's leaf count, which may over-shoot the request); the
+            requested value is kept under ``metadata["requested_shots"]``.
         """
         if shots < 1:
             raise ValueError("shots must be >= 1")
@@ -86,28 +158,38 @@ class TQSimEngine:
                 f"({plan.total_gates} vs {circuit.num_gates} gates)"
             )
 
+        batched = self.backend.supports_batch
         counts: dict[str, int] = {}
         cost = CostCounters()
         start = time.perf_counter()
-        self._run_tree(circuit, plan, counts, cost)
+        if batched:
+            self._run_tree_batched(circuit, plan, counts, cost)
+        else:
+            self._run_tree(circuit, plan, counts, cost)
         cost.wall_time_seconds = time.perf_counter() - start
 
+        metadata = {
+            "simulator": "tqsim",
+            "backend": self.backend.name,
+            "execution": "tree-batched" if batched else "tree-sequential",
+            "policy": plan.policy,
+            "tree": str(plan.tree),
+            "subcircuit_lengths": plan.subcircuit_lengths,
+            "requested_shots": shots,
+            "theoretical_speedup": plan.theoretical_speedup(
+                self.copy_cost_in_gates
+            ),
+            "noise_model": self.noise_model.name if self.noise_model else "ideal",
+        }
+        if batched:
+            metadata["chunk_cap"] = self.chunk_cap
+            metadata["max_batch"] = self.max_batch
         return SimulationResult(
             counts=counts,
             num_qubits=circuit.num_qubits,
-            shots=shots,
+            shots=plan.total_outcomes,
             cost=cost,
-            metadata={
-                "simulator": "tqsim",
-                "backend": self.backend.name,
-                "policy": plan.policy,
-                "tree": str(plan.tree),
-                "subcircuit_lengths": plan.subcircuit_lengths,
-                "theoretical_speedup": plan.theoretical_speedup(
-                    self.copy_cost_in_gates
-                ),
-                "noise_model": self.noise_model.name if self.noise_model else "ideal",
-            },
+            metadata=metadata,
         )
 
     # ------------------------------------------------------------------
@@ -159,18 +241,109 @@ class TQSimEngine:
                 layer += 1
 
     def _apply_subcircuit(
-        self, state: np.ndarray, subcircuit: Circuit, cost: CostCounters
+        self,
+        state: np.ndarray,
+        subcircuit: Circuit,
+        cost: CostCounters,
+        weight: int = 1,
     ) -> np.ndarray:
-        """Apply one subcircuit with freshly sampled trajectory noise."""
+        """Apply one subcircuit with freshly sampled trajectory noise.
+
+        ``state`` may be a single statevector or a ``(B, 2**n)`` chunk of
+        sibling trajectories (on a batch-capable backend); ``weight`` is the
+        number of trajectories one kernel call advances, so cost counters
+        keep per-trajectory semantics and both traversals account
+        identically.
+        """
         backend = self.backend
         for gate in subcircuit:
             state = backend.apply_gate(state, gate)
-            cost.gate_applications += 1
+            cost.gate_applications += weight
             if self.noise_model is not None:
                 # One events_for_gate lookup serves both the application and
                 # the cost accounting.
                 events = self.noise_model.events_for_gate(gate)
                 if events:
                     state = backend.apply_noise_events(state, events, self._rng)
-                    cost.noise_applications += len(events)
+                    cost.noise_applications += len(events) * weight
         return state
+
+    # ------------------------------------------------------------------
+    def _run_tree_batched(
+        self,
+        circuit: Circuit,
+        plan: PartitionPlan,
+        counts: dict[str, int],
+        cost: CostCounters,
+    ) -> None:
+        """Depth-first traversal over chunks of sibling subtrees.
+
+        ``pool[i]`` is a ``(min(A_i, cap), 2**n)`` buffer whose live rows are
+        the layer-``i`` siblings of the current chunk.  Per layer, ``pending``
+        counts siblings of the current parent not yet simulated, ``loaded``
+        the rows of the live chunk, and ``expanded`` how many of those rows
+        have already had their own subtrees executed.  A chunk is simulated
+        with one batched kernel call per gate; leaf chunks sample all their
+        outcomes in one batched call and are consumed immediately, while
+        interior chunks are expanded row by row before the next sibling chunk
+        overwrites the buffer.
+        """
+        backend = self.backend
+        arities = plan.tree.arities
+        num_layers = plan.tree.num_subcircuits
+        subcircuits = plan.subcircuits
+        readout = self.noise_model.readout_error if self.noise_model else None
+        cap = self.chunk_cap
+        pool = [
+            backend.allocate_batch(circuit.num_qubits, min(arity, cap))
+            for arity in arities
+        ]
+        leaf = num_layers - 1
+
+        pending = [0] * num_layers
+        loaded = [0] * num_layers
+        expanded = [0] * num_layers
+        parent: list[np.ndarray | None] = [None] * num_layers
+        pending[0] = arities[0]
+        layer = 0
+        while layer >= 0:
+            if expanded[layer] < loaded[layer]:
+                # Descend into the next unexpanded row of the live chunk.
+                row = pool[layer][expanded[layer]]
+                expanded[layer] += 1
+                layer += 1
+                parent[layer] = row
+                pending[layer] = arities[layer]
+                loaded[layer] = 0
+                expanded[layer] = 0
+                continue
+            if pending[layer] == 0:
+                # Every sibling at this layer is done; pop back up.
+                layer -= 1
+                continue
+            chunk = min(pool[layer].shape[0], pending[layer])
+            batch = pool[layer][:chunk]
+            if layer == 0:
+                # First-layer chunks start from |0...0> like the baseline;
+                # resets are not reuse copies.
+                backend.reset_state(batch)
+            else:
+                backend.broadcast_into(batch, parent[layer])
+                cost.state_copies += chunk
+            state = self._apply_subcircuit(
+                batch, subcircuits[layer], cost, weight=chunk
+            )
+            if state is not batch:
+                # Honour the mutation contract for out-of-place batch
+                # backends: leaves are sampled from, and children expanded
+                # out of, the pooled buffer, so the result must land in it.
+                np.copyto(batch, state)
+            pending[layer] -= chunk
+            if layer == leaf:
+                for bitstring in backend.sample_outcomes(batch, self._rng, readout):
+                    counts[bitstring] = counts.get(bitstring, 0) + 1
+                cost.leaf_samples += chunk
+            else:
+                loaded[layer] = chunk
+                expanded[layer] = 0
+

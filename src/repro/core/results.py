@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Any, Mapping
 
 import numpy as np
@@ -36,6 +36,19 @@ class CostCounters:
             + self.state_copies * copy_cost_in_gates
         )
 
+    def matches(self, other: "CostCounters") -> bool:
+        """True when every accounted counter equals ``other``'s.
+
+        Wall time is excluded: two executions of the same plan (e.g. the
+        sequential and the batched tree traversal) must do identical
+        accounted work while taking different amounts of it.
+        """
+        return all(
+            getattr(self, field_.name) == getattr(other, field_.name)
+            for field_ in fields(self)
+            if field_.name != "wall_time_seconds"
+        )
+
     def merged_with(self, other: "CostCounters") -> "CostCounters":
         """Element-wise sum of two counters."""
         return CostCounters(
@@ -59,8 +72,10 @@ class SimulationResult:
     num_qubits:
         Circuit width.
     shots:
-        Number of outcomes requested (the produced total may be slightly
-        larger for TQSim trees whose arities over-shoot the target).
+        Number of outcomes the simulation produced.  For TQSim trees whose
+        arities over-shoot the request this is the leaf count, with the
+        originally requested value kept under ``metadata["requested_shots"]``;
+        the per-shot simulators produce exactly what was requested.
     cost:
         The :class:`CostCounters` accumulated while producing the result.
     metadata:

@@ -10,8 +10,9 @@ import numpy as np
 
 from repro.circuits.circuit import Circuit
 from repro.density.densitymatrix import DensityMatrix
+from repro.noise.channels import KrausChannel
 from repro.noise.model import NoiseModel
-from repro.statevector.apply import apply_kraus_to_density, apply_unitary_to_density
+from repro.statevector.apply import apply_unitary_to_density
 from repro.statevector.sampling import sample_from_probabilities
 
 __all__ = ["DensityMatrixSimulator"]
@@ -20,9 +21,12 @@ __all__ = ["DensityMatrixSimulator"]
 class DensityMatrixSimulator:
     """Simulate a circuit under a noise model exactly (no sampling error).
 
-    Noise channels are applied as Kraus maps after each gate, mirroring the
-    structure of the trajectory simulators so that the two agree in the limit
-    of infinitely many shots.
+    Noise channels are applied after each gate, mirroring the structure of
+    the trajectory simulators so that the two agree in the limit of
+    infinitely many shots.  Each channel is applied as a single cached
+    superoperator on the doubled register (see
+    :meth:`_channel_superoperator`) rather than re-deriving the Kraus loop
+    per event.
     """
 
     #: Above this width an exact density-matrix simulation is refused; the
@@ -36,6 +40,34 @@ class DensityMatrixSimulator:
         self.noise_model = noise_model
         self.backend = get_backend(backend)
         self._rng = np.random.default_rng(seed)
+        # Per-channel superoperator cache: noise models attach the *same*
+        # channel object after every gate of a given arity, so deriving the
+        # doubled-register matrix once per channel replaces the per-event
+        # Kraus loop (one copy + two applications per operator) with a single
+        # kernel call.  Each entry keeps the channel alive, so its id() key
+        # can never be recycled by a different object.
+        self._superoperators: dict[int, tuple[KrausChannel, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------
+    def _channel_superoperator(self, channel: KrausChannel) -> np.ndarray:
+        """The channel as one matrix on the doubled (row ⊗ column) register.
+
+        With the row-major flattening ``flat[r * dim + c]`` used by
+        :meth:`run`, applying ``sum_i K_i rho K_i†`` equals applying
+        ``sum_i K_i ⊗ conj(K_i)`` to the local targets
+        ``(column qubits..., row qubits...)`` — column bits are the low local
+        bits, so the conjugate factor sits on the low side of the Kronecker
+        product.
+        """
+        cached = self._superoperators.get(id(channel))
+        if cached is not None:
+            return cached[1]
+        dim = 2**channel.num_qubits
+        matrix = np.zeros((dim * dim, dim * dim), dtype=complex)
+        for operator in channel.kraus_operators:
+            matrix += np.kron(operator, operator.conj())
+        self._superoperators[id(channel)] = (channel, matrix)
+        return matrix
 
     def run(self, circuit: Circuit,
             initial_state: DensityMatrix | None = None) -> DensityMatrix:
@@ -66,10 +98,15 @@ class DensityMatrixSimulator:
             )
             if self.noise_model is not None:
                 for event in self.noise_model.events_for_gate(gate):
-                    rho = apply_kraus_to_density(
-                        rho, event.channel.kraus_operators, event.qubits,
-                        backend=backend,
+                    superoperator = self._channel_superoperator(event.channel)
+                    targets = (
+                        *event.qubits,
+                        *(q + num_qubits for q in event.qubits),
                     )
+                    flat = backend.apply_unitary(
+                        rho.reshape(-1), superoperator, targets
+                    )
+                    rho = flat.reshape(dim, dim)
         return DensityMatrix(rho)
 
     def probabilities(self, circuit: Circuit) -> np.ndarray:

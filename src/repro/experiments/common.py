@@ -15,6 +15,7 @@ from typing import Any
 import math
 
 from repro.circuits.circuit import Circuit
+from repro.circuits.transpile import DEFAULT_FUSION_SKIP_NAMES, fuse_single_qubit_runs
 from repro.core.baseline import BaselineNoisySimulator
 from repro.core.engine import TQSimEngine
 from repro.core.partitioners import CircuitPartitioner, DynamicCircuitPartitioner
@@ -27,7 +28,10 @@ from repro.statevector.simulator import StatevectorSimulator
 __all__ = [
     "ExperimentConfig",
     "ComparisonRow",
+    "BatchedTreeMeasurement",
     "compare_simulators",
+    "fuse_for_noise_model",
+    "measure_batched_tree",
     "DEFAULT_CONFIG",
     "PAPER_SHOTS",
 ]
@@ -102,7 +106,14 @@ DEFAULT_CONFIG = ExperimentConfig()
 
 @dataclass
 class ComparisonRow:
-    """Baseline-vs-TQSim comparison for one circuit."""
+    """Baseline-vs-TQSim comparison for one circuit.
+
+    When the comparison also ran the batched tree engine (see
+    :func:`compare_simulators` with ``include_batched_tree=True``) the
+    ``batched_*`` fields hold the same plan executed through the batched
+    sibling-subtree traversal; ``batched_tree_speedup`` is the measured
+    wall-clock ratio of the sequential tree over the batched tree.
+    """
 
     name: str
     num_qubits: int
@@ -115,15 +126,29 @@ class ComparisonRow:
     cost_speedup: float
     wall_clock_speedup: float
     tree: str
+    tqsim_batched: SimulationResult | None = None
+    batched_wall_clock_speedup: float | None = None
+    batched_tree_speedup: float | None = None
 
     @property
     def fidelity_difference(self) -> float:
         """|NF_baseline - NF_tqsim| (the Figure-14 metric)."""
         return abs(self.baseline_normalized_fidelity - self.tqsim_normalized_fidelity)
 
+    @property
+    def batched_counters_match(self) -> bool | None:
+        """True when the batched tree's cost counters equal the sequential's.
+
+        Wall time is excluded — the whole point is that the same accounted
+        work takes less of it.  ``None`` when the batched leg did not run.
+        """
+        if self.tqsim_batched is None:
+            return None
+        return self.tqsim.cost.matches(self.tqsim_batched.cost)
+
     def as_dict(self) -> dict[str, Any]:
         """Flat representation for report tables."""
-        return {
+        row = {
             "name": self.name,
             "qubits": self.num_qubits,
             "gates": self.num_gates,
@@ -135,6 +160,84 @@ class ComparisonRow:
             "tqsim_nf": self.tqsim_normalized_fidelity,
             "fidelity_difference": self.fidelity_difference,
         }
+        if self.tqsim_batched is not None:
+            row["batched_wall_clock_speedup"] = self.batched_wall_clock_speedup
+            row["batched_tree_speedup"] = self.batched_tree_speedup
+            row["batched_counters_match"] = self.batched_counters_match
+        return row
+
+
+def fuse_for_noise_model(circuit: Circuit,
+                         noise_model: NoiseModel | None) -> Circuit:
+    """Run the fusion peephole without disturbing name-keyed noise semantics.
+
+    Gate names the model treats specially (noiseless marks, per-name channel
+    overrides) are excluded from fusion: a run that absorbed an ``id`` or an
+    overridden gate would fall back to the default per-arity channels and
+    change the physics, not just the event count.
+    """
+    skip_names = DEFAULT_FUSION_SKIP_NAMES
+    if noise_model is not None:
+        skip_names = skip_names | noise_model.name_sensitive_gates
+    return fuse_single_qubit_runs(circuit, skip_names=skip_names)
+
+
+@dataclass(frozen=True)
+class BatchedTreeMeasurement:
+    """Measured batched-tree vs sequential-tree execution of one plan.
+
+    Both engines execute the *same* plan with the same seed, so their cost
+    counters must be identical and, without noise, their counts bitwise
+    equal; the speedup is pure execution efficiency from running sibling
+    subtrees through the batched kernels.
+    """
+
+    name: str
+    num_qubits: int
+    tree: str
+    sequential_seconds: float
+    batched_seconds: float
+    counters_match: bool
+
+    @property
+    def batched_tree_speedup(self) -> float:
+        """Measured wall-clock ratio: sequential tree over batched tree."""
+        return self.sequential_seconds / self.batched_seconds
+
+
+def measure_batched_tree(
+    circuit: Circuit,
+    noise_model: NoiseModel | None,
+    config: ExperimentConfig,
+    plan,
+) -> BatchedTreeMeasurement:
+    """Time the sequential vs batched tree engine on one shared plan.
+
+    The caller picks the plan shape (high-arity plans show the largest
+    batching wins); this helper owns the timing methodology so every figure
+    measures the two traversals the same way.
+    """
+    # The comparison isolates *batching*: the sequential leg is pinned to
+    # "optimized" — the kernel family the batched backend extends — so the
+    # ratio never conflates batching with a kernel-family difference (and a
+    # batch-capable configured backend cannot silently turn this into a
+    # batched-vs-batched measurement).
+    sequential = TQSimEngine(
+        noise_model, seed=config.seed + 1, backend="optimized",
+        copy_cost_in_gates=config.copy_cost_in_gates,
+    ).run(circuit, config.shots, plan=plan)
+    batched = TQSimEngine(
+        noise_model, seed=config.seed + 1, backend="batched",
+        copy_cost_in_gates=config.copy_cost_in_gates,
+    ).run(circuit, config.shots, plan=plan)
+    return BatchedTreeMeasurement(
+        name=circuit.name or "circuit",
+        num_qubits=circuit.num_qubits,
+        tree=str(plan.tree),
+        sequential_seconds=sequential.cost.wall_time_seconds,
+        batched_seconds=batched.cost.wall_time_seconds,
+        counters_match=sequential.cost.matches(batched.cost),
+    )
 
 
 def compare_simulators(
@@ -142,13 +245,23 @@ def compare_simulators(
     noise_model: NoiseModel | None,
     config: ExperimentConfig = DEFAULT_CONFIG,
     partitioner: CircuitPartitioner | None = None,
+    include_batched_tree: bool = False,
 ) -> ComparisonRow:
     """Run the baseline and TQSim on one circuit and compare them.
 
+    The circuit is first run through the gate-fusion peephole
+    (:func:`fuse_for_noise_model`), so every simulator — and the noise
+    model — sees the same fused gate sequence.
     The ideal (noise-free) output distribution is computed exactly once and
     used as the reference for both normalized-fidelity values, mirroring the
     paper's methodology (Section 4.1).
+
+    With ``include_batched_tree=True`` the *same* partition plan is executed
+    a second time through the batched tree engine (``backend="batched"``,
+    same seed), populating the row's ``batched_*`` fields; sharing the plan
+    is what makes the cost counters directly comparable.
     """
+    circuit = fuse_for_noise_model(circuit, noise_model)
     ideal = StatevectorSimulator(
         seed=config.seed, backend=config.backend
     ).probabilities(circuit)
@@ -166,7 +279,26 @@ def compare_simulators(
     )
     if partitioner is None:
         partitioner = config.dcp_partitioner()
-    tqsim_result = engine.run(circuit, config.shots, partitioner=partitioner)
+    plan = partitioner.plan(circuit, config.shots, noise_model)
+    tqsim_result = engine.run(circuit, config.shots, plan=plan)
+
+    batched_result = None
+    batched_wall_clock_speedup = None
+    batched_tree_speedup = None
+    if include_batched_tree:
+        batched_engine = TQSimEngine(
+            noise_model,
+            seed=config.seed + 1,
+            backend="batched",
+            copy_cost_in_gates=config.copy_cost_in_gates,
+        )
+        batched_result = batched_engine.run(circuit, config.shots, plan=plan)
+        batched_wall_clock_speedup = batched_result.speedup_over(
+            baseline_result, use_wall_time=True
+        )
+        batched_tree_speedup = batched_result.speedup_over(
+            tqsim_result, use_wall_time=True
+        )
 
     baseline_nf = normalized_fidelity(ideal, baseline_result.probabilities())
     tqsim_nf = normalized_fidelity(ideal, tqsim_result.probabilities())
@@ -186,4 +318,7 @@ def compare_simulators(
             baseline_result, use_wall_time=True
         ),
         tree=tqsim_result.metadata.get("tree", "(?)"),
+        tqsim_batched=batched_result,
+        batched_wall_clock_speedup=batched_wall_clock_speedup,
+        batched_tree_speedup=batched_tree_speedup,
     )

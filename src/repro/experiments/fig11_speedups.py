@@ -11,7 +11,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.circuits.library.suite import BenchmarkSpec, benchmark_suite
-from repro.experiments.common import ComparisonRow, DEFAULT_CONFIG, ExperimentConfig, compare_simulators
+from repro.core.partitioners import UniformCircuitPartitioner
+from repro.experiments.common import (
+    BatchedTreeMeasurement,
+    ComparisonRow,
+    DEFAULT_CONFIG,
+    ExperimentConfig,
+    compare_simulators,
+    fuse_for_noise_model,
+    measure_batched_tree,
+)
 from repro.metrics.statistics import geometric_mean
 from repro.noise.sycamore import depolarizing_noise_model
 
@@ -39,6 +48,7 @@ class SuiteSweepResult:
 
     rows: list[ComparisonRow] = field(default_factory=list)
     specs: list[BenchmarkSpec] = field(default_factory=list)
+    batched_rows: list[BatchedTreeMeasurement] = field(default_factory=list)
 
     @property
     def class_speedups(self) -> dict[str, float]:
@@ -69,6 +79,18 @@ class SuiteSweepResult:
         rows = self.rows
         return sum(row.fidelity_difference for row in rows) / len(rows)
 
+    @property
+    def average_batched_tree_speedup(self) -> float:
+        """Mean measured batched-tree speedup over the sequential tree."""
+        return geometric_mean(
+            [row.batched_tree_speedup for row in self.batched_rows]
+        )
+
+    @property
+    def max_batched_tree_speedup(self) -> float:
+        """Best measured batched-tree speedup over the sequential tree."""
+        return max(row.batched_tree_speedup for row in self.batched_rows)
+
     def table(self) -> list[dict]:
         """Flat rows annotated with the paper's class-average speedups."""
         return [
@@ -83,15 +105,37 @@ class SuiteSweepResult:
         ]
 
 
+def _measure_high_arity(circuit, noise_model,
+                        config: ExperimentConfig) -> BatchedTreeMeasurement:
+    """Time both tree traversals on one high-arity plan.
+
+    A two-layer UCP plan puts arity ``~sqrt(shots)`` at the leaf layer, the
+    regime where batching sibling subtrees pays the most: the whole second
+    half of the circuit advances ``A_1`` trajectories per kernel call.
+    """
+    circuit = fuse_for_noise_model(circuit, noise_model)
+    plan = UniformCircuitPartitioner(2).plan(circuit, config.shots, noise_model)
+    return measure_batched_tree(circuit, noise_model, config, plan)
+
+
 def run(config: ExperimentConfig = DEFAULT_CONFIG) -> SuiteSweepResult:
-    """Run baseline-vs-TQSim on every suite circuit within the width budget."""
+    """Run baseline-vs-TQSim on every suite circuit within the width budget.
+
+    Every row also carries the batched tree engine executing the same DCP
+    plan (``ComparisonRow.batched_*``), and ``batched_rows`` holds the
+    dedicated high-arity measurement of the batched vs sequential traversal.
+    """
     noise_model = depolarizing_noise_model()
     result = SuiteSweepResult()
     for spec, circuit in benchmark_suite(max_qubits=config.max_qubits,
                                          seed=config.seed):
-        row = compare_simulators(circuit, noise_model, config)
+        row = compare_simulators(circuit, noise_model, config,
+                                 include_batched_tree=True)
         result.specs.append(spec)
         result.rows.append(row)
+        result.batched_rows.append(
+            _measure_high_arity(circuit, noise_model, config)
+        )
     if not result.rows:
         raise ValueError(
             f"no benchmark fits within max_qubits={config.max_qubits}"

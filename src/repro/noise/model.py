@@ -93,6 +93,16 @@ class NoiseModel:
             and self.readout_error is None
         )
 
+    @property
+    def name_sensitive_gates(self) -> frozenset[str]:
+        """Gate names whose noise depends on the *name*, not just the arity.
+
+        Transpile passes that rewrite or rename gates (e.g. the fusion
+        peephole) must leave these untouched or they silently change the
+        physics: noiseless marks and per-name overrides key on the name.
+        """
+        return frozenset(self._noiseless_gates) | frozenset(self._gate_overrides)
+
     # ------------------------------------------------------------------
     # Queries used by the simulators
     # ------------------------------------------------------------------

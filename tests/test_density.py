@@ -77,6 +77,47 @@ def test_single_qubit_depolarizing_analytic():
     assert probs[1] == pytest.approx(1.0 - expected_zero)
 
 
+def test_superoperator_cache_matches_explicit_kraus_application(bv6):
+    """The cached superoperator path equals the direct Kraus-map evolution.
+
+    Timing-neutral regression for the per-channel superoperator cache: the
+    simulator must produce the exact density matrix of the functional
+    ``apply_kraus_to_density`` reference, and derive each repeated channel's
+    superoperator only once.
+    """
+    from repro.noise.channels import AmplitudeDampingChannel
+    from repro.statevector.apply import (
+        apply_kraus_to_density,
+        apply_unitary_to_density,
+    )
+
+    model = depolarizing_noise_model()
+    model.single_qubit_channels.append(AmplitudeDampingChannel(0.02))
+    simulator = DensityMatrixSimulator(model)
+    result = simulator.run(bv6).data
+
+    dim = 2**bv6.num_qubits
+    reference = np.zeros((dim, dim), dtype=complex)
+    reference[0, 0] = 1.0
+    for gate in bv6:
+        reference = apply_unitary_to_density(
+            reference, gate.to_matrix(), gate.qubits
+        )
+        for event in model.events_for_gate(gate):
+            reference = apply_kraus_to_density(
+                reference, event.channel.kraus_operators, event.qubits
+            )
+    assert np.allclose(result, reference, atol=1e-10)
+    # One cache entry per distinct channel object, however many events
+    # reused it; a second run must not re-derive anything.
+    distinct_channels = {
+        id(event.channel) for gate in bv6 for event in model.events_for_gate(gate)
+    }
+    assert set(simulator._superoperators) == distinct_channels
+    simulator.run(bv6)
+    assert set(simulator._superoperators) == distinct_channels
+
+
 def test_readout_error_convolution():
     model = NoiseModel(readout_error=ReadoutError(0.1))
     circuit = Circuit(1).x(0)

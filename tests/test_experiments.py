@@ -35,11 +35,27 @@ def test_experiment_config_scaling_helpers():
 
 def test_compare_simulators_row(depolarizing_model):
     row = compare_simulators(qft_circuit(5), depolarizing_model, TINY)
-    assert row.num_gates == qft_circuit(5).num_gates
+    # Circuits are fused before simulation, so the row never reports more
+    # gates than the raw circuit.
+    assert 0 < row.num_gates <= qft_circuit(5).num_gates
     assert row.cost_speedup > 0
     assert 0 <= row.fidelity_difference <= 2
     as_dict = row.as_dict()
     assert as_dict["tree"].startswith("(")
+    # The batched tree leg is opt-in.
+    assert row.tqsim_batched is None
+    assert row.batched_counters_match is None
+    assert "batched_tree_speedup" not in as_dict
+
+
+def test_compare_simulators_batched_tree_leg(depolarizing_model):
+    row = compare_simulators(qft_circuit(5), depolarizing_model, TINY,
+                             include_batched_tree=True)
+    assert row.tqsim_batched is not None
+    assert row.batched_counters_match is True
+    assert row.batched_tree_speedup > 0
+    assert row.tqsim_batched.metadata["execution"] == "tree-batched"
+    assert row.as_dict()["batched_counters_match"] is True
 
 
 def test_fig4_memory_scaling_headline():
@@ -68,6 +84,13 @@ def test_fig9_memory_reuse():
     assert len(result.points) == 5
     assert all(p.memory_fraction_of_node < 0.5 for p in result.points)
     assert all(p.modeled_speedup >= 1.0 for p in result.points)
+    # The batched-tree pool stays within the Figure-9 budget while batching
+    # at least the full leaf fan-out.
+    assert all(p.batched_memory_fraction_of_node <= 0.5 for p in result.points)
+    assert all(p.batched_max_batch >= 2 for p in result.points)
+    assert result.measured.counters_match
+    assert result.measured.sequential_seconds > 0
+    assert result.measured.batched_seconds > 0
 
 
 def test_fig10_copy_cost():
@@ -83,6 +106,12 @@ def test_fig11_and_fig14_suite_sweep():
     assert result.average_speedup > 0.5
     table = result.table()
     assert {"class", "cost_speedup", "paper_class_speedup"} <= set(table[0])
+    # Every row carries the batched tree engine executing the same plan with
+    # identical accounted work, plus the dedicated high-arity measurement.
+    assert all(row.batched_counters_match for row in result.rows)
+    assert len(result.batched_rows) == len(result.rows)
+    assert all(row.counters_match for row in result.batched_rows)
+    assert result.average_batched_tree_speedup > 0
     fidelity = run_experiment("fig14", TINY.scaled(max_qubits=5))
     assert fidelity.max_difference >= fidelity.average_difference >= 0.0
 

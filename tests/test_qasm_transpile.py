@@ -7,6 +7,7 @@ from repro.circuits import (
     Circuit,
     decompose_to_two_qubit_gates,
     from_qasm,
+    fuse_single_qubit_runs,
     to_qasm,
 )
 from repro.circuits.transpile import decompose_ccx, decompose_cswap, decompose_swap
@@ -93,3 +94,90 @@ def test_decompose_keeps_swap_by_default():
     circuit = Circuit(2).swap(0, 1)
     lowered = decompose_to_two_qubit_gates(circuit)
     assert [gate.name for gate in lowered] == ["swap"]
+
+
+# ---------------------------------------------------------------------------
+# Gate-fusion peephole
+# ---------------------------------------------------------------------------
+def test_fusion_preserves_unitary_and_shrinks_gate_count():
+    circuit = Circuit(3, name="fusable")
+    circuit.h(0).t(0).s(0).cx(0, 1).rz(0.4, 1).rx(0.2, 1).h(2).x(2).cz(1, 2)
+    fused = fuse_single_qubit_runs(circuit)
+    assert np.allclose(fused.to_matrix(), circuit.to_matrix(), atol=1e-9)
+    # h·t·s on q0, rz·rx on q1 and h·x on q2 each become one gate.
+    assert fused.num_gates == 5
+    assert fused.name == "fusable"
+    assert sum(gate.name == "fused1q" for gate in fused) == 3
+
+
+def test_fusion_reaches_across_disjoint_gates():
+    # The cx on (1, 2) commutes with everything on q0, so the h...h run on
+    # q0 fuses even though the gates are not adjacent in program order.
+    circuit = Circuit(3).h(0).cx(1, 2).h(0)
+    fused = fuse_single_qubit_runs(circuit)
+    assert np.allclose(fused.to_matrix(), circuit.to_matrix(), atol=1e-9)
+    assert fused.num_gates == 2
+    assert sorted(gate.name for gate in fused) == ["cx", "fused1q"]
+
+
+def test_fusion_blocked_by_multi_qubit_gate_on_target():
+    circuit = Circuit(2).h(0).cx(0, 1).h(0)
+    fused = fuse_single_qubit_runs(circuit)
+    assert [gate.name for gate in fused] == ["h", "cx", "h"]
+    assert np.allclose(fused.to_matrix(), circuit.to_matrix(), atol=1e-9)
+
+
+def test_fusion_keeps_singleton_gates_named(small_circuit):
+    fused = fuse_single_qubit_runs(small_circuit)
+    assert np.allclose(fused.to_matrix(), small_circuit.to_matrix(), atol=1e-9)
+    # No fusable runs in the fixture: every gate survives by name.
+    assert [gate.name for gate in fused] == [gate.name for gate in small_circuit]
+
+
+def test_fusion_on_benchmark_circuit_is_equivalent():
+    from repro.circuits.library import adder_circuit
+
+    circuit = adder_circuit(4)
+    fused = fuse_single_qubit_runs(circuit)
+    assert fused.num_gates < circuit.num_gates
+    assert np.allclose(fused.to_matrix(), circuit.to_matrix(), atol=1e-9)
+
+
+def test_fusion_skips_name_sensitive_gates():
+    """Gates whose *name* carries noise semantics must survive unfused.
+
+    ``id`` is noiseless in the default NoiseModel: absorbing it into a run
+    would add a noise event the unfused circuit never had.  Skipped gates
+    also end the open run on their qubit.
+    """
+    circuit = Circuit(1).h(0).i(0).t(0)
+    fused = fuse_single_qubit_runs(circuit)
+    assert [gate.name for gate in fused] == ["h", "id", "t"]
+    # Custom skip set: rz kept by name, surrounding gates fuse around it.
+    circuit = Circuit(1).h(0).t(0).rz(0.3, 0).s(0).x(0)
+    fused = fuse_single_qubit_runs(circuit, skip_names=frozenset({"rz"}))
+    assert [gate.name for gate in fused] == ["fused1q", "rz", "fused1q"]
+    assert np.allclose(fused.to_matrix(), circuit.to_matrix(), atol=1e-9)
+
+
+def test_fusion_skip_names_flow_from_noise_model():
+    from repro.experiments.common import fuse_for_noise_model
+    from repro.noise import NoiseModel, depolarizing_noise_model
+    from repro.noise.channels import DepolarizingChannel
+
+    model = depolarizing_noise_model()
+    model.mark_noiseless("rz")
+    model.add_gate_override("t", [DepolarizingChannel(0.2)])
+    circuit = Circuit(1).h(0).rz(0.3, 0).s(0).t(0).x(0).y(0)
+    fused = fuse_for_noise_model(circuit, model)
+    # rz (noiseless) and t (overridden) survive by name; x·y fuses.
+    names = [gate.name for gate in fused]
+    assert "rz" in names and "t" in names
+    assert names.count("fused1q") == 1
+    assert np.allclose(fused.to_matrix(), circuit.to_matrix(), atol=1e-9)
+    # Noise-event structure of the protected gates is unchanged.
+    rz_gate = next(gate for gate in fused if gate.name == "rz")
+    t_gate = next(gate for gate in fused if gate.name == "t")
+    assert model.events_for_gate(rz_gate) == []
+    assert model.events_for_gate(t_gate)[0].channel.error_probability == \
+        pytest.approx(0.2)
