@@ -38,8 +38,17 @@ def test_fig08_parallel_shots(benchmark, bench_config):
             for p in result.measured_points
         ],
     )
+    process_sweep = result.process_sweep
+    print_table(
+        "Figure 8 — measured process-parallel shots "
+        f"({process_sweep.name}, plan {process_sweep.tree}, "
+        f"serial {process_sweep.serial_seconds:.3f}s)",
+        process_sweep.as_rows(),
+    )
     assert result.max_speedup_at_20_qubits > 2.0
     assert result.max_speedup_at_25_qubits < 1.3
+    # Process-sharded shots merge bitwise-identically on any machine.
+    assert process_sweep.counts_match_serial
     if os.environ.get("CI"):
         pytest.skip(
             "measured-speedup assertion skipped on CI "

@@ -1,0 +1,76 @@
+"""Microbenchmark: serial vs multiprocess dispatch of one high-arity plan.
+
+Prints the measured scaling table for the CI smoke job.  Worker counts are
+capped at the runner's cores: an oversubscribed pool measures scheduler
+thrash, not the subsystem.  The hard assertions are the exactness contract
+(bitwise-identical merged counts on any machine); wall-clock speedup is
+asserted only where the hardware can actually deliver it, and leniently —
+timing on shared CI runners is noisy.
+"""
+
+import os
+
+from conftest import print_table
+
+from repro.circuits.library import qft_circuit
+from repro.core import ManualPartitioner, TQSimEngine
+from repro.experiments.common import (
+    dispatch_worker_counts,
+    measure_dispatch_scaling,
+)
+from repro.noise import depolarizing_noise_model
+
+TREE_ARITIES = (16, 16)
+WIDTH = 9
+SHOTS = 256
+
+
+def test_parallel_dispatch_scaling(bench_config):
+    cores = os.cpu_count() or 1
+    # The shared default policy: (1, 2, 4) capped at the runner's cores.
+    worker_counts = dispatch_worker_counts(bench_config)
+    noise_model = depolarizing_noise_model()
+    width = min(WIDTH, bench_config.max_qubits)
+    circuit = qft_circuit(width)
+    config = bench_config.scaled(shots=SHOTS)
+    plan = ManualPartitioner(TREE_ARITIES).plan(circuit, SHOTS, noise_model)
+
+    measured = measure_dispatch_scaling(
+        circuit, noise_model, config, plan, worker_counts=worker_counts
+    )
+    single = TQSimEngine(
+        noise_model, seed=config.seed + 2, backend="batched",
+        copy_cost_in_gates=config.copy_cost_in_gates,
+    ).run(circuit, SHOTS, plan=plan)
+
+    print_table(
+        f"Parallel dispatch — {measured.name}, tree {measured.tree}, "
+        f"{cores} core(s), serial {measured.serial_seconds:.3f}s",
+        measured.as_rows(),
+    )
+
+    # Exactness: sharded execution reproduces the single-engine run bitwise,
+    # whatever the worker count or scheduling.
+    assert measured.counts_match_serial
+    from repro.dispatch import SerialDispatcher
+
+    serial = SerialDispatcher(
+        noise_model, seed=config.seed + 2, num_shards=2,
+        copy_cost_in_gates=config.copy_cost_in_gates,
+    ).run(circuit, SHOTS, plan=plan)
+    assert serial.counts == single.counts
+    assert serial.cost.matches(single.cost)
+
+    # Scaling: only meaningful with real cores behind the workers.  Two
+    # workers on >= 2 cores must at least recoup the process overhead.
+    speedups = measured.speedups
+    if cores >= 2 and 2 in speedups:
+        assert speedups[2] > 0.9, (
+            f"2-worker dispatch slower than serial by more than overhead "
+            f"margin: {speedups[2]:.2f}x"
+        )
+    if cores >= 4 and 4 in speedups:
+        assert speedups[4] > 1.2, (
+            f"expected real scaling at 4 workers on {cores} cores, "
+            f"measured {speedups[4]:.2f}x"
+        )

@@ -31,6 +31,9 @@ The package is organised as follows:
     parallel-shot saturation, HPC memory utilisation).
 ``repro.distributed``
     A simulated multi-node cluster for the strong/weak scaling study.
+``repro.dispatch``
+    Real multiprocess shot dispatch: shard the simulation tree's first
+    layer across worker processes and merge the results exactly.
 ``repro.redunelim``
     The inter-shot redundancy-elimination comparator (Li et al.).
 ``repro.vqa``
@@ -55,7 +58,10 @@ from repro.core import (
     TQSimEngine,
     TreeStructure,
     UniformCircuitPartitioner,
+    merge_many,
+    merge_results,
 )
+from repro.dispatch import PoolDispatcher, SerialDispatcher
 from repro.metrics import normalized_fidelity, state_fidelity
 from repro.noise import NoiseModel, sycamore_noise_model
 from repro.statevector import Statevector, StatevectorSimulator
@@ -73,6 +79,10 @@ __all__ = [
     "DynamicCircuitPartitioner",
     "BaselineNoisySimulator",
     "TQSimEngine",
+    "SerialDispatcher",
+    "PoolDispatcher",
+    "merge_results",
+    "merge_many",
     "Backend",
     "NumpyBackend",
     "OptimizedNumpyBackend",

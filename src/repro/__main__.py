@@ -1,0 +1,128 @@
+"""Command-line entry point: ``python -m repro``.
+
+Two subcommands drive :mod:`repro.experiments.registry`:
+
+* ``python -m repro list`` — every reproducible paper artefact with its
+  claim.
+* ``python -m repro run <experiment> [--workers N] [--shots S] ...`` — run
+  one artefact with a scaled configuration and print a compact summary of
+  the result object.  ``--workers`` feeds the multiprocess dispatch legs of
+  the experiments that measure real parallel execution (fig8 / fig13).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+from typing import Any, Sequence
+
+from repro.experiments.common import DEFAULT_CONFIG
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce TQSim paper artefacts (figures and tables).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list the available experiments")
+
+    run = commands.add_parser("run", help="run one experiment by id")
+    run.add_argument("experiment", help="experiment id, e.g. fig11 or table2")
+    run.add_argument("--shots", type=int, default=None,
+                     help="outcomes per simulation (default: scaled-down harness value)")
+    run.add_argument("--max-qubits", type=int, default=None,
+                     help="skip benchmarks wider than this")
+    run.add_argument("--seed", type=int, default=None, help="base RNG seed")
+    run.add_argument("--backend", default=None,
+                     help="execution backend name (see repro.backends)")
+    run.add_argument("--workers", type=int, default=None,
+                     help="worker processes for the measured dispatch legs")
+    return parser
+
+
+def _describe(value: Any, indent: str = "  ") -> list[str]:
+    """Flatten a result object into short human-readable lines.
+
+    Experiment results are plain dataclasses mixing scalars with large
+    row lists; scalars are printed verbatim and containers are summarised
+    by length so the output stays one screen tall.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        lines = []
+        for field in dataclasses.fields(value):
+            item = getattr(value, field.name)
+            if dataclasses.is_dataclass(item) and not isinstance(item, type):
+                lines.append(f"{indent}{field.name}:")
+                lines.extend(_describe(item, indent + "  "))
+            elif isinstance(item, (list, tuple)):
+                lines.append(f"{indent}{field.name}: {len(item)} item(s)")
+            elif isinstance(item, dict):
+                keys = ", ".join(str(key) for key in list(item)[:6])
+                suffix = ", ..." if len(item) > 6 else ""
+                lines.append(
+                    f"{indent}{field.name}: {len(item)} entry(ies) [{keys}{suffix}]"
+                )
+            elif isinstance(item, float):
+                lines.append(f"{indent}{field.name}: {item:.6g}")
+            else:
+                lines.append(f"{indent}{field.name}: {item}")
+        return lines
+    return [f"{indent}{value}"]
+
+
+def _cmd_list() -> int:
+    width = max(len(identifier) for identifier in EXPERIMENTS)
+    for identifier in sorted(EXPERIMENTS):
+        experiment = EXPERIMENTS[identifier]
+        print(f"{identifier.ljust(width)}  {experiment.title}")
+        print(f"{' ' * width}  {experiment.paper_claim}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        experiment = get_experiment(args.experiment)
+    except KeyError as error:
+        print(error.args[0])
+        return 2
+    overrides: dict[str, Any] = {}
+    if args.shots is not None:
+        overrides["shots"] = args.shots
+    if args.max_qubits is not None:
+        overrides["max_qubits"] = args.max_qubits
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.backend is not None:
+        overrides["backend"] = args.backend
+    if args.workers is not None:
+        if args.workers < 1:
+            print("--workers must be >= 1")
+            return 2
+        overrides["extra"] = {**DEFAULT_CONFIG.extra, "workers": args.workers}
+    config = DEFAULT_CONFIG.scaled(**overrides)
+
+    print(f"== {experiment.identifier}: {experiment.title} ==")
+    print(f"paper claim: {experiment.paper_claim}")
+    result = experiment.runner(config)
+    print(f"result ({type(result).__name__}):")
+    for line in _describe(result):
+        print(line)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run the CLI; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    return _cmd_run(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -126,6 +126,51 @@ class Backend(ABC):
 
         return apply_noise_events(state, events, rng, backend=self)
 
+    def apply_noise_events_multi(
+        self,
+        state: np.ndarray,
+        events,
+        rngs: Sequence[np.random.Generator],
+    ) -> np.ndarray:
+        """Apply noise events to a batch where row ``i`` draws from ``rngs[i]``.
+
+        Per-row independent streams are what make sharded execution bitwise
+        reproducible: a trajectory's noise depends only on its own generator,
+        never on how trajectories were grouped into batches.  Row ``i``
+        consumes ``rngs[i]`` exactly as :meth:`apply_noise_events` would on a
+        single state.  The generic implementation loops rows; batch backends
+        override it to keep the operator application vectorised.
+        """
+        batched = state if state.ndim == 2 else state.reshape(1, -1)
+        if batched.shape[0] != len(rngs):
+            raise ValueError("need exactly one generator per batch row")
+        for i, row_rng in enumerate(rngs):
+            row = batched[i]
+            out = self.apply_noise_events(row, events, row_rng)
+            if out is not row:
+                np.copyto(row, out)
+        return state
+
+    def sample_outcomes_multi(
+        self,
+        state: np.ndarray,
+        rngs: Sequence[np.random.Generator],
+        readout_error: ReadoutError | None = None,
+    ) -> list[str]:
+        """Sample one outcome per batch row, row ``i`` drawing from ``rngs[i]``.
+
+        Row ``i`` consumes ``rngs[i]`` exactly as :meth:`sample_outcome` would
+        on a single state (one uniform for the outcome, then the readout
+        flips), so results are independent of batch grouping.
+        """
+        batched = state if state.ndim == 2 else state.reshape(1, -1)
+        if batched.shape[0] != len(rngs):
+            raise ValueError("need exactly one generator per batch row")
+        return [
+            self.sample_outcome(batched[i], row_rng, readout_error)
+            for i, row_rng in enumerate(rngs)
+        ]
+
     # ------------------------------------------------------------------
     # Measurement
     # ------------------------------------------------------------------

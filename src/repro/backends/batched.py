@@ -135,17 +135,7 @@ class BatchedNumpyBackend(OptimizedNumpyBackend):
             # batch is then partitioned by branch index and each branch's
             # unitary is applied to its sub-batch in one kernel call.
             indices = channel.sample_mixture_indices(rng, batch)
-            for branch in np.unique(indices):
-                if branch == 0 and channel.mixture_identity_first:
-                    continue
-                unitary = channel.mixture_unitary(int(branch))
-                rows = np.flatnonzero(indices == branch)
-                if rows.size == batch:
-                    self.apply_unitary(batched, unitary, event.qubits)
-                else:
-                    sub = batched[rows]  # fancy index: a contiguous copy
-                    self.apply_unitary(sub, unitary, event.qubits)
-                    batched[rows] = sub
+            self._apply_sampled_branches(batched, event, indices)
             return
         # General Kraus channels: branch probabilities depend on the state,
         # so each trajectory samples independently (functional application).
@@ -155,6 +145,54 @@ class BatchedNumpyBackend(OptimizedNumpyBackend):
             batched[i], _ = sample_channel_on_state(
                 batched[i], channel, event.qubits, rng
             )
+
+    def _apply_sampled_branches(
+        self, batched: np.ndarray, event: NoiseEvent, indices: np.ndarray
+    ) -> None:
+        """Apply each sampled mixture branch to the rows that drew it."""
+        channel = event.channel
+        batch = batched.shape[0]
+        for branch in np.unique(indices):
+            if branch == 0 and channel.mixture_identity_first:
+                continue
+            unitary = channel.mixture_unitary(int(branch))
+            rows = np.flatnonzero(indices == branch)
+            if rows.size == batch:
+                self.apply_unitary(batched, unitary, event.qubits)
+            else:
+                sub = batched[rows]  # fancy index: a contiguous copy
+                self.apply_unitary(sub, unitary, event.qubits)
+                batched[rows] = sub
+
+    def apply_noise_events_multi(self, state, events, rngs):
+        """Apply noise events with row ``i`` sampling from ``rngs[i]``.
+
+        The branch *draws* are scalar (one inverse-CDF lookup per row from
+        that row's own generator, consuming it exactly like the sequential
+        path), while the branch *application* stays group-wise vectorised.
+        Per-row streams make the result independent of how trajectories were
+        chunked into batches, which is what sharded dispatch relies on.
+        """
+        batched = state if state.ndim == 2 else state.reshape(1, -1)
+        if batched.shape[0] != len(rngs):
+            raise ValueError("need exactly one generator per batch row")
+        from repro.noise.trajectory import sample_channel_on_state
+
+        for event in events:
+            channel = event.channel
+            if channel.is_mixed_unitary:
+                indices = np.fromiter(
+                    (channel.sample_mixture_index(rng) for rng in rngs),
+                    dtype=np.int64,
+                    count=len(rngs),
+                )
+                self._apply_sampled_branches(batched, event, indices)
+            else:
+                for i, row_rng in enumerate(rngs):
+                    batched[i], _ = sample_channel_on_state(
+                        batched[i], channel, event.qubits, row_rng
+                    )
+        return state
 
     # ------------------------------------------------------------------
     # Measurement
@@ -192,6 +230,44 @@ class BatchedNumpyBackend(OptimizedNumpyBackend):
         :meth:`Backend._apply_readout_flips`).
         """
         batched = state if state.ndim == 2 else state.reshape(1, -1)
+        draws = rng.random(batched.shape[0])
+        return self._outcomes_from_draws(batched, draws, readout_error, rng)
+
+    def sample_outcomes_multi(
+        self,
+        state: np.ndarray,
+        rngs: Sequence[np.random.Generator],
+        readout_error: ReadoutError | None = None,
+    ) -> list[str]:
+        """Sample one outcome per row, row ``i`` drawing from ``rngs[i]``.
+
+        The uniforms are scalar per-row draws (so each row consumes its own
+        stream exactly like :meth:`sample_outcome` on a single state — one
+        outcome uniform, then that row's readout flips) while the row-wise
+        cumulative probabilities and the inverse-CDF comparison, the costly
+        part, stay vectorised across the batch.
+        """
+        batched = state if state.ndim == 2 else state.reshape(1, -1)
+        if batched.shape[0] != len(rngs):
+            raise ValueError("need exactly one generator per batch row")
+        draws = np.fromiter(
+            (rng.random() for rng in rngs), dtype=float, count=len(rngs)
+        )
+        return self._outcomes_from_draws(batched, draws, readout_error, rngs)
+
+    def _outcomes_from_draws(
+        self,
+        batched: np.ndarray,
+        draws: np.ndarray,
+        readout_error: ReadoutError | None,
+        rng_or_rngs,
+    ) -> list[str]:
+        """Shared vectorised inverse-CDF pass over pre-drawn uniforms.
+
+        ``rng_or_rngs`` is either one generator (shared-stream sampling) or a
+        per-row sequence; it is only consumed further when readout flips are
+        needed.
+        """
         probabilities = self.probabilities(batched)
         cumulative = np.cumsum(probabilities, axis=1)
         totals = cumulative[:, -1]
@@ -199,11 +275,17 @@ class BatchedNumpyBackend(OptimizedNumpyBackend):
             raise ValueError("cumulative probabilities sum to zero")
         batch, dim = cumulative.shape
         num_qubits = int(dim).bit_length() - 1
-        draws = rng.random(batch) * totals
-        positions = np.sum(cumulative <= draws[:, None], axis=1)
+        scaled = draws * totals
+        positions = np.sum(cumulative <= scaled[:, None], axis=1)
         outcomes = np.minimum(positions, dim - 1).astype(np.int64)
         if readout_error is not None:
-            outcomes = self._apply_readout_flips(
-                outcomes, num_qubits, readout_error, rng
-            )
+            if isinstance(rng_or_rngs, np.random.Generator):
+                outcomes = self._apply_readout_flips(
+                    outcomes, num_qubits, readout_error, rng_or_rngs
+                )
+            else:
+                for i, row_rng in enumerate(rng_or_rngs):
+                    outcomes[i : i + 1] = self._apply_readout_flips(
+                        outcomes[i : i + 1], num_qubits, readout_error, row_rng
+                    )
         return [index_to_bitstring(int(o), num_qubits) for o in outcomes]

@@ -36,7 +36,12 @@ from repro.core.partitioners import (
     SingleShotPartitioner,
     UniformCircuitPartitioner,
 )
-from repro.core.results import CostCounters, SimulationResult, merge_results
+from repro.core.results import (
+    CostCounters,
+    SimulationResult,
+    merge_many,
+    merge_results,
+)
 from repro.core.sampling_theory import (
     DEFAULT_CONFIDENCE_Z,
     DEFAULT_MARGIN_OF_ERROR,
@@ -52,6 +57,7 @@ __all__ = [
     "CostCounters",
     "SimulationResult",
     "merge_results",
+    "merge_many",
     "PartitionPlan",
     "CircuitPartitioner",
     "SingleShotPartitioner",

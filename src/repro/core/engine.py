@@ -31,11 +31,27 @@ Both traversals produce identical cost counters (``gate_applications``,
 ``state_copies``, ``leaf_samples``, ``noise_applications``): a batched kernel
 advancing ``B`` rows counts as ``B`` applications, and a broadcast into ``B``
 rows counts as ``B`` reuse copies.
+
+Seeding
+-------
+All randomness below first-layer subtree ``j`` — trajectory noise, leaf
+outcome draws, readout flips — comes from an independent stream seeded by the
+``j``-th child of the engine's root :class:`numpy.random.SeedSequence`.  This
+is what makes the tree *shardable*: a run over first-layer subtrees
+``[lo, hi)`` with the matching spawned seeds (see
+:mod:`repro.dispatch`) reproduces exactly the outcomes the full run produces
+for those subtrees, so splitting a shot request across worker processes
+changes nothing but the wall-clock time.  In the batched traversal the
+first-layer chunks mix rows from different subtrees, so their noise and
+outcome draws go through the per-row-stream backend paths
+(``apply_noise_events_multi`` / ``sample_outcomes_multi``) while the operator
+application stays vectorised.
 """
 
 from __future__ import annotations
 
 import time
+from typing import Sequence
 
 import numpy as np
 
@@ -64,7 +80,7 @@ class TQSimEngine:
     def __init__(
         self,
         noise_model: NoiseModel | None = None,
-        seed: int | None = None,
+        seed: int | np.random.SeedSequence | None = None,
         backend: str | Backend | None = None,
         copy_cost_in_gates: float = DEFAULT_COPY_COST_IN_GATES,
         batch_size: int | None = None,
@@ -74,6 +90,14 @@ class TQSimEngine:
 
         Parameters
         ----------
+        seed:
+            Root seed.  Every run spawns one child
+            :class:`~numpy.random.SeedSequence` per first-layer subtree from
+            it, so a fixed seed pins the whole trajectory ensemble while
+            distinct subtrees still draw from independent streams.  An
+            explicit ``SeedSequence`` may be passed (shared-root dispatch);
+            spawning is stateful, so consecutive ``run`` calls on one engine
+            produce fresh, independent ensembles.
         batch_size:
             Sibling-chunk size of the batched traversal.  ``None`` (default)
             lets every chunk grow to ``max_batch``; an explicit value caps
@@ -105,7 +129,10 @@ class TQSimEngine:
                 )
         self.batch_size = None if batch_size is None else int(batch_size)
         self.max_batch = int(max_batch)
-        self._rng = np.random.default_rng(seed)
+        if isinstance(seed, np.random.SeedSequence):
+            self._seed_sequence = seed
+        else:
+            self._seed_sequence = np.random.SeedSequence(seed)
 
     # ------------------------------------------------------------------
     @property
@@ -122,6 +149,7 @@ class TQSimEngine:
         shots: int,
         partitioner: CircuitPartitioner | None = None,
         plan: PartitionPlan | None = None,
+        subtree_seeds: Sequence[np.random.SeedSequence] | None = None,
     ) -> SimulationResult:
         """Simulate ``circuit`` with computation reuse.
 
@@ -136,6 +164,13 @@ class TQSimEngine:
             this engine's state-copy cost.
         plan:
             A pre-built plan (overrides ``partitioner``).
+        subtree_seeds:
+            One :class:`~numpy.random.SeedSequence` per first-layer subtree
+            of the plan, overriding the engine's own spawning.  This is the
+            dispatch hook: a shard covering first-layer subtrees ``[lo, hi)``
+            of a larger run passes the matching slice of the root's spawned
+            children and reproduces exactly that run's outcomes for those
+            subtrees.
 
         Returns
         -------
@@ -157,15 +192,23 @@ class TQSimEngine:
                 "the plan's subcircuits do not cover the circuit "
                 f"({plan.total_gates} vs {circuit.num_gates} gates)"
             )
+        first_layer_arity = plan.tree.arities[0]
+        if subtree_seeds is None:
+            subtree_seeds = self._seed_sequence.spawn(first_layer_arity)
+        elif len(subtree_seeds) != first_layer_arity:
+            raise ValueError(
+                f"need one subtree seed per first-layer subtree "
+                f"({first_layer_arity}), got {len(subtree_seeds)}"
+            )
 
         batched = self.backend.supports_batch
         counts: dict[str, int] = {}
         cost = CostCounters()
         start = time.perf_counter()
         if batched:
-            self._run_tree_batched(circuit, plan, counts, cost)
+            self._run_tree_batched(circuit, plan, counts, cost, subtree_seeds)
         else:
-            self._run_tree(circuit, plan, counts, cost)
+            self._run_tree(circuit, plan, counts, cost, subtree_seeds)
         cost.wall_time_seconds = time.perf_counter() - start
 
         metadata = {
@@ -176,6 +219,7 @@ class TQSimEngine:
             "tree": str(plan.tree),
             "subcircuit_lengths": plan.subcircuit_lengths,
             "requested_shots": shots,
+            "seeding": "per-root-subtree",
             "theoretical_speedup": plan.theoretical_speedup(
                 self.copy_cost_in_gates
             ),
@@ -199,12 +243,15 @@ class TQSimEngine:
         plan: PartitionPlan,
         counts: dict[str, int],
         cost: CostCounters,
+        subtree_seeds: Sequence[np.random.SeedSequence],
     ) -> None:
         """Iterative depth-first traversal over the pooled state buffers.
 
         ``pool[i]`` holds the intermediate state produced by the node of
         layer ``i`` currently on the traversal path; ``progress[i]`` counts
         how many of that node's parent's children have already executed.
+        Entering first-layer subtree ``j`` switches the traversal onto that
+        subtree's own random stream.
         """
         backend = self.backend
         arities = plan.tree.arities
@@ -213,6 +260,7 @@ class TQSimEngine:
         readout = self.noise_model.readout_error if self.noise_model else None
         pool = [backend.allocate_state(circuit.num_qubits) for _ in range(num_layers)]
         progress = [0] * num_layers
+        rng: np.random.Generator | None = None
 
         layer = 0
         while layer >= 0:
@@ -226,15 +274,16 @@ class TQSimEngine:
                 # First-layer nodes start from |0...0> just like the baseline;
                 # resetting the pooled buffer is not counted as a reuse copy.
                 state = backend.reset_state(pool[0])
+                rng = np.random.default_rng(subtree_seeds[progress[0] - 1])
             else:
                 state = backend.copy_into(pool[layer], pool[layer - 1])
                 cost.state_copies += 1
-            state = self._apply_subcircuit(state, subcircuits[layer], cost)
+            state = self._apply_subcircuit(state, subcircuits[layer], cost, rng)
             # Rebind in case the backend works out of place; in-place
             # backends return the pooled buffer itself.
             pool[layer] = state
             if layer == num_layers - 1:
-                bitstring = backend.sample_outcome(state, self._rng, readout)
+                bitstring = backend.sample_outcome(state, rng, readout)
                 counts[bitstring] = counts.get(bitstring, 0) + 1
                 cost.leaf_samples += 1
             else:
@@ -245,7 +294,9 @@ class TQSimEngine:
         state: np.ndarray,
         subcircuit: Circuit,
         cost: CostCounters,
+        rng: np.random.Generator | None,
         weight: int = 1,
+        row_rngs: Sequence[np.random.Generator] | None = None,
     ) -> np.ndarray:
         """Apply one subcircuit with freshly sampled trajectory noise.
 
@@ -253,7 +304,9 @@ class TQSimEngine:
         sibling trajectories (on a batch-capable backend); ``weight`` is the
         number of trajectories one kernel call advances, so cost counters
         keep per-trajectory semantics and both traversals account
-        identically.
+        identically.  Noise draws come from ``rng``, or — when ``row_rngs``
+        is given (first-layer chunks mixing rows from different subtrees) —
+        from each row's own stream.
         """
         backend = self.backend
         for gate in subcircuit:
@@ -264,7 +317,12 @@ class TQSimEngine:
                 # the cost accounting.
                 events = self.noise_model.events_for_gate(gate)
                 if events:
-                    state = backend.apply_noise_events(state, events, self._rng)
+                    if row_rngs is None:
+                        state = backend.apply_noise_events(state, events, rng)
+                    else:
+                        state = backend.apply_noise_events_multi(
+                            state, events, row_rngs
+                        )
                     cost.noise_applications += len(events) * weight
         return state
 
@@ -275,6 +333,7 @@ class TQSimEngine:
         plan: PartitionPlan,
         counts: dict[str, int],
         cost: CostCounters,
+        subtree_seeds: Sequence[np.random.SeedSequence],
     ) -> None:
         """Depth-first traversal over chunks of sibling subtrees.
 
@@ -287,6 +346,15 @@ class TQSimEngine:
         outcomes in one batched call and are consumed immediately, while
         interior chunks are expanded row by row before the next sibling chunk
         overwrites the buffer.
+
+        Random streams: a first-layer chunk mixes rows belonging to
+        *different* subtrees, so its noise and outcome draws take the per-row
+        multi-stream backend paths; expanding row ``r`` switches the
+        traversal onto that row's stream, which every chunk deeper in the
+        subtree then shares (those rows all belong to the one subtree being
+        descended).  Draws below layer 0 depend only on ``arities[1:]`` and
+        the chunk cap, never on how many first-layer siblings the plan has —
+        which is what makes a sharded first layer bitwise reproducible.
         """
         backend = self.backend
         arities = plan.tree.arities
@@ -305,11 +373,16 @@ class TQSimEngine:
         expanded = [0] * num_layers
         parent: list[np.ndarray | None] = [None] * num_layers
         pending[0] = arities[0]
+        root_cursor = 0  # first-layer subtrees already loaded into a chunk
+        root_rngs: list[np.random.Generator] = []  # streams of the live layer-0 chunk
+        rng: np.random.Generator | None = None  # stream of the subtree being descended
         layer = 0
         while layer >= 0:
             if expanded[layer] < loaded[layer]:
                 # Descend into the next unexpanded row of the live chunk.
                 row = pool[layer][expanded[layer]]
+                if layer == 0:
+                    rng = root_rngs[expanded[0]]
                 expanded[layer] += 1
                 layer += 1
                 parent[layer] = row
@@ -323,15 +396,23 @@ class TQSimEngine:
                 continue
             chunk = min(pool[layer].shape[0], pending[layer])
             batch = pool[layer][:chunk]
+            row_rngs = None
             if layer == 0:
                 # First-layer chunks start from |0...0> like the baseline;
                 # resets are not reuse copies.
                 backend.reset_state(batch)
+                root_rngs = [
+                    np.random.default_rng(seed)
+                    for seed in subtree_seeds[root_cursor : root_cursor + chunk]
+                ]
+                root_cursor += chunk
+                row_rngs = root_rngs
             else:
                 backend.broadcast_into(batch, parent[layer])
                 cost.state_copies += chunk
             state = self._apply_subcircuit(
-                batch, subcircuits[layer], cost, weight=chunk
+                batch, subcircuits[layer], cost, rng,
+                weight=chunk, row_rngs=row_rngs,
             )
             if state is not batch:
                 # Honour the mutation contract for out-of-place batch
@@ -340,7 +421,13 @@ class TQSimEngine:
                 np.copyto(batch, state)
             pending[layer] -= chunk
             if layer == leaf:
-                for bitstring in backend.sample_outcomes(batch, self._rng, readout):
+                if layer == 0:
+                    outcomes = backend.sample_outcomes_multi(
+                        batch, root_rngs, readout
+                    )
+                else:
+                    outcomes = backend.sample_outcomes(batch, rng, readout)
+                for bitstring in outcomes:
                     counts[bitstring] = counts.get(bitstring, 0) + 1
                 cost.leaf_samples += chunk
             else:

@@ -3,13 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
 from repro.statevector.sampling import counts_to_probability_vector
 
-__all__ = ["CostCounters", "SimulationResult"]
+__all__ = ["CostCounters", "SimulationResult", "merge_results", "merge_many"]
 
 
 @dataclass
@@ -227,4 +227,41 @@ def merge_results(first: SimulationResult, second: SimulationResult
         shots=first.shots + second.shots,
         cost=first.cost.merged_with(second.cost),
         metadata=_merge_metadata(first.metadata, second.metadata),
+    )
+
+
+def merge_many(results: Sequence[SimulationResult]) -> SimulationResult:
+    """Merge any number of same-circuit results in one pass.
+
+    Counts and cost counters are accumulated into a single dictionary /
+    counter object (no per-step copies, unlike a pairwise
+    :func:`merge_results` fold), which is how dispatchers fold an arbitrary
+    number of shard results.  Counts, shots and costs are order-insensitive
+    sums; metadata goes through the same conflict-preserving merge as
+    :func:`merge_results`, so per-shard values survive under
+    ``metadata["shards"]`` in input order.  A single result merges to a
+    detached copy of itself.
+    """
+    results = list(results)
+    if not results:
+        raise ValueError("merge_many needs at least one result")
+    first = results[0]
+    counts = dict(first.counts)
+    shots = first.shots
+    cost = CostCounters().merged_with(first.cost)
+    metadata = dict(first.metadata)
+    for other in results[1:]:
+        if other.num_qubits != first.num_qubits:
+            raise ValueError("cannot merge results of different widths")
+        for key, value in other.counts.items():
+            counts[key] = counts.get(key, 0) + value
+        shots += other.shots
+        cost = cost.merged_with(other.cost)
+        metadata = _merge_metadata(metadata, other.metadata)
+    return SimulationResult(
+        counts=counts,
+        num_qubits=first.num_qubits,
+        shots=shots,
+        cost=cost,
+        metadata=metadata,
     )

@@ -1,0 +1,36 @@
+"""Multiprocess shot dispatch: shard the simulation tree across workers.
+
+The paper's Section 5.3 scales tree-based trajectory simulation across the
+nodes of a CPU cluster; :mod:`repro.distributed` models that analytically.
+This package *executes* it on one machine: the tree's first-layer arity is
+split into contiguous shards (:class:`ShardPlanner` / :class:`ShardSpec`),
+each shard runs in a worker process through the module-level
+:func:`run_shard` entry point (:class:`PoolDispatcher`) or in-process
+(:class:`SerialDispatcher`), and the shard results fold back into a single
+:class:`~repro.core.results.SimulationResult` via
+:func:`~repro.core.results.merge_many`.
+
+Per-first-layer-subtree seed streams (spawned from one root
+``SeedSequence``) make the decomposition exact: serial, pooled and
+single-engine execution of the same root seed *on the same backend* produce
+bitwise-identical merged counts and cost counters, for any shard count and
+any worker scheduling order.  (Dispatchers default to the ``"batched"``
+backend; see the backend caveat in :mod:`repro.dispatch.dispatchers`.)
+"""
+
+from repro.dispatch.dispatchers import (
+    Dispatcher,
+    PoolDispatcher,
+    SerialDispatcher,
+)
+from repro.dispatch.planner import ShardPlanner, ShardSpec
+from repro.dispatch.worker import run_shard
+
+__all__ = [
+    "Dispatcher",
+    "SerialDispatcher",
+    "PoolDispatcher",
+    "ShardPlanner",
+    "ShardSpec",
+    "run_shard",
+]

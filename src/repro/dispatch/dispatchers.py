@@ -1,0 +1,241 @@
+"""Dispatchers: run shard plans serially or across worker processes.
+
+Both dispatchers are drop-in replacements for a single
+:class:`~repro.core.engine.TQSimEngine`: construct with the same knobs, call
+``run(circuit, shots)``, get one merged
+:class:`~repro.core.results.SimulationResult` back.  The merged counts are
+bitwise identical to the single-engine run with the same root seed *and the
+same backend* — for the :class:`SerialDispatcher` *and* the
+:class:`PoolDispatcher`, for any shard count — because every first-layer
+subtree draws from its own pre-spawned stream (see
+:mod:`repro.dispatch.planner`).  What changes between the two is only where
+the shards execute and therefore the wall-clock time.
+
+Note the backend caveat: dispatchers default to ``backend="batched"`` (the
+fastest tree traversal) while ``TQSimEngine`` defaults to ``"optimized"``.
+Under noise the two traversals consume each subtree's stream in different
+orders, so they are statistically consistent but not bitwise equal; compare
+a dispatcher against ``TQSimEngine(..., backend="batched")`` — or build the
+dispatcher with ``backend="optimized"`` — for bitwise identity.
+
+Result accounting
+-----------------
+``result.cost`` sums the shard counters, with ``wall_time_seconds`` replaced
+by the dispatcher's *elapsed* wall time (what a caller comparing end-to-end
+latency should see).  ``result.metadata["dispatch"]`` keeps the bookkeeping:
+per-shard wall times, their sum (the compute actually burned across
+workers), worker/shard counts and the executor mode.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.core.copycost import DEFAULT_COPY_COST_IN_GATES
+from repro.core.engine import DEFAULT_MAX_TREE_BATCH
+from repro.core.partitioners import CircuitPartitioner, PartitionPlan
+from repro.core.results import SimulationResult, merge_many
+from repro.dispatch.planner import ShardPlanner, ShardSpec
+from repro.dispatch.worker import run_shard
+from repro.noise.model import NoiseModel
+
+__all__ = ["Dispatcher", "SerialDispatcher", "PoolDispatcher"]
+
+
+def _default_worker_count() -> int:
+    """Conservative default: every core, but at least one."""
+    return max(os.cpu_count() or 1, 1)
+
+
+class Dispatcher(ABC):
+    """Shared shard-plan-then-merge skeleton of every dispatcher."""
+
+    #: Mode tag recorded under ``metadata["dispatch"]["mode"]``.
+    mode = "abstract"
+
+    def __init__(
+        self,
+        noise_model: NoiseModel | None = None,
+        seed: int | np.random.SeedSequence | None = None,
+        num_shards: int | None = None,
+        backend: str = "batched",
+        copy_cost_in_gates: float = DEFAULT_COPY_COST_IN_GATES,
+        batch_size: int | None = None,
+        max_batch: int = DEFAULT_MAX_TREE_BATCH,
+    ) -> None:
+        self._planner = ShardPlanner(
+            noise_model=noise_model,
+            backend=backend,
+            copy_cost_in_gates=copy_cost_in_gates,
+            batch_size=batch_size,
+            max_batch=max_batch,
+        )
+        self.seed = seed
+        if num_shards is not None and num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.num_shards = num_shards
+
+    # ------------------------------------------------------------------
+    @property
+    def noise_model(self) -> NoiseModel | None:
+        """The noise model every shard engine is built with."""
+        return self._planner.noise_model
+
+    @property
+    def backend(self) -> str:
+        """Registry name of the backend every shard engine runs on."""
+        return self._planner.backend
+
+    def _effective_num_shards(self) -> int:
+        if self.num_shards is not None:
+            return self.num_shards
+        return _default_worker_count()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        circuit: Circuit,
+        shots: int,
+        partitioner: CircuitPartitioner | None = None,
+        plan: PartitionPlan | None = None,
+    ) -> SimulationResult:
+        """Plan, shard, execute and merge one simulation request."""
+        shards = self._planner.plan_shards(
+            circuit,
+            shots,
+            self._effective_num_shards(),
+            seed=self.seed,
+            partitioner=partitioner,
+            plan=plan,
+        )
+        start = time.perf_counter()
+        shard_results = self._execute(shards)
+        elapsed = time.perf_counter() - start
+        merged = merge_many(shard_results)
+        shard_seconds = [
+            result.cost.wall_time_seconds for result in shard_results
+        ]
+        merged.metadata["dispatch"] = {
+            "mode": self.mode,
+            "num_shards": len(shards),
+            "num_workers": self._num_workers_used(len(shards)),
+            "wall_time_seconds": elapsed,
+            "shard_wall_times": shard_seconds,
+            "shard_seconds_total": sum(shard_seconds),
+        }
+        merged.cost.wall_time_seconds = elapsed
+        return merged
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _execute(self, shards: list[ShardSpec]) -> list[SimulationResult]:
+        """Run every shard, returning results in shard order.
+
+        Shard order — not completion order — keeps the merged metadata's
+        per-shard provenance deterministic regardless of scheduling.
+        """
+
+    def _num_workers_used(self, num_shards: int) -> int:
+        """Concurrency actually employed (1 for in-process execution)."""
+        return 1
+
+
+class SerialDispatcher(Dispatcher):
+    """Runs every shard in the calling process, in shard order.
+
+    This is the reference decomposition: same shard specs, same worker entry
+    point, no processes.  Its merged counts and cost counters are bitwise
+    identical to both the single-engine run and the pooled run with the same
+    root seed, which makes it the equivalence anchor the tests (and any
+    debugging session) compare against.
+    """
+
+    mode = "serial"
+
+    def _execute(self, shards: list[ShardSpec]) -> list[SimulationResult]:
+        return [run_shard(spec) for spec in shards]
+
+
+class PoolDispatcher(Dispatcher):
+    """Runs shards across a ``ProcessPoolExecutor``.
+
+    Parameters
+    ----------
+    num_workers:
+        Worker process count; defaults to ``os.cpu_count()``.
+    num_shards:
+        Shard count; defaults to ``num_workers`` (one shard per worker keeps
+        the per-shard pickling/IPC overhead minimal; more shards than
+        workers gives finer load balancing at slightly higher overhead).
+    mp_context:
+        Multiprocessing start method.  Defaults to ``"fork"`` where
+        available (workers inherit the parent's imported modules, so warm-up
+        cost is a fraction of a ``spawn`` interpreter boot); pass ``"spawn"``
+        explicitly to exercise the cold path.
+    """
+
+    mode = "pool"
+
+    def __init__(
+        self,
+        noise_model: NoiseModel | None = None,
+        seed: int | np.random.SeedSequence | None = None,
+        num_workers: int | None = None,
+        num_shards: int | None = None,
+        backend: str = "batched",
+        copy_cost_in_gates: float = DEFAULT_COPY_COST_IN_GATES,
+        batch_size: int | None = None,
+        max_batch: int = DEFAULT_MAX_TREE_BATCH,
+        mp_context: str | None = None,
+    ) -> None:
+        if num_workers is not None and num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = num_workers
+        if mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = "fork" if "fork" in methods else None
+        self.mp_context = mp_context
+        super().__init__(
+            noise_model=noise_model,
+            seed=seed,
+            num_shards=num_shards,
+            backend=backend,
+            copy_cost_in_gates=copy_cost_in_gates,
+            batch_size=batch_size,
+            max_batch=max_batch,
+        )
+
+    def _effective_num_shards(self) -> int:
+        if self.num_shards is not None:
+            return self.num_shards
+        if self.num_workers is not None:
+            return self.num_workers
+        return _default_worker_count()
+
+    def _num_workers_used(self, num_shards: int) -> int:
+        workers = self.num_workers
+        if workers is None:
+            workers = _default_worker_count()
+        return max(1, min(workers, num_shards))
+
+    def _execute(self, shards: list[ShardSpec]) -> list[SimulationResult]:
+        context = (
+            multiprocessing.get_context(self.mp_context)
+            if self.mp_context is not None
+            else None
+        )
+        with ProcessPoolExecutor(
+            max_workers=self._num_workers_used(len(shards)),
+            mp_context=context,
+        ) as pool:
+            futures = [pool.submit(run_shard, spec) for spec in shards]
+            # Collect in submission (shard) order; completion order is
+            # scheduler-dependent and must not influence the merged result.
+            return [future.result() for future in futures]

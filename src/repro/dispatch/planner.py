@@ -1,0 +1,195 @@
+"""Shard planning: split one shot request into independent worker units.
+
+The simulation tree's first-layer subtrees are embarrassingly parallel: each
+one starts from |0...0>, owns an independent random stream (see the seeding
+notes in :mod:`repro.core.engine`), and contributes a disjoint block of
+leaves.  A :class:`ShardSpec` is a picklable description of a contiguous
+range of those subtrees — circuit, sharded partition plan, noise model, and
+the per-subtree :class:`~numpy.random.SeedSequence` streams spawned from one
+root — that a worker process can execute with no other context.
+
+Because the per-subtree seeds are spawned from the root *before* sharding,
+the union of any shard decomposition reproduces the single-process run
+bitwise: counts and cost counters are identical whether one engine runs the
+full plan or ``W`` workers each run a slice of its first layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.core.copycost import DEFAULT_COPY_COST_IN_GATES
+from repro.core.engine import DEFAULT_MAX_TREE_BATCH
+from repro.core.partitioners import (
+    CircuitPartitioner,
+    DynamicCircuitPartitioner,
+    PartitionPlan,
+)
+from repro.core.tree import TreeStructure
+from repro.noise.model import NoiseModel
+
+__all__ = ["ShardSpec", "ShardPlanner"]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything one worker needs to simulate a slice of the tree.
+
+    The spec is fully picklable: it crosses the process boundary once per
+    shard, and the module-level :func:`repro.dispatch.worker.run_shard`
+    entry point rebuilds a local engine from it.
+
+    Attributes
+    ----------
+    index / num_shards:
+        Position of this shard in the decomposition.
+    first_layer_start / first_layer_count:
+        The contiguous range ``[start, start + count)`` of first-layer
+        subtrees of the *full* plan this shard covers.
+    plan:
+        The sharded plan: the full plan with its first-layer arity replaced
+        by ``first_layer_count`` (deeper layers untouched).
+    subtree_seeds:
+        The matching slice of the root ``SeedSequence``'s spawned children,
+        one per covered subtree.
+    backend:
+        Registry name of the execution backend the worker engine uses.
+    """
+
+    index: int
+    num_shards: int
+    first_layer_start: int
+    first_layer_count: int
+    circuit: Circuit
+    plan: PartitionPlan
+    subtree_seeds: tuple[np.random.SeedSequence, ...]
+    noise_model: NoiseModel | None
+    requested_shots: int
+    backend: str = "batched"
+    copy_cost_in_gates: float = DEFAULT_COPY_COST_IN_GATES
+    batch_size: int | None = None
+    max_batch: int = DEFAULT_MAX_TREE_BATCH
+
+    def __post_init__(self) -> None:
+        if self.first_layer_count != self.plan.tree.arities[0]:
+            raise ValueError(
+                "sharded plan's first-layer arity "
+                f"({self.plan.tree.arities[0]}) does not match the shard's "
+                f"subtree count ({self.first_layer_count})"
+            )
+        if len(self.subtree_seeds) != self.first_layer_count:
+            raise ValueError(
+                f"need one seed per covered subtree ({self.first_layer_count}), "
+                f"got {len(self.subtree_seeds)}"
+            )
+
+    @property
+    def num_outcomes(self) -> int:
+        """Leaves (measurement outcomes) this shard produces."""
+        return self.plan.total_outcomes
+
+
+class ShardPlanner:
+    """Builds :class:`ShardSpec` lists from a shot request.
+
+    The planner partitions the full plan's first-layer arity ``A0`` into
+    ``num_shards`` contiguous, near-equal ranges (the first ``A0 mod W``
+    shards take one extra subtree).  When ``num_shards`` exceeds ``A0`` the
+    decomposition degenerates to one subtree per shard — empty shards are
+    never emitted.
+
+    Parameters mirror :class:`~repro.core.engine.TQSimEngine` so a dispatcher
+    built on this planner is a drop-in replacement for a single engine.
+    """
+
+    def __init__(
+        self,
+        noise_model: NoiseModel | None = None,
+        backend: str = "batched",
+        copy_cost_in_gates: float = DEFAULT_COPY_COST_IN_GATES,
+        batch_size: int | None = None,
+        max_batch: int = DEFAULT_MAX_TREE_BATCH,
+    ) -> None:
+        self.noise_model = noise_model
+        self.backend = backend
+        self.copy_cost_in_gates = float(copy_cost_in_gates)
+        self.batch_size = batch_size
+        self.max_batch = int(max_batch)
+
+    # ------------------------------------------------------------------
+    def plan_shards(
+        self,
+        circuit: Circuit,
+        shots: int,
+        num_shards: int,
+        seed: int | np.random.SeedSequence | None = None,
+        partitioner: CircuitPartitioner | None = None,
+        plan: PartitionPlan | None = None,
+    ) -> list[ShardSpec]:
+        """Split a shot request into at most ``num_shards`` worker units.
+
+        Planning (partitioning plus seed spawning) runs once, in the calling
+        process; workers receive finished specs.  The spawned children are
+        exactly the streams ``TQSimEngine(seed=seed)`` would derive for the
+        same full plan, which is what makes the decomposition bitwise
+        equivalent to the single-process run.
+        """
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if shots < 1:
+            raise ValueError("shots must be >= 1")
+        if plan is None:
+            if partitioner is None:
+                partitioner = DynamicCircuitPartitioner(
+                    copy_cost_in_gates=self.copy_cost_in_gates
+                )
+            plan = partitioner.plan(circuit, shots, self.noise_model)
+        if plan.total_gates != circuit.num_gates:
+            raise ValueError(
+                "the plan's subcircuits do not cover the circuit "
+                f"({plan.total_gates} vs {circuit.num_gates} gates)"
+            )
+
+        first_layer_arity = plan.tree.arities[0]
+        root = (
+            seed
+            if isinstance(seed, np.random.SeedSequence)
+            else np.random.SeedSequence(seed)
+        )
+        subtree_seeds = root.spawn(first_layer_arity)
+
+        num_shards = min(num_shards, first_layer_arity)
+        base, extra = divmod(first_layer_arity, num_shards)
+        specs: list[ShardSpec] = []
+        start = 0
+        for index in range(num_shards):
+            count = base + (1 if index < extra else 0)
+            shard_tree = TreeStructure((count, *plan.tree.arities[1:]))
+            shard_plan = PartitionPlan(
+                subcircuits=plan.subcircuits,
+                tree=shard_tree,
+                policy=plan.policy,
+                parameters=dict(plan.parameters),
+            )
+            specs.append(
+                ShardSpec(
+                    index=index,
+                    num_shards=num_shards,
+                    first_layer_start=start,
+                    first_layer_count=count,
+                    circuit=circuit,
+                    plan=shard_plan,
+                    subtree_seeds=tuple(subtree_seeds[start : start + count]),
+                    noise_model=self.noise_model,
+                    requested_shots=shots,
+                    backend=self.backend,
+                    copy_cost_in_gates=self.copy_cost_in_gates,
+                    batch_size=self.batch_size,
+                    max_batch=self.max_batch,
+                )
+            )
+            start += count
+        return specs

@@ -1,0 +1,45 @@
+"""The per-process shard entry point.
+
+``run_shard`` is deliberately a *module-level function of one picklable
+argument*: ``ProcessPoolExecutor`` ships it to workers by reference under
+every start method (fork and spawn alike), and the same function body serves
+the in-process :class:`~repro.dispatch.dispatchers.SerialDispatcher`, so the
+serial and pooled paths execute byte-for-byte the same code.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import TQSimEngine
+from repro.core.results import SimulationResult
+from repro.dispatch.planner import ShardSpec
+
+__all__ = ["run_shard"]
+
+
+def run_shard(spec: ShardSpec) -> SimulationResult:
+    """Execute one shard with a locally built engine and tag its provenance.
+
+    The engine's own root seed is irrelevant here: every random draw comes
+    from the spec's pre-spawned per-subtree streams, so the result depends
+    only on the spec — not on which process, or in which order, it ran.
+    """
+    engine = TQSimEngine(
+        noise_model=spec.noise_model,
+        backend=spec.backend,
+        copy_cost_in_gates=spec.copy_cost_in_gates,
+        batch_size=spec.batch_size,
+        max_batch=spec.max_batch,
+    )
+    result = engine.run(
+        spec.circuit,
+        spec.requested_shots,
+        plan=spec.plan,
+        subtree_seeds=spec.subtree_seeds,
+    )
+    result.metadata["shard_index"] = spec.index
+    result.metadata["shard_first_layer"] = (
+        spec.first_layer_start,
+        spec.first_layer_start + spec.first_layer_count,
+    )
+    result.metadata["num_shards"] = spec.num_shards
+    return result

@@ -9,10 +9,10 @@ each module and can be requested explicitly.
 
 from __future__ import annotations
 
+import math
+import os
 from dataclasses import dataclass, field, replace
 from typing import Any
-
-import math
 
 from repro.circuits.circuit import Circuit
 from repro.circuits.transpile import DEFAULT_FUSION_SKIP_NAMES, fuse_single_qubit_runs
@@ -29,9 +29,13 @@ __all__ = [
     "ExperimentConfig",
     "ComparisonRow",
     "BatchedTreeMeasurement",
+    "DispatchPoint",
+    "DispatchScalingMeasurement",
     "compare_simulators",
     "fuse_for_noise_model",
     "measure_batched_tree",
+    "measure_dispatch_scaling",
+    "dispatch_worker_counts",
     "DEFAULT_CONFIG",
     "PAPER_SHOTS",
 ]
@@ -237,6 +241,152 @@ def measure_batched_tree(
         sequential_seconds=sequential.cost.wall_time_seconds,
         batched_seconds=batched.cost.wall_time_seconds,
         counters_match=sequential.cost.matches(batched.cost),
+    )
+
+
+@dataclass(frozen=True)
+class DispatchPoint:
+    """One measured worker count of a multiprocess dispatch sweep."""
+
+    num_workers: int
+    num_shards: int
+    wall_seconds: float
+    shard_seconds_total: float
+
+    def speedup_over(self, serial_seconds: float) -> float:
+        """Measured end-to-end speedup over the serial dispatcher."""
+        return serial_seconds / self.wall_seconds
+
+
+@dataclass(frozen=True)
+class DispatchScalingMeasurement:
+    """Measured multiprocess scaling of one plan (next to the analytic model).
+
+    All points execute the *same* shard decomposition seeds, so
+    ``counts_match_serial`` must be True on every machine: the pooled counts
+    are bitwise the serial counts, whatever the scheduling.  The speedups,
+    by contrast, are honest wall-clock measurements and depend on how many
+    physical cores the host actually has.
+    """
+
+    name: str
+    num_qubits: int
+    tree: str
+    serial_seconds: float
+    points: list[DispatchPoint]
+    counts_match_serial: bool
+
+    @property
+    def speedups(self) -> dict[int, float]:
+        """Measured speedup over serial dispatch, keyed by worker count."""
+        return {
+            point.num_workers: point.speedup_over(self.serial_seconds)
+            for point in self.points
+        }
+
+    def as_rows(self) -> list[dict[str, Any]]:
+        """Flat rows for report tables."""
+        return [
+            {
+                "workers": point.num_workers,
+                "shards": point.num_shards,
+                "wall_seconds": point.wall_seconds,
+                "worker_seconds_total": point.shard_seconds_total,
+                "speedup_vs_serial": point.speedup_over(self.serial_seconds),
+            }
+            for point in self.points
+        ]
+
+
+def dispatch_worker_counts(
+    config: ExperimentConfig,
+    default: tuple[int, ...] = (1, 2, 4),
+) -> tuple[int, ...]:
+    """Worker counts for the measured dispatch sweeps.
+
+    Explicit requests win unmodified: ``config.extra["worker_counts"]`` is a
+    full sweep, and ``config.extra["workers"]`` (the CLI's ``--workers``)
+    expands to ``(1, workers)``.  The *default* sweep is capped at the
+    host's core count — an oversubscribed default would just measure
+    scheduler thrash and report it as (non-)scaling.
+    """
+    explicit = config.extra.get("worker_counts")
+    if explicit:
+        return tuple(int(count) for count in explicit)
+    workers = config.extra.get("workers")
+    if workers:
+        return tuple(sorted({1, int(workers)}))
+    cores = os.cpu_count() or 1
+    capped = tuple(count for count in default if count <= cores)
+    return capped or (1,)
+
+
+def measure_dispatch_scaling(
+    circuit: Circuit,
+    noise_model: NoiseModel | None,
+    config: ExperimentConfig,
+    plan,
+    worker_counts: tuple[int, ...] | None = None,
+    repeats: int = 2,
+) -> DispatchScalingMeasurement:
+    """Time serial vs multiprocess dispatch of one shared plan.
+
+    The serial reference is the :class:`~repro.dispatch.SerialDispatcher`
+    with a single shard — the same code path as a plain engine run — timed
+    as the best of ``repeats``.  Each worker count then runs a
+    :class:`~repro.dispatch.PoolDispatcher` with one shard per worker and
+    the same root seed, so every point produces bitwise-identical counts
+    and the comparison isolates pure execution-placement effects.
+    """
+    from repro.dispatch import PoolDispatcher, SerialDispatcher
+
+    if worker_counts is None:
+        worker_counts = dispatch_worker_counts(config)
+    seed = config.seed + 2
+    serial_seconds = math.inf
+    serial_result = None
+    for _ in range(repeats):
+        dispatcher = SerialDispatcher(
+            noise_model, seed=seed, num_shards=1,
+            copy_cost_in_gates=config.copy_cost_in_gates,
+        )
+        candidate = dispatcher.run(circuit, config.shots, plan=plan)
+        if candidate.cost.wall_time_seconds < serial_seconds:
+            serial_seconds = candidate.cost.wall_time_seconds
+            serial_result = candidate
+
+    points: list[DispatchPoint] = []
+    counts_match = True
+    for workers in worker_counts:
+        dispatcher = PoolDispatcher(
+            noise_model, seed=seed, num_workers=workers, num_shards=workers,
+            copy_cost_in_gates=config.copy_cost_in_gates,
+        )
+        best = None
+        for _ in range(repeats):
+            candidate = dispatcher.run(circuit, config.shots, plan=plan)
+            if best is None or (
+                candidate.metadata["dispatch"]["wall_time_seconds"]
+                < best.metadata["dispatch"]["wall_time_seconds"]
+            ):
+                best = candidate
+        counts_match = counts_match and best.counts == serial_result.counts
+        dispatch = best.metadata["dispatch"]
+        points.append(
+            DispatchPoint(
+                num_workers=dispatch["num_workers"],
+                num_shards=dispatch["num_shards"],
+                wall_seconds=dispatch["wall_time_seconds"],
+                shard_seconds_total=dispatch["shard_seconds_total"],
+            )
+        )
+    return DispatchScalingMeasurement(
+        name=circuit.name or "circuit",
+        num_qubits=circuit.num_qubits,
+        tree=str(plan.tree),
+        serial_seconds=serial_seconds,
+        points=points,
+        counts_match_serial=counts_match,
     )
 
 

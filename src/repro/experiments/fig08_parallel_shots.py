@@ -6,11 +6,17 @@ statevector only uses 0.625% of GPU memory.  The modeled sweep reproduces the
 saturation behaviour from the device's overhead/bandwidth balance.
 
 Alongside the analytic model, this experiment now *measures* the effect on
-the NumPy substrate: the ``batched`` backend stacks B trajectories as a
-``(B, 2**n)`` array so one kernel call advances all of them, and the sweep
-times :class:`~repro.core.batched.BatchedTrajectorySimulator` against the
-per-shot :class:`~repro.core.baseline.BaselineNoisySimulator` over a
-(num_qubits, B) grid on a benchmark circuit.
+the NumPy substrate two ways:
+
+* **batch-parallel** — the ``batched`` backend stacks B trajectories as a
+  ``(B, 2**n)`` array so one kernel call advances all of them, and the sweep
+  times :class:`~repro.core.batched.BatchedTrajectorySimulator` against the
+  per-shot :class:`~repro.core.baseline.BaselineNoisySimulator` over a
+  (num_qubits, B) grid on a benchmark circuit;
+* **process-parallel** — the :mod:`repro.dispatch` subsystem shards a
+  single-layer (no-reuse) plan across worker processes, the literal
+  "parallel shots" of the figure, with bitwise-identical merged counts at
+  every worker count.
 """
 
 from __future__ import annotations
@@ -22,13 +28,20 @@ from repro.circuits.library import qft_circuit
 from repro.core.backends import A100
 from repro.core.baseline import BaselineNoisySimulator
 from repro.core.batched import BatchedTrajectorySimulator
-from repro.experiments.common import DEFAULT_CONFIG, ExperimentConfig
+from repro.core.partitioners import SingleShotPartitioner
+from repro.experiments.common import (
+    DEFAULT_CONFIG,
+    DispatchScalingMeasurement,
+    ExperimentConfig,
+    measure_dispatch_scaling,
+)
 from repro.noise.sycamore import depolarizing_noise_model
 
 __all__ = [
     "MeasuredBatchPoint",
     "ParallelShotResult",
     "measured_batch_sweep",
+    "measured_process_sweep",
     "run",
 ]
 
@@ -63,18 +76,43 @@ class MeasuredBatchPoint:
 
 @dataclass(frozen=True)
 class ParallelShotResult:
-    """The Figure-8 sweep: analytic A100 model plus the measured NumPy sweep."""
+    """The Figure-8 sweep: analytic A100 model plus the measured NumPy sweeps."""
 
     points: list[ParallelShotPoint]
     measured_points: list[MeasuredBatchPoint]
     max_speedup_at_20_qubits: float
     max_speedup_at_25_qubits: float
     memory_fraction_per_shot_at_24_qubits: float
+    process_sweep: DispatchScalingMeasurement | None = None
 
     @property
     def max_measured_speedup(self) -> float:
         """Best measured batched-over-per-shot speedup across the sweep."""
         return max(point.speedup for point in self.measured_points)
+
+
+def measured_process_sweep(
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    worker_counts: tuple[int, ...] | None = None,
+) -> DispatchScalingMeasurement:
+    """Time process-parallel shots on a single-layer (no-reuse) plan.
+
+    A :class:`~repro.core.partitioners.SingleShotPartitioner` plan has one
+    first-layer subtree per shot, so sharding it across worker processes is
+    exactly the figure's "parallel shots" axis — just with processes instead
+    of device streams.  Worker counts follow the shared
+    :func:`~repro.experiments.common.dispatch_worker_counts` policy.
+    """
+    noise_model = depolarizing_noise_model()
+    eligible = [w for w in MEASURED_WIDTHS if w <= config.max_qubits]
+    width = max(eligible) if eligible else max(1, config.max_qubits)
+    circuit = qft_circuit(width)
+    shots = max(1, min(config.shots, MEASURED_MAX_SHOTS))
+    scoped = config.scaled(shots=shots)
+    plan = SingleShotPartitioner().plan(circuit, shots, noise_model)
+    return measure_dispatch_scaling(
+        circuit, noise_model, scoped, plan, worker_counts=worker_counts
+    )
 
 
 def measured_batch_sweep(
@@ -144,4 +182,5 @@ def run(config: ExperimentConfig = DEFAULT_CONFIG) -> ParallelShotResult:
         max_speedup_at_20_qubits=at_20,
         max_speedup_at_25_qubits=at_25,
         memory_fraction_per_shot_at_24_qubits=per_shot_24,
+        process_sweep=measured_process_sweep(config),
     )

@@ -1,0 +1,51 @@
+"""The ``python -m repro`` command-line entry point."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.experiments.registry import EXPERIMENTS
+
+
+def test_list_prints_every_experiment(capsys):
+    assert main(["list"]) == 0
+    output = capsys.readouterr().out
+    for identifier, experiment in EXPERIMENTS.items():
+        assert identifier in output
+        assert experiment.title in output
+
+
+def test_run_table2_prints_summary(capsys):
+    assert main(["run", "table2"]) == 0
+    output = capsys.readouterr().out
+    assert "table2" in output
+    assert "Benchmark characteristics" in output
+    assert "rows:" in output
+
+
+def test_run_unknown_experiment_fails_cleanly(capsys):
+    assert main(["run", "fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().out
+
+
+def test_run_rejects_bad_worker_count(capsys):
+    assert main(["run", "fig13", "--workers", "0"]) == 2
+    assert "--workers" in capsys.readouterr().out
+
+
+def test_parser_accepts_overrides():
+    args = build_parser().parse_args(
+        ["run", "fig13", "--workers", "2", "--shots", "64",
+         "--max-qubits", "6", "--seed", "9", "--backend", "numpy"]
+    )
+    assert args.experiment == "fig13"
+    assert args.workers == 2
+    assert args.shots == 64
+    assert args.max_qubits == 6
+    assert args.seed == 9
+    assert args.backend == "numpy"
+
+
+def test_missing_subcommand_exits_with_usage(capsys):
+    with pytest.raises(SystemExit):
+        main([])
+    assert "usage" in capsys.readouterr().err

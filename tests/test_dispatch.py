@@ -1,0 +1,226 @@
+"""The multiprocess shot-dispatch subsystem.
+
+The load-bearing contract: sharded execution is *exact*.  Serial dispatch,
+pooled dispatch and a single engine run with the same root seed produce
+bitwise-identical merged counts and cost counters, for any shard count, on
+both the sequential and the batched traversal.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ManualPartitioner,
+    PartitionPlan,
+    TQSimEngine,
+    TreeStructure,
+    UniformCircuitPartitioner,
+)
+from repro.dispatch import (
+    PoolDispatcher,
+    SerialDispatcher,
+    ShardPlanner,
+    ShardSpec,
+    run_shard,
+)
+from repro.metrics import total_variation_distance
+from repro.noise import ReadoutError, depolarizing_noise_model
+from repro.statevector import StatevectorSimulator
+
+
+SHOTS = 180
+PARTITIONER = ManualPartitioner((12, 5, 3))
+
+
+def _noise():
+    model = depolarizing_noise_model()
+    model.readout_error = ReadoutError(0.02)
+    return model
+
+
+# ---------------------------------------------------------------------------
+# ShardPlanner
+# ---------------------------------------------------------------------------
+def test_planner_splits_first_layer_evenly(qft5):
+    planner = ShardPlanner()
+    shards = planner.plan_shards(qft5, SHOTS, 4, seed=3,
+                                 partitioner=PARTITIONER)
+    assert [s.first_layer_count for s in shards] == [3, 3, 3, 3]
+    assert [s.first_layer_start for s in shards] == [0, 3, 6, 9]
+    assert all(s.plan.tree.arities == (3, 5, 3) for s in shards)
+    assert sum(s.num_outcomes for s in shards) == 12 * 5 * 3
+
+
+def test_planner_uneven_split_front_loads_remainder(qft5):
+    shards = ShardPlanner().plan_shards(qft5, SHOTS, 5, seed=3,
+                                        partitioner=PARTITIONER)
+    assert [s.first_layer_count for s in shards] == [3, 3, 2, 2, 2]
+    assert [s.first_layer_start for s in shards] == [0, 3, 6, 8, 10]
+
+
+def test_planner_caps_shards_at_first_layer_arity(qft5):
+    plan = ManualPartitioner((3, 4)).plan(qft5, 12, None)
+    shards = ShardPlanner().plan_shards(qft5, 12, 8, seed=0, plan=plan)
+    assert len(shards) == 3
+    assert all(s.first_layer_count == 1 for s in shards)
+
+
+def test_planner_seeds_match_engine_spawn(qft5):
+    """The planner's spawned children are the engine's, in the same order."""
+    shards = ShardPlanner().plan_shards(qft5, SHOTS, 3, seed=17,
+                                        partitioner=PARTITIONER)
+    reference = np.random.SeedSequence(17).spawn(12)
+    flattened = [seed for shard in shards for seed in shard.subtree_seeds]
+    assert len(flattened) == 12
+    for ours, theirs in zip(flattened, reference):
+        assert np.array_equal(
+            np.random.default_rng(ours).random(4),
+            np.random.default_rng(theirs).random(4),
+        )
+
+
+def test_planner_validates_arguments(qft5):
+    planner = ShardPlanner()
+    with pytest.raises(ValueError):
+        planner.plan_shards(qft5, SHOTS, 0, seed=1)
+    with pytest.raises(ValueError):
+        planner.plan_shards(qft5, 0, 2, seed=1)
+    foreign = ManualPartitioner((4,)).plan(qft5[0:3], 4, None)
+    with pytest.raises(ValueError):
+        planner.plan_shards(qft5, SHOTS, 2, seed=1, plan=foreign)
+
+
+def test_shard_spec_validates_consistency(qft5):
+    plan = ManualPartitioner((4,)).plan(qft5, 4, None)
+    seeds = tuple(np.random.SeedSequence(0).spawn(4))
+    with pytest.raises(ValueError):
+        ShardSpec(index=0, num_shards=1, first_layer_start=0,
+                  first_layer_count=3, circuit=qft5, plan=plan,
+                  subtree_seeds=seeds[:3], noise_model=None,
+                  requested_shots=4)
+    with pytest.raises(ValueError):
+        ShardSpec(index=0, num_shards=1, first_layer_start=0,
+                  first_layer_count=4, circuit=qft5, plan=plan,
+                  subtree_seeds=seeds[:2], noise_model=None,
+                  requested_shots=4)
+
+
+# ---------------------------------------------------------------------------
+# Serial dispatch: bitwise equivalence with a single engine run
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ["optimized", "batched"])
+@pytest.mark.parametrize("num_shards", [1, 2, 5])
+def test_serial_dispatch_bitwise_identical_to_single_run(
+    qft5, backend, num_shards
+):
+    noise = _noise()
+    single = TQSimEngine(noise, seed=11, backend=backend).run(
+        qft5, SHOTS, partitioner=PARTITIONER
+    )
+    dispatched = SerialDispatcher(
+        noise, seed=11, num_shards=num_shards, backend=backend
+    ).run(qft5, SHOTS, partitioner=PARTITIONER)
+    assert dispatched.counts == single.counts
+    assert dispatched.cost.matches(single.cost)
+    assert dispatched.shots == single.shots
+    assert dispatched.metadata["dispatch"]["mode"] == "serial"
+    assert dispatched.metadata["dispatch"]["num_shards"] == min(num_shards, 12)
+
+
+def test_serial_dispatch_noiseless_matches_single_run(qft5):
+    single = TQSimEngine(seed=5).run(
+        qft5, 60, partitioner=UniformCircuitPartitioner(2)
+    )
+    dispatched = SerialDispatcher(seed=5, num_shards=3, backend="optimized").run(
+        qft5, 60, partitioner=UniformCircuitPartitioner(2)
+    )
+    assert dispatched.counts == single.counts
+    assert dispatched.cost.matches(single.cost)
+
+
+# ---------------------------------------------------------------------------
+# Pool dispatch: real processes, same exactness
+# ---------------------------------------------------------------------------
+def test_pool_dispatch_bitwise_identical_to_serial_and_single(qft5):
+    noise = _noise()
+    single = TQSimEngine(noise, seed=23, backend="batched").run(
+        qft5, SHOTS, partitioner=PARTITIONER
+    )
+    serial = SerialDispatcher(noise, seed=23, num_shards=3).run(
+        qft5, SHOTS, partitioner=PARTITIONER
+    )
+    pooled = PoolDispatcher(noise, seed=23, num_workers=2, num_shards=3).run(
+        qft5, SHOTS, partitioner=PARTITIONER
+    )
+    assert pooled.counts == serial.counts == single.counts
+    assert pooled.cost.matches(single.cost)
+    assert serial.cost.matches(single.cost)
+    assert pooled.metadata["dispatch"]["mode"] == "pool"
+    assert pooled.metadata["dispatch"]["num_workers"] == 2
+
+
+def test_pool_dispatch_run_to_run_deterministic(qft5):
+    noise = _noise()
+    dispatcher = PoolDispatcher(noise, seed=31, num_workers=2, num_shards=4)
+    first = dispatcher.run(qft5, SHOTS, partitioner=PARTITIONER)
+    second = dispatcher.run(qft5, SHOTS, partitioner=PARTITIONER)
+    assert first.counts == second.counts
+    assert first.cost.matches(second.cost)
+    shards = first.metadata["shards"]
+    assert [s["shard_index"] for s in shards] == [0, 1, 2, 3]
+
+
+def test_pool_dispatch_tvd_consistent_under_noise(bv6):
+    """Sharding must not change the physics, only the placement."""
+    noise = _noise()
+    ideal = StatevectorSimulator().probabilities(bv6)
+    plan = ManualPartitioner((30, 8)).plan(bv6, 240, noise)
+    pooled = PoolDispatcher(noise, seed=41, num_workers=2, num_shards=2).run(
+        bv6, 240, plan=plan
+    )
+    single = TQSimEngine(noise, seed=41, backend="batched").run(
+        bv6, 240, plan=plan
+    )
+    assert pooled.counts == single.counts  # bitwise, so trivially TVD-equal
+    assert total_variation_distance(ideal, pooled.probabilities()) < 0.25
+
+
+def test_dispatch_metadata_accounting(qft5):
+    noise = _noise()
+    result = SerialDispatcher(noise, seed=2, num_shards=3).run(
+        qft5, SHOTS, partitioner=PARTITIONER
+    )
+    dispatch = result.metadata["dispatch"]
+    assert dispatch["num_shards"] == 3
+    assert len(dispatch["shard_wall_times"]) == 3
+    assert dispatch["shard_seconds_total"] == pytest.approx(
+        sum(dispatch["shard_wall_times"])
+    )
+    # The merged result's wall time is the dispatcher's elapsed time ...
+    assert result.cost.wall_time_seconds == pytest.approx(
+        dispatch["wall_time_seconds"]
+    )
+    # ... and the per-shard provenance survives the metadata merge.
+    starts = [s["shard_first_layer"] for s in result.metadata["shards"]]
+    assert starts == [(0, 4), (4, 8), (8, 12)]
+    assert result.metadata["requested_shots"] == SHOTS
+
+
+def test_run_shard_entry_point_is_self_contained(qft5):
+    """One spec, one result — the exact unit a worker process executes."""
+    noise = _noise()
+    shards = ShardPlanner(noise_model=noise).plan_shards(
+        qft5, SHOTS, 3, seed=7, partitioner=PARTITIONER
+    )
+    result = run_shard(shards[1])
+    assert result.shots == shards[1].num_outcomes
+    assert result.metadata["shard_index"] == 1
+    assert result.metadata["num_shards"] == 3
+    assert sum(result.counts.values()) == shards[1].num_outcomes
+
+
+def test_dispatcher_argument_validation():
+    with pytest.raises(ValueError):
+        SerialDispatcher(num_shards=0)
+    with pytest.raises(ValueError):
+        PoolDispatcher(num_workers=0)

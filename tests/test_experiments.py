@@ -77,6 +77,14 @@ def test_fig8_parallel_shots_headline():
     assert all(p.per_shot_seconds > 0 and p.batched_seconds > 0
                for p in result.measured_points)
     assert result.max_measured_speedup > 0
+    # The process-parallel leg shards a single-layer plan across workers;
+    # whatever the host's core count, the merged counts must be bitwise the
+    # serial dispatcher's.
+    sweep = result.process_sweep
+    assert sweep.counts_match_serial
+    assert sweep.serial_seconds > 0
+    assert sweep.points and all(p.wall_seconds > 0 for p in sweep.points)
+    assert sweep.num_qubits <= TINY.max_qubits
 
 
 def test_fig9_memory_reuse():
@@ -123,6 +131,15 @@ def test_fig13_multinode():
     assert len(series) == 6
     speedups = result.strong_scaling_speedups(next(iter(result.strong)))
     assert speedups[0] == pytest.approx(1.0)
+    # The measured multiprocess leg: exact sharding on any machine, with
+    # per-point accounting populated.
+    measured = result.measured
+    assert measured is not None
+    assert measured.counts_match_serial
+    assert measured.tree == "(16,16)"
+    assert measured.serial_seconds > 0
+    assert measured.points
+    assert set(measured.speedups) == {p.num_workers for p in measured.points}
 
 
 def test_fig17_tradeoff_structures():

@@ -15,6 +15,7 @@ from repro.core import (
     NumpyBackend,
     SimulationResult,
     measure_copy_cost,
+    merge_many,
     merge_results,
 )
 from repro.core.copycost import MODELED_SYSTEM_COPY_COSTS
@@ -125,6 +126,79 @@ def test_merge_results_identical_metadata_stays_flat():
     assert merged.metadata == {
         "simulator": "baseline", "subcircuit_lengths": [3, 2]
     }
+
+
+def _shard_result(index, counts, gates):
+    result = _result(counts, CostCounters(gate_applications=gates,
+                                          wall_time_seconds=0.5))
+    result.metadata.update({"simulator": "tqsim", "tree": f"({index},)",
+                            "shard_index": index})
+    return result
+
+
+def test_merge_many_matches_pairwise_fold():
+    """The n-way fold must agree with reducing pairwise merge_results."""
+    shards = [
+        _shard_result(0, {"00": 2, "01": 1}, 10),
+        _shard_result(1, {"00": 1, "11": 3}, 20),
+        _shard_result(2, {"10": 5}, 30),
+    ]
+    pairwise = merge_results(merge_results(shards[0], shards[1]), shards[2])
+    merged = merge_many(shards)
+    assert merged.counts == pairwise.counts
+    assert merged.shots == pairwise.shots
+    assert merged.cost.matches(pairwise.cost)
+    assert merged.cost.wall_time_seconds == pytest.approx(
+        pairwise.cost.wall_time_seconds
+    )
+    assert merged.metadata == pairwise.metadata
+
+
+def test_merge_many_counts_and_costs_order_insensitive():
+    shards = [
+        _shard_result(0, {"00": 2}, 7),
+        _shard_result(1, {"00": 1, "11": 4}, 11),
+        _shard_result(2, {"01": 2}, 13),
+        _shard_result(3, {"11": 1}, 17),
+    ]
+    forward = merge_many(shards)
+    backward = merge_many(list(reversed(shards)))
+    assert forward.counts == backward.counts
+    assert forward.shots == backward.shots
+    assert forward.cost.matches(backward.cost)
+
+
+def test_merge_many_preserves_per_shard_metadata_beyond_two():
+    shards = [_shard_result(i, {"00": 1}, 1) for i in range(4)]
+    merged = merge_many(shards)
+    assert merged.metadata["simulator"] == "tqsim"
+    assert [s["shard_index"] for s in merged.metadata["shards"]] == [0, 1, 2, 3]
+    assert [s["tree"] for s in merged.metadata["shards"]] == [
+        "(0,)", "(1,)", "(2,)", "(3,)"
+    ]
+
+
+def test_merge_many_single_result_is_detached_copy():
+    original = _shard_result(0, {"00": 2}, 5)
+    merged = merge_many([original])
+    assert merged.counts == original.counts
+    assert merged.cost.matches(original.cost)
+    merged.counts["11"] = 1
+    merged.cost.gate_applications += 1
+    merged.metadata["extra"] = True
+    assert "11" not in original.counts
+    assert original.cost.gate_applications == 5
+    assert "extra" not in original.metadata
+
+
+def test_merge_many_validates_input():
+    with pytest.raises(ValueError):
+        merge_many([])
+    with pytest.raises(ValueError):
+        merge_many([
+            _result({"00": 1}),
+            SimulationResult(counts={"0": 1}, num_qubits=1, shots=1),
+        ])
 
 
 def test_result_summary_flattens_metadata():
