@@ -4,10 +4,12 @@ Two subcommands drive :mod:`repro.experiments.registry`:
 
 * ``python -m repro list`` — every reproducible paper artefact with its
   claim.
-* ``python -m repro run <experiment> [--workers N] [--shots S] ...`` — run
-  one artefact with a scaled configuration and print a compact summary of
-  the result object.  ``--workers`` feeds the multiprocess dispatch legs of
-  the experiments that measure real parallel execution (fig8 / fig13).
+* ``python -m repro run <experiment> [--workers N] [--max-depth D] ...`` —
+  run one artefact with a scaled configuration and print a compact summary
+  of the result object.  ``--workers`` feeds the multiprocess dispatch legs
+  of the experiments that measure real parallel execution (fig8 / fig13);
+  ``--max-depth`` lets their shard planner split tree layers below the
+  first when the first-layer arity would starve the pool.
 """
 
 from __future__ import annotations
@@ -43,6 +45,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="execution backend name (see repro.backends)")
     run.add_argument("--workers", type=int, default=None,
                      help="worker processes for the measured dispatch legs")
+    run.add_argument("--max-depth", type=int, default=None,
+                     help="tree layers the shard planner may split "
+                          "(1 = first layer only; deeper feeds more workers "
+                          "than the first-layer arity at the cost of prefix "
+                          "replays)")
     return parser
 
 
@@ -100,11 +107,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides["seed"] = args.seed
     if args.backend is not None:
         overrides["backend"] = args.backend
+    extra = dict(DEFAULT_CONFIG.extra)
     if args.workers is not None:
         if args.workers < 1:
             print("--workers must be >= 1")
             return 2
-        overrides["extra"] = {**DEFAULT_CONFIG.extra, "workers": args.workers}
+        extra["workers"] = args.workers
+    if args.max_depth is not None:
+        if args.max_depth < 1:
+            print("--max-depth must be >= 1")
+            return 2
+        extra["max_depth"] = args.max_depth
+    if extra != DEFAULT_CONFIG.extra:
+        overrides["extra"] = extra
     config = DEFAULT_CONFIG.scaled(**overrides)
 
     print(f"== {experiment.identifier}: {experiment.title} ==")

@@ -26,7 +26,7 @@ from repro.core.copycost import (
     CopyCostProfile,
     measure_copy_cost,
 )
-from repro.core.engine import TQSimEngine
+from repro.core.engine import SubtreeAssignment, TQSimEngine, child_seed
 from repro.core.partitioners import (
     CircuitPartitioner,
     DynamicCircuitPartitioner,
@@ -68,6 +68,8 @@ __all__ = [
     "BaselineNoisySimulator",
     "BatchedTrajectorySimulator",
     "TQSimEngine",
+    "SubtreeAssignment",
+    "child_seed",
     "Backend",
     "BatchedNumpyBackend",
     "NumpyBackend",

@@ -19,11 +19,8 @@ Two traversals implement that contract:
   *together*.  The parent's pooled state is broadcast into a ``(B, 2**n)``
   batch (``B`` = the child arity, chunked by ``batch_size`` / ``max_batch``
   to respect the memory budget) and the child subcircuit runs once through
-  the batched kernels — per-trajectory mixed-unitary noise sampled group-wise
-  exactly as in :mod:`repro.backends.batched` — instead of ``A_{i+1}``
-  sequential passes.  At the leaf layer all ``B`` outcomes are drawn in one
-  batched inverse-CDF pass (row-wise cumulative probabilities, one uniform
-  draw call and one vectorised comparison sum for the whole chunk).  The
+  the batched kernels instead of ``A_{i+1}`` sequential passes.  At the leaf
+  layer all ``B`` outcomes are drawn in one batched inverse-CDF pass.  The
   pool holds one ``(A_i_chunk, 2**n)`` buffer per layer, so peak memory is
   ``sum_i min(A_i, cap)`` statevectors.
 
@@ -34,23 +31,35 @@ rows counts as ``B`` reuse copies.
 
 Seeding
 -------
-All randomness below first-layer subtree ``j`` — trajectory noise, leaf
-outcome draws, readout flips — comes from an independent stream seeded by the
-``j``-th child of the engine's root :class:`numpy.random.SeedSequence`.  This
-is what makes the tree *shardable*: a run over first-layer subtrees
-``[lo, hi)`` with the matching spawned seeds (see
-:mod:`repro.dispatch`) reproduces exactly the outcomes the full run produces
-for those subtrees, so splitting a shot request across worker processes
-changes nothing but the wall-clock time.  In the batched traversal the
-first-layer chunks mix rows from different subtrees, so their noise and
-outcome draws go through the per-row-stream backend paths
-(``apply_noise_events_multi`` / ``sample_outcomes_multi``) while the operator
-application stays vectorised.
+Every tree node owns an independent random stream addressed by its *path*
+``(j, c1, c2, ...)`` — the child indices walked from the root.  First-layer
+node ``j`` is seeded by the ``j``-th child spawned from the engine's root
+:class:`numpy.random.SeedSequence`; every deeper node's sequence is derived
+*statelessly* from its parent's via :func:`child_seed` (the functional
+equivalent of ``SeedSequence.spawn``).  A node's stream covers exactly its
+own draws: trajectory noise while applying its subcircuit, and — at leaves —
+the outcome draw plus readout flips.
+
+Two properties follow, and they are the engine's signature guarantees:
+
+* **Traversal independence.**  The sequential and the batched traversal
+  consume each node's stream identically (the batched kernels draw per-row
+  scalars from per-row streams), so counts and counters are *bitwise
+  identical* across traversals, backends and chunk sizes — with or without
+  noise.
+* **Sharding at any depth.**  A run over any set of disjoint subtrees — a
+  slice of first-layer nodes, or a slice of the children of any deeper node
+  (see :class:`SubtreeAssignment` and :mod:`repro.dispatch`) — reproduces
+  exactly the outcomes the full run produces for those subtrees, because a
+  subtree's draws depend only on its root path, never on which process or
+  chunk executed it.
 """
 
 from __future__ import annotations
 
+import math
 import time
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -66,12 +75,148 @@ from repro.core.partitioners import (
 from repro.core.results import CostCounters, SimulationResult
 from repro.noise.model import NoiseModel
 
-__all__ = ["TQSimEngine", "DEFAULT_MAX_TREE_BATCH"]
+__all__ = [
+    "TQSimEngine",
+    "SubtreeAssignment",
+    "child_seed",
+    "DEFAULT_MAX_TREE_BATCH",
+]
 
 #: Ceiling on the sibling-chunk size of the batched traversal.  Each layer's
 #: pooled buffer holds ``min(A_i, max_batch)`` statevectors, so this bounds
 #: peak memory at ``num_layers * max_batch`` states regardless of arity.
 DEFAULT_MAX_TREE_BATCH = 64
+
+
+def child_seed(
+    parent: np.random.SeedSequence, index: int
+) -> np.random.SeedSequence:
+    """The ``index``-th child of ``parent``, derived without mutating it.
+
+    ``SeedSequence.spawn`` appends the child's position to the parent's
+    ``spawn_key`` and bumps a stateful counter; this helper performs the same
+    construction functionally, so any process can re-derive the stream of the
+    tree node at path ``(j, c1, ..., cd)`` from the root's ``j``-th spawned
+    child alone.  That stateless chain is what lets a worker reproduce an
+    arbitrary subtree of a run bitwise (see :mod:`repro.dispatch`).
+    """
+    return np.random.SeedSequence(
+        entropy=parent.entropy,
+        spawn_key=(*parent.spawn_key, int(index)),
+        pool_size=parent.pool_size,
+    )
+
+
+@dataclass(frozen=True)
+class SubtreeAssignment:
+    """A contiguous slice of one tree node's children, ready to execute.
+
+    ``path`` addresses a reuse node: ``()`` is the virtual root (whose
+    children are the first-layer subtrees), ``(j,)`` is first-layer node
+    ``j``, ``(j, c)`` its ``c``-th child, and so on.  The assignment covers
+    children ``[child_start, child_start + child_count)`` of that node —
+    each an independent subtree the engine traverses in full.
+
+    Attributes
+    ----------
+    prefix_seeds:
+        The seed sequence of every node along ``path`` (``prefix_seeds[i]``
+        belongs to node ``path[:i+1]``).  The worker replays the prefix
+        subcircuits through these streams to rebuild the node's intermediate
+        state bitwise before descending.
+    child_seeds:
+        One seed sequence per covered child, in child order.  For a
+        non-empty path these are ``child_seed(prefix_seeds[-1], c)``; for
+        the root path they are the root's spawned first-layer streams.
+    counted_prefix_layers:
+        ``counted_prefix_layers[i]`` is True when *this* assignment accounts
+        the prefix node ``path[:i+1]``'s work in the cost counters.  Shards
+        splitting a node's children all replay the same prefix, so exactly
+        one assignment per prefix node carries the flag — which is what
+        keeps merged counters bitwise-identical to the single-engine run.
+    """
+
+    path: tuple[int, ...]
+    child_start: int
+    child_count: int
+    prefix_seeds: tuple[np.random.SeedSequence, ...]
+    child_seeds: tuple[np.random.SeedSequence, ...]
+    counted_prefix_layers: tuple[bool, ...]
+
+    def __post_init__(self) -> None:
+        if self.child_count < 1:
+            raise ValueError("an assignment must cover at least one child")
+        if self.child_start < 0:
+            raise ValueError("child_start must be >= 0")
+        if len(self.prefix_seeds) != len(self.path):
+            raise ValueError(
+                f"need one prefix seed per path layer ({len(self.path)}), "
+                f"got {len(self.prefix_seeds)}"
+            )
+        if len(self.child_seeds) != self.child_count:
+            raise ValueError(
+                f"need one seed per covered child ({self.child_count}), "
+                f"got {len(self.child_seeds)}"
+            )
+        if len(self.counted_prefix_layers) != len(self.path):
+            raise ValueError(
+                "need one counted-prefix flag per path layer "
+                f"({len(self.path)}), got {len(self.counted_prefix_layers)}"
+            )
+
+    @property
+    def depth(self) -> int:
+        """Layer of the covered children (``len(path)``)."""
+        return len(self.path)
+
+    def outcomes(self, arities: Sequence[int]) -> int:
+        """Leaves this assignment produces under the given tree arities."""
+        return self.child_count * math.prod(arities[self.depth + 1 :])
+
+    def validate_against(self, plan: PartitionPlan) -> None:
+        """Raise when the assignment does not address ``plan``'s tree."""
+        arities = plan.tree.arities
+        if self.depth >= len(arities):
+            raise ValueError(
+                f"path {self.path} is deeper than the {len(arities)}-layer tree"
+            )
+        for layer, node in enumerate(self.path):
+            if not 0 <= node < arities[layer]:
+                raise ValueError(
+                    f"path component {node} out of range for layer {layer} "
+                    f"(arity {arities[layer]})"
+                )
+        if self.child_start + self.child_count > arities[self.depth]:
+            raise ValueError(
+                f"children [{self.child_start}, "
+                f"{self.child_start + self.child_count}) exceed layer "
+                f"{self.depth}'s arity ({arities[self.depth]})"
+            )
+
+    def overlaps(self, other: "SubtreeAssignment") -> bool:
+        """True when the two assignments cover a common subtree.
+
+        Overlap is ancestry-aware: a slice of node ``(0,)``'s children
+        collides with a slice of node ``(0, 3)``'s children whenever child 3
+        lies inside the former's range, because the deeper slice re-executes
+        leaves the shallower one already produces.
+        """
+        shallow, deep = (
+            (self, other) if self.depth <= other.depth else (other, self)
+        )
+        if deep.path[: shallow.depth] != shallow.path:
+            return False
+        if shallow.depth == deep.depth:
+            return (
+                shallow.child_start < deep.child_start + deep.child_count
+                and deep.child_start < shallow.child_start + shallow.child_count
+            )
+        covered_child = deep.path[shallow.depth]
+        return (
+            shallow.child_start
+            <= covered_child
+            < shallow.child_start + shallow.child_count
+        )
 
 
 class TQSimEngine:
@@ -93,11 +238,12 @@ class TQSimEngine:
         seed:
             Root seed.  Every run spawns one child
             :class:`~numpy.random.SeedSequence` per first-layer subtree from
-            it, so a fixed seed pins the whole trajectory ensemble while
-            distinct subtrees still draw from independent streams.  An
-            explicit ``SeedSequence`` may be passed (shared-root dispatch);
-            spawning is stateful, so consecutive ``run`` calls on one engine
-            produce fresh, independent ensembles.
+            it (deeper nodes derive theirs statelessly via
+            :func:`child_seed`), so a fixed seed pins the whole trajectory
+            ensemble while every tree node still draws from an independent
+            stream.  An explicit ``SeedSequence`` may be passed (shared-root
+            dispatch); spawning is stateful, so consecutive ``run`` calls on
+            one engine produce fresh, independent ensembles.
         batch_size:
             Sibling-chunk size of the batched traversal.  ``None`` (default)
             lets every chunk grow to ``max_batch``; an explicit value caps
@@ -150,6 +296,7 @@ class TQSimEngine:
         partitioner: CircuitPartitioner | None = None,
         plan: PartitionPlan | None = None,
         subtree_seeds: Sequence[np.random.SeedSequence] | None = None,
+        assignments: Sequence[SubtreeAssignment] | None = None,
     ) -> SimulationResult:
         """Simulate ``circuit`` with computation reuse.
 
@@ -166,21 +313,32 @@ class TQSimEngine:
             A pre-built plan (overrides ``partitioner``).
         subtree_seeds:
             One :class:`~numpy.random.SeedSequence` per first-layer subtree
-            of the plan, overriding the engine's own spawning.  This is the
-            dispatch hook: a shard covering first-layer subtrees ``[lo, hi)``
-            of a larger run passes the matching slice of the root's spawned
-            children and reproduces exactly that run's outcomes for those
-            subtrees.
+            of the plan, overriding the engine's own spawning (the classic
+            first-layer dispatch hook; shorthand for one root-path
+            assignment covering the full first layer).
+        assignments:
+            Explicit :class:`SubtreeAssignment` slices to execute instead of
+            the whole tree.  This is the deep-sharding hook: each assignment
+            replays its path's prefix subcircuits through the recorded
+            prefix streams (accounted only where the assignment owns the
+            prefix node), then traverses exactly the covered children —
+            reproducing bitwise the outcomes the full run produces for those
+            subtrees.  Mutually exclusive with ``subtree_seeds``.
 
         Returns
         -------
         SimulationResult
             ``result.shots`` records the outcomes actually produced (the
-            plan's leaf count, which may over-shoot the request); the
-            requested value is kept under ``metadata["requested_shots"]``.
+            plan's leaf count — or the assignments' — which may over-shoot
+            the request); the requested value is kept under
+            ``metadata["requested_shots"]``.
         """
         if shots < 1:
             raise ValueError("shots must be >= 1")
+        if assignments is not None and subtree_seeds is not None:
+            raise ValueError(
+                "pass either subtree_seeds or assignments, not both"
+            )
         if plan is None:
             if partitioner is None:
                 partitioner = DynamicCircuitPartitioner(
@@ -192,23 +350,69 @@ class TQSimEngine:
                 "the plan's subcircuits do not cover the circuit "
                 f"({plan.total_gates} vs {circuit.num_gates} gates)"
             )
-        first_layer_arity = plan.tree.arities[0]
-        if subtree_seeds is None:
-            subtree_seeds = self._seed_sequence.spawn(first_layer_arity)
-        elif len(subtree_seeds) != first_layer_arity:
-            raise ValueError(
-                f"need one subtree seed per first-layer subtree "
-                f"({first_layer_arity}), got {len(subtree_seeds)}"
-            )
+        arities = plan.tree.arities
+        if assignments is None:
+            if subtree_seeds is None:
+                subtree_seeds = self._seed_sequence.spawn(arities[0])
+            elif len(subtree_seeds) != arities[0]:
+                raise ValueError(
+                    f"need one subtree seed per first-layer subtree "
+                    f"({arities[0]}), got {len(subtree_seeds)}"
+                )
+            assignments = [
+                SubtreeAssignment(
+                    path=(),
+                    child_start=0,
+                    child_count=arities[0],
+                    prefix_seeds=(),
+                    child_seeds=tuple(subtree_seeds),
+                    counted_prefix_layers=(),
+                )
+            ]
+        else:
+            assignments = list(assignments)
+            if not assignments:
+                raise ValueError("assignments must not be empty")
+            for assignment in assignments:
+                assignment.validate_against(plan)
+            for i, first in enumerate(assignments):
+                for second in assignments[i + 1 :]:
+                    if first.overlaps(second):
+                        raise ValueError(
+                            "assignments overlap: "
+                            f"(path {first.path}, children "
+                            f"[{first.child_start}, "
+                            f"{first.child_start + first.child_count})) and "
+                            f"(path {second.path}, children "
+                            f"[{second.child_start}, "
+                            f"{second.child_start + second.child_count})) "
+                            "cover a common subtree, which would double-count "
+                            "its outcomes"
+                        )
 
         batched = self.backend.supports_batch
         counts: dict[str, int] = {}
         cost = CostCounters()
+        produced = 0
+        # Replayed prefix states, keyed by node path: assignments under the
+        # same ancestor (deep splits) rebuild it once per run, not once each.
+        prefix_cache: dict[tuple[int, ...], np.ndarray] = {}
         start = time.perf_counter()
-        if batched:
-            self._run_tree_batched(circuit, plan, counts, cost, subtree_seeds)
-        else:
-            self._run_tree(circuit, plan, counts, cost, subtree_seeds)
+        for assignment in assignments:
+            produced += assignment.outcomes(arities)
+            prefix_state = self._replay_prefix(
+                circuit, plan, assignment, cost, prefix_cache
+            )
+            if batched:
+                self._run_tree_batched(
+                    circuit, plan, counts, cost, assignment.child_seeds,
+                    start_layer=assignment.depth, parent_state=prefix_state,
+                )
+            else:
+                self._run_tree(
+                    circuit, plan, counts, cost, assignment.child_seeds,
+                    start_layer=assignment.depth, parent_state=prefix_state,
+                )
         cost.wall_time_seconds = time.perf_counter() - start
 
         metadata = {
@@ -219,7 +423,7 @@ class TQSimEngine:
             "tree": str(plan.tree),
             "subcircuit_lengths": plan.subcircuit_lengths,
             "requested_shots": shots,
-            "seeding": "per-root-subtree",
+            "seeding": "per-node-path",
             "theoretical_speedup": plan.theoretical_speedup(
                 self.copy_cost_in_gates
             ),
@@ -231,10 +435,94 @@ class TQSimEngine:
         return SimulationResult(
             counts=counts,
             num_qubits=circuit.num_qubits,
-            shots=plan.total_outcomes,
+            shots=produced,
             cost=cost,
             metadata=metadata,
         )
+
+    # ------------------------------------------------------------------
+    def _replay_prefix(
+        self,
+        circuit: Circuit,
+        plan: PartitionPlan,
+        assignment: SubtreeAssignment,
+        cost: CostCounters,
+        cache: dict[tuple[int, ...], np.ndarray],
+    ) -> np.ndarray | None:
+        """Rebuild the intermediate state of the node at ``assignment.path``.
+
+        The prefix subcircuits are replayed through the recorded per-node
+        streams, so the resulting state is bitwise the one the full run hands
+        to that node's children.  ``cache`` memoises every rebuilt node state
+        by path for the duration of one run: assignments sharing an ancestor
+        (deep splits) replay it once and resume from the deepest cached
+        prefix.
+
+        Work is added to ``cost`` only for prefix layers this assignment owns
+        (``counted_prefix_layers``): sibling shards replay the same prefix,
+        and the merged counters must account each tree node exactly once,
+        like the single-engine run.  Owned layers are accounted whether their
+        state came from a replay or from the cache (accounting follows
+        ownership, not execution).  Replayed but uncounted work is real
+        wall-clock overhead — the planner's cost model and the dispatch
+        metadata track it separately.
+        """
+        if not assignment.path:
+            return None
+        backend = self.backend
+        depth = assignment.depth
+        resume = 0
+        state: np.ndarray | None = None
+        for layer in range(depth, 0, -1):
+            cached = cache.get(assignment.path[:layer])
+            if cached is not None:
+                state, resume = cached, layer
+                break
+        discard = CostCounters()
+        for layer in range(depth):
+            counted = assignment.counted_prefix_layers[layer]
+            tally = cost if counted else discard
+            if counted and layer >= 1:
+                # The full run copies this node's parent state; the replay
+                # evolves one buffer in place but must account identically.
+                tally.state_copies += 1
+            if layer < resume:
+                # Cache hit: the state exists already, but an owned layer
+                # still has to book the node's work exactly once.
+                if counted:
+                    self._account_subcircuit(plan.subcircuits[layer], tally)
+                continue
+            work = (
+                backend.reset_state(backend.allocate_state(circuit.num_qubits))
+                if state is None
+                # Never evolve a cached entry in place — later assignments
+                # resume from it.
+                else backend.copy_state(state)
+            )
+            rng = np.random.default_rng(assignment.prefix_seeds[layer])
+            # The multi-stream path with a single row consumes the stream
+            # exactly as both traversals do, on every backend family.
+            state = self._apply_subcircuit(
+                work, plan.subcircuits[layer], tally, None, row_rngs=[rng]
+            )
+            cache[assignment.path[: layer + 1]] = state
+        return state
+
+    def _account_subcircuit(
+        self, subcircuit: Circuit, cost: CostCounters, weight: int = 1
+    ) -> None:
+        """Book one node's subcircuit work without executing it.
+
+        Mirrors the accounting :meth:`_apply_subcircuit` performs — used
+        when a prefix state comes from the cache but this assignment owns
+        the node, so the work must still be counted exactly once.
+        """
+        for gate in subcircuit:
+            cost.gate_applications += weight
+            if self.noise_model is not None:
+                events = self.noise_model.events_for_gate(gate)
+                if events:
+                    cost.noise_applications += len(events) * weight
 
     # ------------------------------------------------------------------
     def _run_tree(
@@ -243,41 +531,59 @@ class TQSimEngine:
         plan: PartitionPlan,
         counts: dict[str, int],
         cost: CostCounters,
-        subtree_seeds: Sequence[np.random.SeedSequence],
+        child_seeds: Sequence[np.random.SeedSequence],
+        start_layer: int = 0,
+        parent_state: np.ndarray | None = None,
     ) -> None:
         """Iterative depth-first traversal over the pooled state buffers.
 
-        ``pool[i]`` holds the intermediate state produced by the node of
-        layer ``i`` currently on the traversal path; ``progress[i]`` counts
-        how many of that node's parent's children have already executed.
-        Entering first-layer subtree ``j`` switches the traversal onto that
-        subtree's own random stream.
+        Runs the ``len(child_seeds)`` subtrees rooted at ``start_layer``
+        (the whole tree when ``start_layer`` is 0), each seeded by its own
+        sequence; deeper nodes derive theirs from the parent's via
+        :func:`child_seed`.  ``pool[i]`` holds the intermediate state
+        produced by the node of layer ``i`` currently on the traversal path;
+        ``progress[i]`` counts how many of that node's parent's children
+        have already executed.
         """
         backend = self.backend
         arities = plan.tree.arities
         num_layers = plan.tree.num_subcircuits
         subcircuits = plan.subcircuits
         readout = self.noise_model.readout_error if self.noise_model else None
-        pool = [backend.allocate_state(circuit.num_qubits) for _ in range(num_layers)]
+        pool: dict[int, np.ndarray] = {
+            layer: backend.allocate_state(circuit.num_qubits)
+            for layer in range(start_layer, num_layers)
+        }
         progress = [0] * num_layers
-        rng: np.random.Generator | None = None
+        seqs: list[np.random.SeedSequence | None] = [None] * num_layers
 
-        layer = 0
-        while layer >= 0:
-            if progress[layer] == arities[layer]:
-                # All children of the layer-(i-1) node are done; pop back up.
+        def arity_at(layer: int) -> int:
+            return len(child_seeds) if layer == start_layer else arities[layer]
+
+        layer = start_layer
+        while layer >= start_layer:
+            if progress[layer] == arity_at(layer):
+                # All children of the parent node are done; pop back up.
                 progress[layer] = 0
                 layer -= 1
                 continue
+            index = progress[layer]
             progress[layer] += 1
-            if layer == 0:
-                # First-layer nodes start from |0...0> just like the baseline;
-                # resetting the pooled buffer is not counted as a reuse copy.
-                state = backend.reset_state(pool[0])
-                rng = np.random.default_rng(subtree_seeds[progress[0] - 1])
+            if layer == start_layer:
+                seq = child_seeds[index]
+                if parent_state is None:
+                    # First-layer nodes start from |0...0> just like the
+                    # baseline; resetting the buffer is not a reuse copy.
+                    state = backend.reset_state(pool[layer])
+                else:
+                    state = backend.copy_into(pool[layer], parent_state)
+                    cost.state_copies += 1
             else:
+                seq = child_seed(seqs[layer - 1], index)
                 state = backend.copy_into(pool[layer], pool[layer - 1])
                 cost.state_copies += 1
+            seqs[layer] = seq
+            rng = np.random.default_rng(seq)
             state = self._apply_subcircuit(state, subcircuits[layer], cost, rng)
             # Rebind in case the backend works out of place; in-place
             # backends return the pooled buffer itself.
@@ -305,7 +611,7 @@ class TQSimEngine:
         number of trajectories one kernel call advances, so cost counters
         keep per-trajectory semantics and both traversals account
         identically.  Noise draws come from ``rng``, or — when ``row_rngs``
-        is given (first-layer chunks mixing rows from different subtrees) —
+        is given (batched chunks, whose rows are distinct tree nodes) —
         from each row's own stream.
         """
         backend = self.backend
@@ -333,28 +639,33 @@ class TQSimEngine:
         plan: PartitionPlan,
         counts: dict[str, int],
         cost: CostCounters,
-        subtree_seeds: Sequence[np.random.SeedSequence],
+        child_seeds: Sequence[np.random.SeedSequence],
+        start_layer: int = 0,
+        parent_state: np.ndarray | None = None,
     ) -> None:
         """Depth-first traversal over chunks of sibling subtrees.
 
-        ``pool[i]`` is a ``(min(A_i, cap), 2**n)`` buffer whose live rows are
-        the layer-``i`` siblings of the current chunk.  Per layer, ``pending``
-        counts siblings of the current parent not yet simulated, ``loaded``
-        the rows of the live chunk, and ``expanded`` how many of those rows
-        have already had their own subtrees executed.  A chunk is simulated
-        with one batched kernel call per gate; leaf chunks sample all their
-        outcomes in one batched call and are consumed immediately, while
-        interior chunks are expanded row by row before the next sibling chunk
-        overwrites the buffer.
+        Runs the ``len(child_seeds)`` subtrees rooted at ``start_layer``
+        (the whole tree when ``start_layer`` is 0).  ``pool[i]`` is a
+        ``(min(A_i, cap), 2**n)`` buffer whose live rows are the layer-``i``
+        siblings of the current chunk.  Per layer, ``pending`` counts
+        siblings of the current parent not yet simulated, ``cursor`` the
+        child index the next chunk starts at, ``loaded`` the rows of the
+        live chunk, and ``expanded`` how many of those rows have already had
+        their own subtrees executed.  A chunk is simulated with one batched
+        kernel call per gate; leaf chunks sample all their outcomes in one
+        batched call and are consumed immediately, while interior chunks are
+        expanded row by row before the next sibling chunk overwrites the
+        buffer.
 
-        Random streams: a first-layer chunk mixes rows belonging to
-        *different* subtrees, so its noise and outcome draws take the per-row
-        multi-stream backend paths; expanding row ``r`` switches the
-        traversal onto that row's stream, which every chunk deeper in the
-        subtree then shares (those rows all belong to the one subtree being
-        descended).  Draws below layer 0 depend only on ``arities[1:]`` and
-        the chunk cap, never on how many first-layer siblings the plan has —
-        which is what makes a sharded first layer bitwise reproducible.
+        Random streams: every row of a chunk is its own tree node with its
+        own seed sequence (``child_seeds`` at the entry layer, the
+        :func:`child_seed` chain below), so noise and outcome draws always
+        take the per-row multi-stream backend paths while the operator
+        application stays vectorised.  Draws therefore depend only on a
+        node's path — never on the chunk cap, the arity of sibling layers,
+        or how nodes were grouped into batches — which is what makes both
+        the chunking and any sharding of the tree bitwise reproducible.
         """
         backend = self.backend
         arities = plan.tree.arities
@@ -362,31 +673,40 @@ class TQSimEngine:
         subcircuits = plan.subcircuits
         readout = self.noise_model.readout_error if self.noise_model else None
         cap = self.chunk_cap
-        pool = [
-            backend.allocate_batch(circuit.num_qubits, min(arity, cap))
-            for arity in arities
-        ]
+
+        def arity_at(layer: int) -> int:
+            return len(child_seeds) if layer == start_layer else arities[layer]
+
+        pool: dict[int, np.ndarray] = {
+            layer: backend.allocate_batch(
+                circuit.num_qubits, min(arity_at(layer), cap)
+            )
+            for layer in range(start_layer, num_layers)
+        }
         leaf = num_layers - 1
 
         pending = [0] * num_layers
+        cursor = [0] * num_layers  # children consumed for the current parent
         loaded = [0] * num_layers
         expanded = [0] * num_layers
         parent: list[np.ndarray | None] = [None] * num_layers
-        pending[0] = arities[0]
-        root_cursor = 0  # first-layer subtrees already loaded into a chunk
-        root_rngs: list[np.random.Generator] = []  # streams of the live layer-0 chunk
-        rng: np.random.Generator | None = None  # stream of the subtree being descended
-        layer = 0
-        while layer >= 0:
+        parent_seq: list[np.random.SeedSequence | None] = [None] * num_layers
+        chunk_seqs: list[list[np.random.SeedSequence]] = [
+            [] for _ in range(num_layers)
+        ]
+        pending[start_layer] = len(child_seeds)
+        layer = start_layer
+        while layer >= start_layer:
             if expanded[layer] < loaded[layer]:
                 # Descend into the next unexpanded row of the live chunk.
                 row = pool[layer][expanded[layer]]
-                if layer == 0:
-                    rng = root_rngs[expanded[0]]
+                row_seq = chunk_seqs[layer][expanded[layer]]
                 expanded[layer] += 1
                 layer += 1
                 parent[layer] = row
+                parent_seq[layer] = row_seq
                 pending[layer] = arities[layer]
+                cursor[layer] = 0
                 loaded[layer] = 0
                 expanded[layer] = 0
                 continue
@@ -396,22 +716,26 @@ class TQSimEngine:
                 continue
             chunk = min(pool[layer].shape[0], pending[layer])
             batch = pool[layer][:chunk]
-            row_rngs = None
-            if layer == 0:
-                # First-layer chunks start from |0...0> like the baseline;
-                # resets are not reuse copies.
-                backend.reset_state(batch)
-                root_rngs = [
-                    np.random.default_rng(seed)
-                    for seed in subtree_seeds[root_cursor : root_cursor + chunk]
-                ]
-                root_cursor += chunk
-                row_rngs = root_rngs
+            base = cursor[layer]
+            if layer == start_layer:
+                seq_slice = list(child_seeds[base : base + chunk])
+                if parent_state is None:
+                    # Root-path chunks start from |0...0> like the baseline;
+                    # resets are not reuse copies.
+                    backend.reset_state(batch)
+                else:
+                    backend.broadcast_into(batch, parent_state)
+                    cost.state_copies += chunk
             else:
+                seq_slice = [
+                    child_seed(parent_seq[layer], base + i)
+                    for i in range(chunk)
+                ]
                 backend.broadcast_into(batch, parent[layer])
                 cost.state_copies += chunk
+            row_rngs = [np.random.default_rng(seq) for seq in seq_slice]
             state = self._apply_subcircuit(
-                batch, subcircuits[layer], cost, rng,
+                batch, subcircuits[layer], cost, None,
                 weight=chunk, row_rngs=row_rngs,
             )
             if state is not batch:
@@ -419,18 +743,16 @@ class TQSimEngine:
                 # backends: leaves are sampled from, and children expanded
                 # out of, the pooled buffer, so the result must land in it.
                 np.copyto(batch, state)
+            cursor[layer] = base + chunk
             pending[layer] -= chunk
             if layer == leaf:
-                if layer == 0:
-                    outcomes = backend.sample_outcomes_multi(
-                        batch, root_rngs, readout
-                    )
-                else:
-                    outcomes = backend.sample_outcomes(batch, rng, readout)
+                outcomes = backend.sample_outcomes_multi(
+                    batch, row_rngs, readout
+                )
                 for bitstring in outcomes:
                     counts[bitstring] = counts.get(bitstring, 0) + 1
                 cost.leaf_samples += chunk
             else:
+                chunk_seqs[layer] = seq_slice
                 loaded[layer] = chunk
                 expanded[layer] = 0
-

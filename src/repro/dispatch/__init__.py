@@ -2,22 +2,28 @@
 
 The paper's Section 5.3 scales tree-based trajectory simulation across the
 nodes of a CPU cluster; :mod:`repro.distributed` models that analytically.
-This package *executes* it on one machine: the tree's first-layer arity is
-split into contiguous shards (:class:`ShardPlanner` / :class:`ShardSpec`),
-each shard runs in a worker process through the module-level
+This package *executes* it on one machine: the tree is split into path-based
+shards (:class:`ShardPlanner` / :class:`ShardSpec`, each a set of
+``(path, child-range)`` :class:`~repro.core.engine.SubtreeAssignment`
+slices), each shard runs in a worker process through the module-level
 :func:`run_shard` entry point (:class:`PoolDispatcher`) or in-process
 (:class:`SerialDispatcher`), and the shard results fold back into a single
 :class:`~repro.core.results.SimulationResult` via
 :func:`~repro.core.results.merge_many`.
 
-Per-first-layer-subtree seed streams (spawned from one root
-``SeedSequence``) make the decomposition exact: serial, pooled and
-single-engine execution of the same root seed *on the same backend* produce
-bitwise-identical merged counts and cost counters, for any shard count and
-any worker scheduling order.  (Dispatchers default to the ``"batched"``
-backend; see the backend caveat in :mod:`repro.dispatch.dispatchers`.)
+Classic sharding slices the first-layer arity; when that arity is smaller
+than the worker pool the planner descends (``max_depth``) and splits the
+children of deeper reuse nodes, with a load-aware balancer that prices the
+per-shard prefix replays in gate-equivalents.
+
+Per-node seed streams addressed by tree path (spawned/derived from one root
+``SeedSequence``; see :mod:`repro.core.engine`) make every decomposition
+exact: serial, pooled and single-engine execution of the same root seed
+produce bitwise-identical merged counts and cost counters, for any shard
+count, any split depth, any backend and any worker scheduling order.
 """
 
+from repro.core.engine import SubtreeAssignment, child_seed
 from repro.dispatch.dispatchers import (
     Dispatcher,
     PoolDispatcher,
@@ -32,5 +38,7 @@ __all__ = [
     "PoolDispatcher",
     "ShardPlanner",
     "ShardSpec",
+    "SubtreeAssignment",
+    "child_seed",
     "run_shard",
 ]

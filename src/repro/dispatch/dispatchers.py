@@ -4,19 +4,22 @@ Both dispatchers are drop-in replacements for a single
 :class:`~repro.core.engine.TQSimEngine`: construct with the same knobs, call
 ``run(circuit, shots)``, get one merged
 :class:`~repro.core.results.SimulationResult` back.  The merged counts are
-bitwise identical to the single-engine run with the same root seed *and the
-same backend* — for the :class:`SerialDispatcher` *and* the
-:class:`PoolDispatcher`, for any shard count — because every first-layer
-subtree draws from its own pre-spawned stream (see
-:mod:`repro.dispatch.planner`).  What changes between the two is only where
-the shards execute and therefore the wall-clock time.
+bitwise identical to the single-engine run with the same root seed — for the
+:class:`SerialDispatcher` *and* the :class:`PoolDispatcher`, for any shard
+count, any split depth and any backend — because every tree node draws from
+its own path-addressed stream (see :mod:`repro.dispatch.planner` and the
+seeding notes in :mod:`repro.core.engine`; the per-node contract also makes
+the sequential and batched traversals bitwise equal, so the dispatchers'
+``"batched"`` default and the engine's ``"optimized"`` default agree
+exactly).  What changes between the two is only where the shards execute and
+therefore the wall-clock time.
 
-Note the backend caveat: dispatchers default to ``backend="batched"`` (the
-fastest tree traversal) while ``TQSimEngine`` defaults to ``"optimized"``.
-Under noise the two traversals consume each subtree's stream in different
-orders, so they are statistically consistent but not bitwise equal; compare
-a dispatcher against ``TQSimEngine(..., backend="batched")`` — or build the
-dispatcher with ``backend="optimized"`` — for bitwise identity.
+``max_depth`` controls how far the shard planner may descend when the
+first-layer arity is smaller than the worker pool: at the default 1 the
+planner slices only the first layer (at most ``A0`` shards); at depth ``d``
+it may split the children of nodes ``d - 1`` layers down, keeping every
+worker busy on plans like ``(2, 64)`` at the price of replaying the short
+shared prefix per shard.
 
 Result accounting
 -----------------
@@ -69,6 +72,7 @@ class Dispatcher(ABC):
         copy_cost_in_gates: float = DEFAULT_COPY_COST_IN_GATES,
         batch_size: int | None = None,
         max_batch: int = DEFAULT_MAX_TREE_BATCH,
+        max_depth: int = 1,
     ) -> None:
         self._planner = ShardPlanner(
             noise_model=noise_model,
@@ -76,6 +80,7 @@ class Dispatcher(ABC):
             copy_cost_in_gates=copy_cost_in_gates,
             batch_size=batch_size,
             max_batch=max_batch,
+            max_depth=max_depth,
         )
         self.seed = seed
         if num_shards is not None and num_shards < 1:
@@ -92,6 +97,11 @@ class Dispatcher(ABC):
     def backend(self) -> str:
         """Registry name of the backend every shard engine runs on."""
         return self._planner.backend
+
+    @property
+    def max_depth(self) -> int:
+        """Tree layers the shard planner may descend (1 = first layer only)."""
+        return self._planner.max_depth
 
     def _effective_num_shards(self) -> int:
         if self.num_shards is not None:
@@ -126,9 +136,15 @@ class Dispatcher(ABC):
             "mode": self.mode,
             "num_shards": len(shards),
             "num_workers": self._num_workers_used(len(shards)),
+            "max_depth": self.max_depth,
+            "shard_depth": max(spec.depth for spec in shards),
             "wall_time_seconds": elapsed,
             "shard_wall_times": shard_seconds,
             "shard_seconds_total": sum(shard_seconds),
+            "shard_estimated_costs": [spec.estimated_cost for spec in shards],
+            "replayed_prefix_gates": sum(
+                spec.replayed_prefix_gates for spec in shards
+            ),
         }
         merged.cost.wall_time_seconds = elapsed
         return merged
@@ -193,6 +209,7 @@ class PoolDispatcher(Dispatcher):
         copy_cost_in_gates: float = DEFAULT_COPY_COST_IN_GATES,
         batch_size: int | None = None,
         max_batch: int = DEFAULT_MAX_TREE_BATCH,
+        max_depth: int = 1,
         mp_context: str | None = None,
     ) -> None:
         if num_workers is not None and num_workers < 1:
@@ -210,6 +227,7 @@ class PoolDispatcher(Dispatcher):
             copy_cost_in_gates=copy_cost_in_gates,
             batch_size=batch_size,
             max_batch=max_batch,
+            max_depth=max_depth,
         )
 
     def _effective_num_shards(self) -> int:

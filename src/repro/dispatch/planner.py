@@ -1,34 +1,49 @@
 """Shard planning: split one shot request into independent worker units.
 
-The simulation tree's first-layer subtrees are embarrassingly parallel: each
-one starts from |0...0>, owns an independent random stream (see the seeding
-notes in :mod:`repro.core.engine`), and contributes a disjoint block of
-leaves.  A :class:`ShardSpec` is a picklable description of a contiguous
-range of those subtrees — circuit, sharded partition plan, noise model, and
-the per-subtree :class:`~numpy.random.SeedSequence` streams spawned from one
-root — that a worker process can execute with no other context.
+Every subtree of the simulation tree is embarrassingly parallel: it owns an
+independent random stream addressed by its path (see the seeding notes in
+:mod:`repro.core.engine`) and contributes a disjoint block of leaves.  A
+:class:`ShardSpec` is a picklable description of a set of subtrees — the
+circuit, the full partition plan, the noise model, and one
+:class:`~repro.core.engine.SubtreeAssignment` per covered ``(path,
+child-range)`` slice — that a worker process can execute with no other
+context.
 
-Because the per-subtree seeds are spawned from the root *before* sharding,
-the union of any shard decomposition reproduces the single-process run
-bitwise: counts and cost counters are identical whether one engine runs the
-full plan or ``W`` workers each run a slice of its first layer.
+Classic sharding slices the first-layer arity ``A0`` (paths of length zero).
+When ``A0 < num_shards`` the planner *descends*: it splits the children of
+deeper reuse nodes instead, up to ``max_depth`` layers down, so a ``(2, 64)``
+plan can still feed 16 workers.  Shards that split a node's children must
+each replay that node's prefix subcircuits (cheap by construction — the DCP
+plans put the short subcircuits first), and the load-aware balancer accounts
+that replay in gate-equivalents (via the configured state-copy cost from
+:mod:`repro.core.copycost`) when choosing shard boundaries.
+
+Because every node's stream derives statelessly from the root's spawned
+first-layer children, the union of any shard decomposition reproduces the
+single-process run bitwise: counts and cost counters are identical whether
+one engine runs the full plan or ``W`` workers each run a slice of any
+layer.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.circuits.circuit import Circuit
 from repro.core.copycost import DEFAULT_COPY_COST_IN_GATES
-from repro.core.engine import DEFAULT_MAX_TREE_BATCH
+from repro.core.engine import (
+    DEFAULT_MAX_TREE_BATCH,
+    SubtreeAssignment,
+    child_seed,
+)
 from repro.core.partitioners import (
     CircuitPartitioner,
     DynamicCircuitPartitioner,
     PartitionPlan,
 )
-from repro.core.tree import TreeStructure
 from repro.noise.model import NoiseModel
 
 __all__ = ["ShardSpec", "ShardPlanner"]
@@ -46,63 +61,91 @@ class ShardSpec:
     ----------
     index / num_shards:
         Position of this shard in the decomposition.
-    first_layer_start / first_layer_count:
-        The contiguous range ``[start, start + count)`` of first-layer
-        subtrees of the *full* plan this shard covers.
     plan:
-        The sharded plan: the full plan with its first-layer arity replaced
-        by ``first_layer_count`` (deeper layers untouched).
-    subtree_seeds:
-        The matching slice of the root ``SeedSequence``'s spawned children,
-        one per covered subtree.
-    backend:
-        Registry name of the execution backend the worker engine uses.
+        The *full* partition plan (identical across shards); the
+        assignments select which subtrees of it this shard executes.
+    assignments:
+        The ``(path, child-range)`` slices this shard covers, each with its
+        pre-derived seed streams and prefix-ownership flags.
+    estimated_cost:
+        The planner's load estimate for this shard, in gate-equivalents
+        (subtree gates + state copies at the configured copy cost + prefix
+        replays).  Recorded so dispatch metadata can expose the balance.
     """
 
     index: int
     num_shards: int
-    first_layer_start: int
-    first_layer_count: int
     circuit: Circuit
     plan: PartitionPlan
-    subtree_seeds: tuple[np.random.SeedSequence, ...]
+    assignments: tuple[SubtreeAssignment, ...]
     noise_model: NoiseModel | None
     requested_shots: int
     backend: str = "batched"
     copy_cost_in_gates: float = DEFAULT_COPY_COST_IN_GATES
     batch_size: int | None = None
     max_batch: int = DEFAULT_MAX_TREE_BATCH
+    estimated_cost: float = field(default=0.0, compare=False)
 
     def __post_init__(self) -> None:
-        if self.first_layer_count != self.plan.tree.arities[0]:
-            raise ValueError(
-                "sharded plan's first-layer arity "
-                f"({self.plan.tree.arities[0]}) does not match the shard's "
-                f"subtree count ({self.first_layer_count})"
-            )
-        if len(self.subtree_seeds) != self.first_layer_count:
-            raise ValueError(
-                f"need one seed per covered subtree ({self.first_layer_count}), "
-                f"got {len(self.subtree_seeds)}"
-            )
+        if not self.assignments:
+            raise ValueError("a shard must cover at least one assignment")
+        for assignment in self.assignments:
+            assignment.validate_against(self.plan)
+
+    @property
+    def depth(self) -> int:
+        """Deepest split layer of this shard's assignments."""
+        return max(a.depth for a in self.assignments)
 
     @property
     def num_outcomes(self) -> int:
         """Leaves (measurement outcomes) this shard produces."""
-        return self.plan.total_outcomes
+        arities = self.plan.tree.arities
+        return sum(a.outcomes(arities) for a in self.assignments)
+
+    @property
+    def covered_paths(self) -> tuple[tuple[tuple[int, ...], int, int], ...]:
+        """Provenance triples ``(path, child_start, child_stop)``."""
+        return tuple(
+            (a.path, a.child_start, a.child_start + a.child_count)
+            for a in self.assignments
+        )
+
+    @property
+    def replayed_prefix_gates(self) -> int:
+        """Prefix gates this shard re-executes to rebuild its entry states.
+
+        The engine memoises replayed prefix states per run, so each distinct
+        ancestor node is rebuilt once per shard even when several
+        assignments share it.
+        """
+        lengths = self.plan.subcircuit_lengths
+        nodes = {
+            a.path[: layer + 1]
+            for a in self.assignments
+            for layer in range(a.depth)
+        }
+        return sum(lengths[len(node) - 1] for node in nodes)
 
 
 class ShardPlanner:
     """Builds :class:`ShardSpec` lists from a shot request.
 
-    The planner partitions the full plan's first-layer arity ``A0`` into
-    ``num_shards`` contiguous, near-equal ranges (the first ``A0 mod W``
-    shards take one extra subtree).  When ``num_shards`` exceeds ``A0`` the
-    decomposition degenerates to one subtree per shard — empty shards are
-    never emitted.
+    The planner picks the shallowest split depth whose unit count covers
+    ``num_shards`` (never deeper than ``max_depth`` layers), enumerates the
+    split layer's subtrees in path order, and partitions them into
+    contiguous ranges with a load-aware balancer: shard boundaries are
+    chosen to minimise the maximum estimated shard cost in gate-equivalents,
+    where splitting a node's children across shards charges each of them the
+    prefix-replay cost.  Empty shards are never emitted — when even the
+    deepest allowed layer has fewer units than ``num_shards`` the
+    decomposition is rebalanced down to one unit per shard (or raises, with
+    ``strict=True``).
 
-    Parameters mirror :class:`~repro.core.engine.TQSimEngine` so a dispatcher
-    built on this planner is a drop-in replacement for a single engine.
+    Parameters mirror :class:`~repro.core.engine.TQSimEngine` so a
+    dispatcher built on this planner is a drop-in replacement for a single
+    engine; ``max_depth`` is the one extra knob (how many tree layers the
+    planner may descend: 1 reproduces classic first-layer sharding).
     """
 
     def __init__(
@@ -112,12 +155,16 @@ class ShardPlanner:
         copy_cost_in_gates: float = DEFAULT_COPY_COST_IN_GATES,
         batch_size: int | None = None,
         max_batch: int = DEFAULT_MAX_TREE_BATCH,
+        max_depth: int = 1,
     ) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
         self.noise_model = noise_model
         self.backend = backend
         self.copy_cost_in_gates = float(copy_cost_in_gates)
         self.batch_size = batch_size
         self.max_batch = int(max_batch)
+        self.max_depth = int(max_depth)
 
     # ------------------------------------------------------------------
     def plan_shards(
@@ -128,19 +175,29 @@ class ShardPlanner:
         seed: int | np.random.SeedSequence | None = None,
         partitioner: CircuitPartitioner | None = None,
         plan: PartitionPlan | None = None,
+        max_depth: int | None = None,
+        strict: bool = False,
     ) -> list[ShardSpec]:
         """Split a shot request into at most ``num_shards`` worker units.
 
-        Planning (partitioning plus seed spawning) runs once, in the calling
-        process; workers receive finished specs.  The spawned children are
-        exactly the streams ``TQSimEngine(seed=seed)`` would derive for the
-        same full plan, which is what makes the decomposition bitwise
-        equivalent to the single-process run.
+        Planning (partitioning, depth selection, balancing and seed
+        derivation) runs once, in the calling process; workers receive
+        finished specs.  The root's spawned children are exactly the streams
+        ``TQSimEngine(seed=seed)`` would derive for the same full plan, and
+        deeper node streams follow the engine's stateless
+        :func:`~repro.core.engine.child_seed` chain, which is what makes the
+        decomposition bitwise equivalent to the single-process run.
+
+        With ``strict=True`` a request for more shards than the deepest
+        allowed layer can supply raises instead of being rebalanced down.
         """
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         if shots < 1:
             raise ValueError("shots must be >= 1")
+        max_depth = self.max_depth if max_depth is None else int(max_depth)
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
         if plan is None:
             if partitioner is None:
                 partitioner = DynamicCircuitPartitioner(
@@ -153,43 +210,216 @@ class ShardPlanner:
                 f"({plan.total_gates} vs {circuit.num_gates} gates)"
             )
 
-        first_layer_arity = plan.tree.arities[0]
+        arities = plan.tree.arities
+        depth_cap = min(max_depth, len(arities))
+        # Shallowest split depth whose unit count covers the request: deeper
+        # splits only add prefix-replay overhead once the pool is fed.
+        depth = 0
+        while (
+            math.prod(arities[: depth + 1]) < num_shards
+            and depth + 1 < depth_cap
+        ):
+            depth += 1
+        units_total = math.prod(arities[: depth + 1])
+        if num_shards > units_total:
+            if strict:
+                raise ValueError(
+                    f"cannot build {num_shards} non-empty shards: the tree "
+                    f"{plan.tree} offers only {units_total} subtrees within "
+                    f"max_depth={max_depth}"
+                )
+            num_shards = units_total
+
         root = (
             seed
             if isinstance(seed, np.random.SeedSequence)
             else np.random.SeedSequence(seed)
         )
-        subtree_seeds = root.spawn(first_layer_arity)
+        subtree_seeds = root.spawn(arities[0])
 
-        num_shards = min(num_shards, first_layer_arity)
-        base, extra = divmod(first_layer_arity, num_shards)
+        children_per_path = arities[depth]
+        unit_cost, prefix_cost = self._cost_model(plan, depth)
+        ranges = _balanced_unit_ranges(
+            units_total, children_per_path, num_shards, unit_cost, prefix_cost
+        )
+
         specs: list[ShardSpec] = []
-        start = 0
-        for index in range(num_shards):
-            count = base + (1 if index < extra else 0)
-            shard_tree = TreeStructure((count, *plan.tree.arities[1:]))
-            shard_plan = PartitionPlan(
-                subcircuits=plan.subcircuits,
-                tree=shard_tree,
-                policy=plan.policy,
-                parameters=dict(plan.parameters),
+        for index, (start, stop) in enumerate(ranges):
+            assignments = self._assignments_for_range(
+                plan, depth, start, stop, subtree_seeds
             )
             specs.append(
                 ShardSpec(
                     index=index,
                     num_shards=num_shards,
-                    first_layer_start=start,
-                    first_layer_count=count,
                     circuit=circuit,
-                    plan=shard_plan,
-                    subtree_seeds=tuple(subtree_seeds[start : start + count]),
+                    plan=plan,
+                    assignments=tuple(assignments),
                     noise_model=self.noise_model,
                     requested_shots=shots,
                     backend=self.backend,
                     copy_cost_in_gates=self.copy_cost_in_gates,
                     batch_size=self.batch_size,
                     max_batch=self.max_batch,
+                    estimated_cost=_range_cost(
+                        start, stop, children_per_path, unit_cost, prefix_cost
+                    ),
                 )
             )
-            start += count
         return specs
+
+    # ------------------------------------------------------------------
+    def _cost_model(
+        self, plan: PartitionPlan, depth: int
+    ) -> tuple[float, float]:
+        """Gate-equivalent cost of one unit subtree and of one prefix replay.
+
+        A *unit* is one child subtree hanging below the split layer: its
+        cost is every subcircuit execution inside it plus its state copies
+        at the configured copy cost (paper Section 3.6).  A shard touching a
+        path additionally replays that path's prefix subcircuits once,
+        which is the load the balancer trades off against unit counts.
+        """
+        arities = plan.tree.arities
+        lengths = plan.subcircuit_lengths
+        num_layers = len(arities)
+        copy_cost = self.copy_cost_in_gates
+
+        unit_gates = 0.0
+        unit_copies = 0.0
+        instances = 1
+        for layer in range(depth, num_layers):
+            if layer > depth:
+                instances *= arities[layer]
+            unit_gates += instances * lengths[layer]
+            if layer >= 1:
+                unit_copies += instances
+        unit_cost = unit_gates + copy_cost * unit_copies
+
+        prefix_cost = sum(lengths[:depth]) + copy_cost * max(depth - 1, 0)
+        return unit_cost, prefix_cost
+
+    def _assignments_for_range(
+        self,
+        plan: PartitionPlan,
+        depth: int,
+        start: int,
+        stop: int,
+        subtree_seeds: list[np.random.SeedSequence],
+    ) -> list[SubtreeAssignment]:
+        """Materialise the unit range ``[start, stop)`` as path assignments.
+
+        Units are the split layer's subtrees in lexicographic path order;
+        one assignment is emitted per reuse node whose children the range
+        touches.  The assignment starting at a node's first child owns the
+        accounting of every prefix node it is the lexicographically-first
+        descendant of, so the merged cost counters match the single run.
+        """
+        arities = plan.tree.arities
+        children_per_path = arities[depth]
+        assignments: list[SubtreeAssignment] = []
+        unit = start
+        while unit < stop:
+            path_index, child_lo = divmod(unit, children_per_path)
+            child_hi = min(children_per_path, child_lo + (stop - unit))
+            path = _decode_path(path_index, arities[:depth])
+            if depth == 0:
+                prefix_seeds: tuple[np.random.SeedSequence, ...] = ()
+                seeds = tuple(subtree_seeds[child_lo:child_hi])
+            else:
+                chain = [subtree_seeds[path[0]]]
+                for node in path[1:]:
+                    chain.append(child_seed(chain[-1], node))
+                prefix_seeds = tuple(chain)
+                seeds = tuple(
+                    child_seed(chain[-1], c)
+                    for c in range(child_lo, child_hi)
+                )
+            counted = tuple(
+                child_lo == 0 and all(p == 0 for p in path[layer + 1 :])
+                for layer in range(depth)
+            )
+            assignments.append(
+                SubtreeAssignment(
+                    path=path,
+                    child_start=child_lo,
+                    child_count=child_hi - child_lo,
+                    prefix_seeds=prefix_seeds,
+                    child_seeds=seeds,
+                    counted_prefix_layers=counted,
+                )
+            )
+            unit += child_hi - child_lo
+        return assignments
+
+
+def _decode_path(path_index: int, arities: tuple[int, ...]) -> tuple[int, ...]:
+    """Decode a lexicographic path index over the given layer arities."""
+    path = []
+    for arity in reversed(arities):
+        path_index, component = divmod(path_index, arity)
+        path.append(component)
+    return tuple(reversed(path))
+
+
+def _range_cost(
+    start: int,
+    stop: int,
+    children_per_path: int,
+    unit_cost: float,
+    prefix_cost: float,
+) -> float:
+    """Estimated gate-equivalent cost of executing units ``[start, stop)``."""
+    paths_touched = (stop - 1) // children_per_path - start // children_per_path + 1
+    return (stop - start) * unit_cost + paths_touched * prefix_cost
+
+
+def _balanced_unit_ranges(
+    units_total: int,
+    children_per_path: int,
+    num_shards: int,
+    unit_cost: float,
+    prefix_cost: float,
+) -> list[tuple[int, int]]:
+    """Contiguous unit ranges minimising the maximum estimated shard cost.
+
+    Starts from the near-equal split (the first ``units mod shards`` ranges
+    take one extra unit) and then greedily shifts single boundaries while
+    doing so lowers the estimated maximum — in practice this aligns
+    boundaries with path boundaries, trading one unit of imbalance for one
+    fewer prefix replay whenever the replay is the more expensive of the
+    two.  Deterministic, and never produces an empty range.
+    """
+    base, extra = divmod(units_total, num_shards)
+    bounds = [0]
+    for index in range(num_shards):
+        bounds.append(bounds[-1] + base + (1 if index < extra else 0))
+
+    def score(lo: int, hi: int) -> float:
+        return _range_cost(lo, hi, children_per_path, unit_cost, prefix_cost)
+
+    improved = True
+    sweeps = 0
+    while improved and sweeps < 4 * num_shards:
+        improved = False
+        sweeps += 1
+        for boundary in range(1, num_shards):
+            lo, mid, hi = (
+                bounds[boundary - 1],
+                bounds[boundary],
+                bounds[boundary + 1],
+            )
+            best, best_score = mid, max(score(lo, mid), score(mid, hi))
+            for candidate in (mid - 1, mid + 1):
+                if lo < candidate < hi:
+                    candidate_score = max(
+                        score(lo, candidate), score(candidate, hi)
+                    )
+                    if candidate_score < best_score - 1e-9:
+                        best, best_score = candidate, candidate_score
+            if best != mid:
+                bounds[boundary] = best
+                improved = True
+    return [
+        (bounds[index], bounds[index + 1]) for index in range(num_shards)
+    ]

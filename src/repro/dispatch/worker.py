@@ -20,8 +20,12 @@ def run_shard(spec: ShardSpec) -> SimulationResult:
     """Execute one shard with a locally built engine and tag its provenance.
 
     The engine's own root seed is irrelevant here: every random draw comes
-    from the spec's pre-spawned per-subtree streams, so the result depends
-    only on the spec — not on which process, or in which order, it ran.
+    from the spec's pre-derived per-node streams, so the result depends only
+    on the spec — not on which process, or in which order, it ran.  Deep
+    shards replay their paths' prefix subcircuits to rebuild the entry
+    states (accounted only by the owning shard; see
+    :meth:`~repro.core.engine.TQSimEngine._replay_prefix`), then traverse
+    exactly the assigned children.
     """
     engine = TQSimEngine(
         noise_model=spec.noise_model,
@@ -34,12 +38,12 @@ def run_shard(spec: ShardSpec) -> SimulationResult:
         spec.circuit,
         spec.requested_shots,
         plan=spec.plan,
-        subtree_seeds=spec.subtree_seeds,
+        assignments=spec.assignments,
     )
     result.metadata["shard_index"] = spec.index
-    result.metadata["shard_first_layer"] = (
-        spec.first_layer_start,
-        spec.first_layer_start + spec.first_layer_count,
-    )
+    result.metadata["shard_paths"] = spec.covered_paths
+    result.metadata["shard_depth"] = spec.depth
+    result.metadata["shard_estimated_cost"] = spec.estimated_cost
+    result.metadata["shard_replayed_prefix_gates"] = spec.replayed_prefix_gates
     result.metadata["num_shards"] = spec.num_shards
     return result

@@ -246,12 +246,18 @@ def measure_batched_tree(
 
 @dataclass(frozen=True)
 class DispatchPoint:
-    """One measured worker count of a multiprocess dispatch sweep."""
+    """One measured worker count of a multiprocess dispatch sweep.
+
+    ``shard_depth`` records how deep the planner actually split (0 = the
+    first layer, the classic decomposition; >0 = deep shards that replay a
+    prefix) so low-arity sweeps expose whether the pool was starved or fed.
+    """
 
     num_workers: int
     num_shards: int
     wall_seconds: float
     shard_seconds_total: float
+    shard_depth: int = 0
 
     def speedup_over(self, serial_seconds: float) -> float:
         """Measured end-to-end speedup over the serial dispatcher."""
@@ -290,6 +296,7 @@ class DispatchScalingMeasurement:
             {
                 "workers": point.num_workers,
                 "shards": point.num_shards,
+                "depth": point.shard_depth,
                 "wall_seconds": point.wall_seconds,
                 "worker_seconds_total": point.shard_seconds_total,
                 "speedup_vs_serial": point.speedup_over(self.serial_seconds),
@@ -328,6 +335,7 @@ def measure_dispatch_scaling(
     plan,
     worker_counts: tuple[int, ...] | None = None,
     repeats: int = 2,
+    max_depth: int | None = None,
 ) -> DispatchScalingMeasurement:
     """Time serial vs multiprocess dispatch of one shared plan.
 
@@ -337,11 +345,18 @@ def measure_dispatch_scaling(
     :class:`~repro.dispatch.PoolDispatcher` with one shard per worker and
     the same root seed, so every point produces bitwise-identical counts
     and the comparison isolates pure execution-placement effects.
+
+    ``max_depth`` (default from ``config.extra["max_depth"]``, else 1) lets
+    the shard planner split layers below the first when the plan's ``A0`` is
+    smaller than the worker count — the low-arity sweeps would otherwise
+    starve the pool at ``A0`` shards.
     """
     from repro.dispatch import PoolDispatcher, SerialDispatcher
 
     if worker_counts is None:
         worker_counts = dispatch_worker_counts(config)
+    if max_depth is None:
+        max_depth = int(config.extra.get("max_depth", 1))
     seed = config.seed + 2
     serial_seconds = math.inf
     serial_result = None
@@ -361,6 +376,7 @@ def measure_dispatch_scaling(
         dispatcher = PoolDispatcher(
             noise_model, seed=seed, num_workers=workers, num_shards=workers,
             copy_cost_in_gates=config.copy_cost_in_gates,
+            max_depth=max_depth,
         )
         best = None
         for _ in range(repeats):
@@ -378,6 +394,7 @@ def measure_dispatch_scaling(
                 num_shards=dispatch["num_shards"],
                 wall_seconds=dispatch["wall_time_seconds"],
                 shard_seconds_total=dispatch["shard_seconds_total"],
+                shard_depth=dispatch["shard_depth"],
             )
         )
     return DispatchScalingMeasurement(

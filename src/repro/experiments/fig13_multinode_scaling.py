@@ -30,7 +30,12 @@ from repro.experiments.common import (
 )
 from repro.noise.sycamore import depolarizing_noise_model
 
-__all__ = ["MultiNodeResult", "measured_dispatch_scaling", "run"]
+__all__ = [
+    "MultiNodeResult",
+    "measured_dispatch_scaling",
+    "measured_deep_dispatch_scaling",
+    "run",
+]
 
 PAPER_NODE_COUNTS = (1, 2, 4, 8, 16, 32)
 
@@ -39,19 +44,31 @@ PAPER_NODE_COUNTS = (1, 2, 4, 8, 16, 32)
 #: workers, mirroring how the paper distributes the first layer over nodes.
 MEASURED_TREE_ARITIES = (16, 16)
 
+#: Tree shape of the deep-sharding leg: a first-layer arity *below* the
+#: worker counts, so classic first-layer sharding starves the pool at 2
+#: shards and only the path-based planner (``max_depth=2``) can split the
+#: 64-way second layer across more workers.
+MEASURED_DEEP_TREE_ARITIES = (2, 64)
+
+#: Split depth of the deep-sharding leg.
+MEASURED_DEEP_MAX_DEPTH = 2
+
 
 @dataclass(frozen=True)
 class MultiNodeResult:
     """Strong- and weak-scaling points for the BV and QFT families.
 
     ``measured`` holds the real multiprocess sweep (serial dispatcher vs
-    process pool on one shared plan); the modeled points keep the paper's
-    cluster story at widths the NumPy substrate cannot time directly.
+    process pool on one shared plan); ``measured_deep`` repeats it on a
+    low-first-layer-arity plan where only deep (path-based) sharding can
+    feed the pool.  The modeled points keep the paper's cluster story at
+    widths the NumPy substrate cannot time directly.
     """
 
     strong: dict[str, list[ScalingPoint]]
     weak: dict[str, list[ScalingPoint]]
     measured: DispatchScalingMeasurement | None = None
+    measured_deep: DispatchScalingMeasurement | None = None
 
     def strong_scaling_speedups(self, name: str) -> list[float]:
         """Speedup vs the single-node time for one strong-scaling series."""
@@ -82,6 +99,33 @@ def measured_dispatch_scaling(
     )
 
 
+def measured_deep_dispatch_scaling(
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    worker_counts: tuple[int, ...] | None = None,
+) -> DispatchScalingMeasurement:
+    """Measure deep sharding on a plan whose first layer starves the pool.
+
+    The ``(2, 64)`` tree offers only two first-layer subtrees; the sweep
+    runs with ``max_depth=2`` (overridable through
+    ``config.extra["max_depth"]``) so the planner splits the 64-way second
+    layer across the workers instead — the merged counts stay bitwise the
+    serial dispatcher's while the per-point ``shard_depth`` shows where the
+    planner had to descend.
+    """
+    noise_model = depolarizing_noise_model()
+    width = min(config.max_qubits, 10)
+    circuit = qft_circuit(width)
+    shots = MEASURED_DEEP_TREE_ARITIES[0] * MEASURED_DEEP_TREE_ARITIES[1]
+    plan = ManualPartitioner(MEASURED_DEEP_TREE_ARITIES).plan(
+        circuit, shots, noise_model
+    )
+    max_depth = int(config.extra.get("max_depth", MEASURED_DEEP_MAX_DEPTH))
+    return measure_dispatch_scaling(
+        circuit, noise_model, config.scaled(shots=shots), plan,
+        worker_counts=worker_counts, max_depth=max_depth,
+    )
+
+
 def run(config: ExperimentConfig = DEFAULT_CONFIG) -> MultiNodeResult:
     """Model strong and weak scaling, plus the measured multiprocess sweep."""
     noise_model = depolarizing_noise_model()
@@ -106,4 +150,5 @@ def run(config: ExperimentConfig = DEFAULT_CONFIG) -> MultiNodeResult:
         strong=strong,
         weak=weak,
         measured=measured_dispatch_scaling(config),
+        measured_deep=measured_deep_dispatch_scaling(config),
     )

@@ -24,18 +24,34 @@ def test_run_table2_prints_summary(capsys):
 
 def test_run_unknown_experiment_fails_cleanly(capsys):
     assert main(["run", "fig99"]) == 2
-    assert "unknown experiment" in capsys.readouterr().out
+    output = capsys.readouterr().out
+    assert "unknown experiment" in output
+    assert "fig99" in output
 
 
 def test_run_rejects_bad_worker_count(capsys):
     assert main(["run", "fig13", "--workers", "0"]) == 2
-    assert "--workers" in capsys.readouterr().out
+    assert "--workers must be >= 1" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("bad_depth", ["0", "-3"])
+def test_run_rejects_bad_max_depth(capsys, bad_depth):
+    assert main(["run", "fig13", "--max-depth", bad_depth]) == 2
+    assert "--max-depth must be >= 1" in capsys.readouterr().out
+
+
+def test_run_rejects_non_integer_max_depth(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["run", "fig13", "--max-depth", "two"])
+    assert excinfo.value.code != 0
+    assert "--max-depth" in capsys.readouterr().err
 
 
 def test_parser_accepts_overrides():
     args = build_parser().parse_args(
         ["run", "fig13", "--workers", "2", "--shots", "64",
-         "--max-qubits", "6", "--seed", "9", "--backend", "numpy"]
+         "--max-qubits", "6", "--seed", "9", "--backend", "numpy",
+         "--max-depth", "2"]
     )
     assert args.experiment == "fig13"
     assert args.workers == 2
@@ -43,6 +59,7 @@ def test_parser_accepts_overrides():
     assert args.max_qubits == 6
     assert args.seed == 9
     assert args.backend == "numpy"
+    assert args.max_depth == 2
 
 
 def test_missing_subcommand_exits_with_usage(capsys):

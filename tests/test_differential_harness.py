@@ -1,0 +1,171 @@
+"""Randomized differential testing across every execution path.
+
+Five ways to execute one plan all claim *bitwise-identical* counts and cost
+counters under the per-node-path seeding contract (see
+:mod:`repro.core.engine`):
+
+1. sequential tree traversal (``TQSimEngine`` on the ``"optimized"`` backend)
+2. batched tree traversal (``TQSimEngine`` on the ``"batched"`` backend)
+3. in-process sharded dispatch (``SerialDispatcher``)
+4. multiprocess sharded dispatch (``PoolDispatcher``)
+5. deep path-based sharding (``max_depth=2``, splitting below the first layer)
+
+This harness keeps that invariant honest with a seeded randomized matrix:
+each case draws a benchmark circuit from the paper suite, a random
+``(arity, layers)`` manual plan, a random noise model (none / depolarizing /
+depolarizing + readout error / amplitude damping, i.e. a general Kraus
+channel) and random shard counts, then asserts all five paths agree
+bit-for-bit.  Cases are deterministic per seed, so any failure reproduces
+with ``-k case_NN``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.library.suite import PAPER_SUITE, build_circuit
+from repro.core import ManualPartitioner, TQSimEngine
+from repro.dispatch import PoolDispatcher, SerialDispatcher
+from repro.noise import NoiseModel, ReadoutError, depolarizing_noise_model
+from repro.noise.channels import AmplitudeDampingChannel
+
+NUM_CASES = 40
+
+#: Suite entries small enough to run five full execution paths per case.
+SMALL_SPECS = [spec for spec in PAPER_SUITE if spec.paper_width <= 6]
+
+
+def _noise_model(choice: int) -> NoiseModel | None:
+    if choice == 0:
+        return None
+    if choice == 1:
+        return depolarizing_noise_model()
+    if choice == 2:
+        model = depolarizing_noise_model()
+        model.readout_error = ReadoutError(0.02, 0.01)
+        return model
+    # General Kraus channels exercise the state-dependent per-row fallback.
+    return NoiseModel(
+        single_qubit_channels=[AmplitudeDampingChannel(0.04)],
+        two_qubit_channels=[AmplitudeDampingChannel(0.02)],
+        name="amplitude-damping",
+    )
+
+
+def _random_case(case_seed: int):
+    """Deterministically draw one differential test case."""
+    rng = np.random.default_rng(10_000 + case_seed)
+    spec = SMALL_SPECS[int(rng.integers(len(SMALL_SPECS)))]
+    circuit = build_circuit(spec, seed=int(rng.integers(10_000)))
+    num_layers = int(rng.integers(2, 4))  # 2 or 3 subcircuits
+    # Keep the first-layer arity small often enough that deep sharding is
+    # forced to descend, and leaf counts modest so forty cases stay fast.
+    arities = [int(rng.integers(2, 5)) for _ in range(num_layers)]
+    noise = _noise_model(int(rng.integers(4)))
+    plan = ManualPartitioner(arities).plan(
+        circuit, int(np.prod(arities)), noise
+    )
+    run_seed = int(rng.integers(2**31))
+    num_shards = int(rng.integers(1, 5))
+    deep_shards = arities[0] + int(rng.integers(1, arities[1] + 1))
+    return circuit, plan, noise, run_seed, num_shards, deep_shards
+
+
+def _counter_tuple(result):
+    cost = result.cost
+    return (
+        cost.gate_applications,
+        cost.noise_applications,
+        cost.state_copies,
+        cost.leaf_samples,
+    )
+
+
+@pytest.mark.parametrize(
+    "case_seed", range(NUM_CASES), ids=[f"case_{i:02d}" for i in range(NUM_CASES)]
+)
+def test_all_execution_paths_bitwise_identical(case_seed):
+    circuit, plan, noise, run_seed, num_shards, deep_shards = _random_case(
+        case_seed
+    )
+    shots = plan.total_outcomes
+
+    sequential = TQSimEngine(noise, seed=run_seed, backend="optimized").run(
+        circuit, shots, plan=plan
+    )
+    batched = TQSimEngine(noise, seed=run_seed, backend="batched").run(
+        circuit, shots, plan=plan
+    )
+    serial = SerialDispatcher(
+        noise, seed=run_seed, num_shards=num_shards
+    ).run(circuit, shots, plan=plan)
+    # Deep sharding splits below the first layer (deep_shards > A0 forces
+    # a descent); the pooled run ships deep shards to real processes every
+    # few cases to bound the harness's fork overhead.
+    deep = SerialDispatcher(
+        noise, seed=run_seed, num_shards=deep_shards, max_depth=2
+    ).run(circuit, shots, plan=plan)
+    if case_seed % 4 == 0:
+        pooled = PoolDispatcher(
+            noise, seed=run_seed, num_workers=2, num_shards=deep_shards,
+            max_depth=2,
+        ).run(circuit, shots, plan=plan)
+    else:
+        pooled = PoolDispatcher(
+            noise, seed=run_seed, num_workers=2, num_shards=num_shards
+        ).run(circuit, shots, plan=plan)
+
+    results = {
+        "sequential": sequential,
+        "batched": batched,
+        "serial": serial,
+        "pooled": pooled,
+        "deep": deep,
+    }
+    reference_counts = sequential.counts
+    reference_counters = _counter_tuple(sequential)
+    for name, result in results.items():
+        assert result.counts == reference_counts, (
+            f"{name} counts diverged (seed {case_seed}, "
+            f"tree {plan.tree}, noise "
+            f"{noise.name if noise else 'ideal'})"
+        )
+        assert _counter_tuple(result) == reference_counters, (
+            f"{name} cost counters diverged (seed {case_seed})"
+        )
+        assert result.shots == shots
+    if deep_shards > plan.tree.arities[0]:
+        assert deep.metadata["dispatch"]["shard_depth"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Acceptance sweep: the ROADMAP's A0-starvation case, measured exhaustively
+# ---------------------------------------------------------------------------
+def test_low_arity_plan_deep_sharding_acceptance_matrix(qft5):
+    """On a ``(2, 64)`` plan, deep-sharded ``PoolDispatcher`` runs are
+    bitwise-identical to ``SerialDispatcher`` and to a single engine for
+    worker counts {1, 2, 4} and max-depth {1, 2}."""
+    noise = depolarizing_noise_model()
+    noise.readout_error = ReadoutError(0.02)
+    plan = ManualPartitioner((2, 64)).plan(qft5, 128, noise)
+    single = TQSimEngine(noise, seed=97, backend="batched").run(
+        qft5, 128, plan=plan
+    )
+    for max_depth in (1, 2):
+        for workers in (1, 2, 4):
+            serial = SerialDispatcher(
+                noise, seed=97, num_shards=workers, max_depth=max_depth
+            ).run(qft5, 128, plan=plan)
+            pooled = PoolDispatcher(
+                noise, seed=97, num_workers=workers, num_shards=workers,
+                max_depth=max_depth,
+            ).run(qft5, 128, plan=plan)
+            for result in (serial, pooled):
+                assert result.counts == single.counts, (
+                    f"workers={workers} max_depth={max_depth}"
+                )
+                assert result.cost.matches(single.cost)
+            # Depth 1 starves at A0=2 shards; depth 2 feeds every worker.
+            expected_shards = min(workers, 2) if max_depth == 1 else workers
+            assert (
+                pooled.metadata["dispatch"]["num_shards"] == expected_shards
+            )

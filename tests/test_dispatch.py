@@ -2,8 +2,8 @@
 
 The load-bearing contract: sharded execution is *exact*.  Serial dispatch,
 pooled dispatch and a single engine run with the same root seed produce
-bitwise-identical merged counts and cost counters, for any shard count, on
-both the sequential and the batched traversal.
+bitwise-identical merged counts and cost counters, for any shard count and
+any split depth, on both the sequential and the batched traversal.
 """
 
 import numpy as np
@@ -16,6 +16,7 @@ from repro.core import (
     TreeStructure,
     UniformCircuitPartitioner,
 )
+from repro.core.engine import SubtreeAssignment, child_seed
 from repro.dispatch import (
     PoolDispatcher,
     SerialDispatcher,
@@ -45,24 +46,46 @@ def test_planner_splits_first_layer_evenly(qft5):
     planner = ShardPlanner()
     shards = planner.plan_shards(qft5, SHOTS, 4, seed=3,
                                  partitioner=PARTITIONER)
-    assert [s.first_layer_count for s in shards] == [3, 3, 3, 3]
-    assert [s.first_layer_start for s in shards] == [0, 3, 6, 9]
-    assert all(s.plan.tree.arities == (3, 5, 3) for s in shards)
+    assert [s.covered_paths for s in shards] == [
+        (((), 0, 3),), (((), 3, 6),), (((), 6, 9),), (((), 9, 12),),
+    ]
+    assert all(s.depth == 0 for s in shards)
+    assert all(s.plan.tree.arities == (12, 5, 3) for s in shards)
     assert sum(s.num_outcomes for s in shards) == 12 * 5 * 3
 
 
 def test_planner_uneven_split_front_loads_remainder(qft5):
     shards = ShardPlanner().plan_shards(qft5, SHOTS, 5, seed=3,
                                         partitioner=PARTITIONER)
-    assert [s.first_layer_count for s in shards] == [3, 3, 2, 2, 2]
-    assert [s.first_layer_start for s in shards] == [0, 3, 6, 8, 10]
+    assert [s.covered_paths for s in shards] == [
+        (((), 0, 3),), (((), 3, 6),), (((), 6, 8),),
+        (((), 8, 10),), (((), 10, 12),),
+    ]
 
 
-def test_planner_caps_shards_at_first_layer_arity(qft5):
+def test_planner_rebalances_instead_of_empty_shards(qft5):
+    """Regression: more shards than subtrees must never yield empty shards.
+
+    At ``max_depth=1`` the decomposition degenerates to one first-layer
+    subtree per shard; with ``strict=True`` the overflow raises instead.
+    """
     plan = ManualPartitioner((3, 4)).plan(qft5, 12, None)
     shards = ShardPlanner().plan_shards(qft5, 12, 8, seed=0, plan=plan)
     assert len(shards) == 3
-    assert all(s.first_layer_count == 1 for s in shards)
+    assert all(s.num_outcomes > 0 for s in shards)
+    assert all(a.child_count >= 1 for s in shards for a in s.assignments)
+    with pytest.raises(ValueError, match="non-empty"):
+        ShardPlanner().plan_shards(qft5, 12, 8, seed=0, plan=plan,
+                                   strict=True)
+    # Descending one layer supplies 12 units, so 8 shards fit (and even the
+    # strict request succeeds).
+    deep = ShardPlanner(max_depth=2).plan_shards(qft5, 12, 8, seed=0,
+                                                 plan=plan, strict=True)
+    assert len(deep) == 8
+    assert sum(s.num_outcomes for s in deep) == 12
+    with pytest.raises(ValueError, match="non-empty"):
+        ShardPlanner(max_depth=2).plan_shards(qft5, 12, 13, seed=0,
+                                              plan=plan, strict=True)
 
 
 def test_planner_seeds_match_engine_spawn(qft5):
@@ -70,7 +93,12 @@ def test_planner_seeds_match_engine_spawn(qft5):
     shards = ShardPlanner().plan_shards(qft5, SHOTS, 3, seed=17,
                                         partitioner=PARTITIONER)
     reference = np.random.SeedSequence(17).spawn(12)
-    flattened = [seed for shard in shards for seed in shard.subtree_seeds]
+    flattened = [
+        seed
+        for shard in shards
+        for assignment in shard.assignments
+        for seed in assignment.child_seeds
+    ]
     assert len(flattened) == 12
     for ours, theirs in zip(flattened, reference):
         assert np.array_equal(
@@ -85,24 +113,49 @@ def test_planner_validates_arguments(qft5):
         planner.plan_shards(qft5, SHOTS, 0, seed=1)
     with pytest.raises(ValueError):
         planner.plan_shards(qft5, 0, 2, seed=1)
+    with pytest.raises(ValueError):
+        planner.plan_shards(qft5, SHOTS, 2, seed=1, max_depth=0)
+    with pytest.raises(ValueError):
+        ShardPlanner(max_depth=0)
     foreign = ManualPartitioner((4,)).plan(qft5[0:3], 4, None)
     with pytest.raises(ValueError):
         planner.plan_shards(qft5, SHOTS, 2, seed=1, plan=foreign)
 
 
 def test_shard_spec_validates_consistency(qft5):
-    plan = ManualPartitioner((4,)).plan(qft5, 4, None)
+    plan = ManualPartitioner((4, 3)).plan(qft5, 12, None)
     seeds = tuple(np.random.SeedSequence(0).spawn(4))
+    # Seed count must match the covered children.
     with pytest.raises(ValueError):
-        ShardSpec(index=0, num_shards=1, first_layer_start=0,
-                  first_layer_count=3, circuit=qft5, plan=plan,
-                  subtree_seeds=seeds[:3], noise_model=None,
-                  requested_shots=4)
+        SubtreeAssignment(path=(), child_start=0, child_count=3,
+                          prefix_seeds=(), child_seeds=seeds[:2],
+                          counted_prefix_layers=())
+    # Prefix seeds must cover every path layer.
     with pytest.raises(ValueError):
-        ShardSpec(index=0, num_shards=1, first_layer_start=0,
-                  first_layer_count=4, circuit=qft5, plan=plan,
-                  subtree_seeds=seeds[:2], noise_model=None,
-                  requested_shots=4)
+        SubtreeAssignment(path=(1,), child_start=0, child_count=1,
+                          prefix_seeds=(), child_seeds=seeds[:1],
+                          counted_prefix_layers=(True,))
+    # Assignments must address the plan's tree.
+    out_of_range = SubtreeAssignment(
+        path=(), child_start=2, child_count=3, prefix_seeds=(),
+        child_seeds=seeds[:3], counted_prefix_layers=(),
+    )
+    with pytest.raises(ValueError):
+        ShardSpec(index=0, num_shards=1, circuit=qft5, plan=plan,
+                  assignments=(out_of_range,), noise_model=None,
+                  requested_shots=12)
+    too_deep = SubtreeAssignment(
+        path=(0, 0), child_start=0, child_count=1,
+        prefix_seeds=(seeds[0], child_seed(seeds[0], 0)),
+        child_seeds=seeds[:1], counted_prefix_layers=(True, True),
+    )
+    with pytest.raises(ValueError):
+        ShardSpec(index=0, num_shards=1, circuit=qft5, plan=plan,
+                  assignments=(too_deep,), noise_model=None,
+                  requested_shots=12)
+    with pytest.raises(ValueError):
+        ShardSpec(index=0, num_shards=1, circuit=qft5, plan=plan,
+                  assignments=(), noise_model=None, requested_shots=12)
 
 
 # ---------------------------------------------------------------------------
@@ -201,9 +254,12 @@ def test_dispatch_metadata_accounting(qft5):
         dispatch["wall_time_seconds"]
     )
     # ... and the per-shard provenance survives the metadata merge.
-    starts = [s["shard_first_layer"] for s in result.metadata["shards"]]
-    assert starts == [(0, 4), (4, 8), (8, 12)]
+    paths = [s["shard_paths"] for s in result.metadata["shards"]]
+    assert paths == [(((), 0, 4),), (((), 4, 8),), (((), 8, 12),)]
     assert result.metadata["requested_shots"] == SHOTS
+    assert dispatch["shard_depth"] == 0
+    assert dispatch["replayed_prefix_gates"] == 0
+    assert len(dispatch["shard_estimated_costs"]) == 3
 
 
 def test_run_shard_entry_point_is_self_contained(qft5):
@@ -224,3 +280,219 @@ def test_dispatcher_argument_validation():
         SerialDispatcher(num_shards=0)
     with pytest.raises(ValueError):
         PoolDispatcher(num_workers=0)
+    with pytest.raises(ValueError):
+        SerialDispatcher(max_depth=0)
+    with pytest.raises(ValueError):
+        PoolDispatcher(max_depth=0)
+
+
+# ---------------------------------------------------------------------------
+# Deep (path-based) sharding: splitting layers below the first
+# ---------------------------------------------------------------------------
+def test_deep_planner_picks_shallowest_sufficient_depth(qft5):
+    plan = ManualPartitioner((2, 64)).plan(qft5, 128, None)
+    planner = ShardPlanner(max_depth=2)
+    # Two shards fit the first layer: no descent, no prefix replay.
+    shallow = planner.plan_shards(qft5, 128, 2, seed=5, plan=plan)
+    assert [s.depth for s in shallow] == [0, 0]
+    assert all(s.replayed_prefix_gates == 0 for s in shallow)
+    # Sixteen shards exceed A0=2: the planner splits the 64-way second
+    # layer, eight children per shard, each path's prefix replayed once
+    # per shard that touches it.
+    deep = planner.plan_shards(qft5, 128, 16, seed=5, plan=plan)
+    assert len(deep) == 16
+    assert all(s.depth == 1 for s in deep)
+    assert sum(s.num_outcomes for s in deep) == 128
+    covered = [
+        (a.path, a.child_start, a.child_count)
+        for s in deep for a in s.assignments
+    ]
+    assert covered == [
+        ((j,), start, 8) for j in (0, 1) for start in range(0, 64, 8)
+    ]
+    assert all(s.replayed_prefix_gates > 0 for s in deep)
+    assert all(s.estimated_cost > 0 for s in deep)
+
+
+def test_deep_planner_counts_each_prefix_node_exactly_once(qft5):
+    """Shards splitting a node's children share the replay; exactly one
+    assignment owns each prefix node's accounting."""
+    plan = ManualPartitioner((3, 4, 2)).plan(qft5, 24, None)
+    shards = ShardPlanner(max_depth=3).plan_shards(
+        qft5, 24, 10, seed=2, plan=plan
+    )
+    owners: dict[tuple[int, ...], int] = {}
+    for shard in shards:
+        for assignment in shard.assignments:
+            for layer, counted in enumerate(
+                assignment.counted_prefix_layers
+            ):
+                if counted:
+                    node = assignment.path[: layer + 1]
+                    owners[node] = owners.get(node, 0) + 1
+    # Depth 1 split (12 units >= 10 shards): prefix nodes are the three
+    # first-layer subtrees, each owned once.
+    assert owners == {(0,): 1, (1,): 1, (2,): 1}
+
+
+def test_deep_planner_seeds_follow_engine_chain(qft5):
+    """Deep child seeds must be the engine's stateless child_seed chain."""
+    plan = ManualPartitioner((2, 6)).plan(qft5, 12, None)
+    shards = ShardPlanner(max_depth=2).plan_shards(
+        qft5, 12, 4, seed=21, plan=plan
+    )
+    subtree_seeds = np.random.SeedSequence(21).spawn(2)
+    for shard in shards:
+        for assignment in shard.assignments:
+            (j,) = assignment.path
+            for offset, seed in enumerate(assignment.child_seeds):
+                expected = child_seed(
+                    subtree_seeds[j], assignment.child_start + offset
+                )
+                assert np.array_equal(
+                    np.random.default_rng(seed).random(4),
+                    np.random.default_rng(expected).random(4),
+                )
+
+
+def test_deep_serial_dispatch_bitwise_identical_to_single_run(qft5):
+    noise = _noise()
+    plan = ManualPartitioner((2, 9)).plan(qft5, 18, noise)
+    single = TQSimEngine(noise, seed=37, backend="batched").run(
+        qft5, 18, plan=plan
+    )
+    for num_shards in (3, 5, 18):
+        deep = SerialDispatcher(
+            noise, seed=37, num_shards=num_shards, max_depth=2
+        ).run(qft5, 18, plan=plan)
+        assert deep.counts == single.counts
+        assert deep.cost.matches(single.cost)
+        assert deep.metadata["dispatch"]["shard_depth"] == 1
+
+
+def test_deep_pool_dispatch_bitwise_identical_and_tagged(qft5):
+    noise = _noise()
+    plan = ManualPartitioner((2, 9)).plan(qft5, 18, noise)
+    single = TQSimEngine(noise, seed=41, backend="batched").run(
+        qft5, 18, plan=plan
+    )
+    pooled = PoolDispatcher(
+        noise, seed=41, num_workers=2, num_shards=4, max_depth=2
+    ).run(qft5, 18, plan=plan)
+    assert pooled.counts == single.counts
+    assert pooled.cost.matches(single.cost)
+    dispatch = pooled.metadata["dispatch"]
+    assert dispatch["num_shards"] == 4
+    assert dispatch["max_depth"] == 2
+    assert dispatch["replayed_prefix_gates"] > 0
+    paths = [s["shard_paths"] for s in pooled.metadata["shards"]]
+    assert len(paths) == 4
+
+
+def test_run_shard_deep_spec_is_self_contained(qft5):
+    noise = _noise()
+    plan = ManualPartitioner((2, 9)).plan(qft5, 18, noise)
+    shards = ShardPlanner(noise_model=noise, max_depth=2).plan_shards(
+        qft5, 18, 4, seed=7, plan=plan
+    )
+    result = run_shard(shards[2])
+    assert result.metadata["shard_index"] == 2
+    assert result.metadata["shard_depth"] == 1
+    assert sum(result.counts.values()) == shards[2].num_outcomes
+    assert result.metadata["shard_replayed_prefix_gates"] == \
+        shards[2].replayed_prefix_gates
+
+
+def test_engine_rejects_overlapping_assignments(qft5):
+    """Overlapping slices would silently double-count outcomes."""
+    plan = ManualPartitioner((4, 3)).plan(qft5, 12, None)
+    seeds = np.random.SeedSequence(3).spawn(4)
+    engine = TQSimEngine(seed=3)
+
+    def root_slice(start, count):
+        return SubtreeAssignment(
+            path=(), child_start=start, child_count=count, prefix_seeds=(),
+            child_seeds=tuple(seeds[start : start + count]),
+            counted_prefix_layers=(),
+        )
+
+    def deep_slice(j, start, count, counted=(False,)):
+        return SubtreeAssignment(
+            path=(j,), child_start=start, child_count=count,
+            prefix_seeds=(seeds[j],),
+            child_seeds=tuple(
+                child_seed(seeds[j], c) for c in range(start, start + count)
+            ),
+            counted_prefix_layers=counted,
+        )
+
+    # Same-depth range collision.
+    with pytest.raises(ValueError, match="overlap"):
+        engine.run(qft5, 12, plan=plan,
+                   assignments=[root_slice(0, 2), root_slice(1, 2)])
+    # Ancestry collision: subtree (1,) is already covered by the root slice.
+    with pytest.raises(ValueError, match="overlap"):
+        engine.run(qft5, 12, plan=plan,
+                   assignments=[root_slice(0, 2), deep_slice(1, 0, 2)])
+    # Disjoint mixed depths are fine and still merge exactly.
+    mixed = engine.run(
+        qft5, 12, plan=plan,
+        assignments=[root_slice(0, 2), deep_slice(2, 0, 3, (True,)),
+                     deep_slice(3, 0, 3, (True,))],
+    )
+    single = TQSimEngine(seed=3).run(
+        qft5, 12, plan=plan, subtree_seeds=list(seeds)
+    )
+    assert mixed.counts == single.counts
+    assert mixed.cost.matches(single.cost)
+
+
+def test_deep_prefix_replay_cached_within_a_shard(qft5):
+    """A shard whose assignments share an ancestor replays it once.
+
+    Split a (2, 3, 4) plan at depth 2 into 8 shards: shard ranges cross
+    layer-1 path boundaries, so one shard covers children of several nodes
+    under the same first-layer subtree — with per-run prefix caching the
+    shared layer-0 replay happens once, which `replayed_prefix_gates`
+    reflects, and the merged result stays bitwise the single run's.
+    """
+    noise = _noise()
+    plan = ManualPartitioner((2, 3, 4)).plan(qft5, 24, noise)
+    shards = ShardPlanner(noise_model=noise, max_depth=3).plan_shards(
+        qft5, 24, 8, seed=51, plan=plan
+    )
+    assert max(s.depth for s in shards) == 2
+    assert any(len(s.assignments) > 1 for s in shards)
+    lengths = plan.subcircuit_lengths
+    for shard in shards:
+        distinct_nodes = {
+            a.path[: layer + 1]
+            for a in shard.assignments
+            for layer in range(a.depth)
+        }
+        assert shard.replayed_prefix_gates == sum(
+            lengths[len(node) - 1] for node in distinct_nodes
+        )
+    single = TQSimEngine(noise, seed=51, backend="batched").run(
+        qft5, 24, plan=plan
+    )
+    deep = SerialDispatcher(noise, seed=51, num_shards=8, max_depth=3).run(
+        qft5, 24, plan=plan
+    )
+    assert deep.counts == single.counts
+    assert deep.cost.matches(single.cost)
+
+
+def test_engine_rejects_seeds_and_assignments_together(qft5):
+    plan = ManualPartitioner((4, 3)).plan(qft5, 12, None)
+    seeds = np.random.SeedSequence(0).spawn(4)
+    assignment = SubtreeAssignment(
+        path=(), child_start=0, child_count=4, prefix_seeds=(),
+        child_seeds=tuple(seeds), counted_prefix_layers=(),
+    )
+    engine = TQSimEngine(seed=0)
+    with pytest.raises(ValueError):
+        engine.run(qft5, 12, plan=plan, subtree_seeds=seeds,
+                   assignments=[assignment])
+    with pytest.raises(ValueError):
+        engine.run(qft5, 12, plan=plan, assignments=[])

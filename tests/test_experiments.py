@@ -140,6 +140,16 @@ def test_fig13_multinode():
     assert measured.serial_seconds > 0
     assert measured.points
     assert set(measured.speedups) == {p.num_workers for p in measured.points}
+    # The deep-sharding leg: a (2,64) plan starves first-layer sharding, so
+    # points beyond 2 workers must have descended (and still match serial).
+    deep = result.measured_deep
+    assert deep is not None
+    assert deep.counts_match_serial
+    assert deep.tree == "(2,64)"
+    for point in deep.points:
+        assert point.num_shards == point.num_workers
+        if point.num_workers > 2:
+            assert point.shard_depth == 1
 
 
 def test_fig17_tradeoff_structures():
