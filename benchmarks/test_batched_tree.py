@@ -67,8 +67,15 @@ def test_batched_tree_beats_sequential_tree(benchmark):
     assert batched.cost.state_copies == sequential.cost.state_copies
     assert batched.cost.leaf_samples == sequential.cost.leaf_samples
     assert batched.shots == sequential.shots
+    # Seeding contract v2: per-node path-keyed streams make the batched
+    # traversal bitwise identical to the sequential one, not just
+    # statistically equivalent.
+    assert batched.counts == sequential.counts
     if os.environ.get("CI"):
         pytest.skip(
             f"timing assertion skipped on CI (measured speedup {speedup:.2f}x)"
         )
-    assert speedup >= 1.5
+    # Path-keyed counter streams (vectorised block draws) plus the
+    # per-subcircuit noise pre-draw push the measured win well past the
+    # 1.5x floor the v5 seed shipped with; 5x+ is typical on one core.
+    assert speedup >= 3.5

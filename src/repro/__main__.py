@@ -1,6 +1,6 @@
 """Command-line entry point: ``python -m repro``.
 
-Two subcommands drive :mod:`repro.experiments.registry`:
+Three subcommands:
 
 * ``python -m repro list`` — every reproducible paper artefact with its
   claim.
@@ -9,7 +9,13 @@ Two subcommands drive :mod:`repro.experiments.registry`:
   of the result object.  ``--workers`` feeds the multiprocess dispatch legs
   of the experiments that measure real parallel execution (fig8 / fig13);
   ``--max-depth`` lets their shard planner split tree layers below the
-  first when the first-layer arity would starve the pool.
+  first when the first-layer arity would starve the pool.  ``--copy-cost``
+  pins the analytic state-copy cost, while ``--calibrated``
+  microbenchmarks the batched backend and uses the measured ratio instead.
+* ``python -m repro calibrate [--backend B] [--qubits N] [--cache PATH]``
+  — measure the per-primitive cost model (see
+  :mod:`repro.core.costmodel`) and print its table, optionally persisting
+  it to a JSON artifact for reuse and CI diffing.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ import argparse
 import dataclasses
 from typing import Any, Sequence
 
+from repro.core.costmodel import DEFAULT_CALIBRATION_QUBITS, get_cost_model
 from repro.experiments.common import DEFAULT_CONFIG
 from repro.experiments.registry import EXPERIMENTS, get_experiment
 
@@ -50,6 +57,30 @@ def build_parser() -> argparse.ArgumentParser:
                           "(1 = first layer only; deeper feeds more workers "
                           "than the first-layer arity at the cost of prefix "
                           "replays)")
+    run.add_argument("--copy-cost", type=float, default=None,
+                     help="state-copy cost in gate executions handed to the "
+                          "partitioners (default: harness value)")
+    run.add_argument("--calibrated", action="store_true",
+                     help="microbenchmark the batched backend and use the "
+                          "measured copy cost instead of the analytic value")
+
+    calibrate = commands.add_parser(
+        "calibrate",
+        help="microbenchmark the cost model for one backend and width",
+    )
+    calibrate.add_argument("--backend", default="batched",
+                           help="execution backend to calibrate "
+                                "(default: batched)")
+    calibrate.add_argument("--qubits", type=int,
+                           default=DEFAULT_CALIBRATION_QUBITS,
+                           help="circuit width to calibrate at")
+    calibrate.add_argument("--cache", default=None,
+                           help="JSON artifact to read/write calibrated "
+                                "models (created if missing)")
+    calibrate.add_argument("--refresh", action="store_true",
+                           help="re-measure even when a cached model exists")
+    calibrate.add_argument("--repeats", type=int, default=48,
+                           help="timed kernel calls per measurement burst")
     return parser
 
 
@@ -118,6 +149,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print("--max-depth must be >= 1")
             return 2
         extra["max_depth"] = args.max_depth
+    if args.copy_cost is not None and args.calibrated:
+        print("--copy-cost and --calibrated are mutually exclusive")
+        return 2
+    if args.copy_cost is not None:
+        if args.copy_cost < 0:
+            print("--copy-cost must be non-negative")
+            return 2
+        overrides["copy_cost_in_gates"] = args.copy_cost
+    if args.calibrated:
+        width = overrides.get("max_qubits", DEFAULT_CONFIG.max_qubits)
+        model = get_cost_model("batched", width)
+        overrides["copy_cost_in_gates"] = model.copy_cost_in_gates
+        extra["calibrated"] = True
+        print(
+            f"calibrated copy cost: {model.copy_cost_in_gates:.4g} gates "
+            f"(batched backend, {width} qubits)"
+        )
     if extra != DEFAULT_CONFIG.extra:
         overrides["extra"] = extra
     config = DEFAULT_CONFIG.scaled(**overrides)
@@ -131,11 +179,51 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    if args.qubits < 1:
+        print("--qubits must be >= 1")
+        return 2
+    if args.repeats < 1:
+        print("--repeats must be >= 1")
+        return 2
+    try:
+        model = get_cost_model(
+            args.backend,
+            args.qubits,
+            cache_path=args.cache,
+            refresh=args.refresh,
+            repeats=args.repeats,
+        )
+    except ValueError as error:
+        print(str(error))
+        return 2
+    print(f"== cost model: backend={model.backend} qubits={model.num_qubits} ==")
+    rows = [
+        ("gate_ns", model.gate_ns, "one 1q/2q kernel call, single state"),
+        ("copy_ns", model.copy_ns, "one statevector copy (the reuse price)"),
+        ("batch_overhead_ns", model.batch_overhead_ns,
+         "fixed cost per batched kernel call"),
+        ("batch_row_ns", model.batch_row_ns,
+         "incremental cost per batch row"),
+        ("sample_ns", model.sample_ns, "one leaf outcome draw"),
+    ]
+    width = max(len(name) for name, _, _ in rows)
+    for name, value, note in rows:
+        print(f"{name.ljust(width)}  {value:14,.1f}  {note}")
+    print(f"{'copy_cost_in_gates'.ljust(width)}  "
+          f"{model.copy_cost_in_gates:14.4f}  measured copies-per-gate ratio")
+    if args.cache is not None:
+        print(f"cached to {args.cache}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Run the CLI; returns the process exit code."""
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "calibrate":
+        return _cmd_calibrate(args)
     return _cmd_run(args)
 
 

@@ -7,8 +7,13 @@ in this package uses.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.costmodel import CostModel
 
 __all__ = [
+    "AdmissionDecision",
+    "admit_plan",
     "statevector_bytes",
     "density_matrix_bytes",
     "baseline_simulation_bytes",
@@ -124,6 +129,97 @@ def max_density_matrix_qubits(memory_bytes: float) -> int:
     while density_matrix_bytes(qubits + 1) <= memory_bytes:
         qubits += 1
     return qubits
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of admitting one partition plan under a memory budget.
+
+    ``max_batch`` is the admitted sibling-batch cap (1 means the batched
+    pool had to collapse to the sequential footprint), ``peak_bytes`` the
+    pool size at that cap.  When a calibrated
+    :class:`~repro.core.costmodel.CostModel` was supplied the two
+    ``predicted_*_seconds`` legs price both traversals at the admitted cap
+    and ``use_batched`` picks the faster one; without a model the decision
+    falls back to "batched whenever the cap allows more than one row".
+    """
+
+    fits_memory: bool
+    max_batch: int
+    peak_bytes: float
+    use_batched: bool
+    reason: str
+    predicted_batched_seconds: float | None = None
+    predicted_sequential_seconds: float | None = None
+
+    @property
+    def predicted_seconds(self) -> float | None:
+        """Predicted wall time of the admitted traversal (model runs only)."""
+        if self.predicted_batched_seconds is None:
+            return None
+        return (
+            self.predicted_batched_seconds
+            if self.use_batched
+            else self.predicted_sequential_seconds
+        )
+
+
+def admit_plan(
+    num_qubits: int,
+    arities: Sequence[int],
+    subcircuit_lengths: Sequence[int],
+    memory_bytes: float,
+    cost_model: CostModel | None = None,
+    max_batch: int = 64,
+) -> AdmissionDecision:
+    """Admit one plan under a memory budget and pick its traversal.
+
+    Memory first: the requested cap is lowered (via
+    :func:`max_batch_for_budget`) until the batched pool fits, bottoming
+    out at the sequential one-state-per-layer footprint.  Then, when a
+    calibrated cost model is available, both traversals are priced at the
+    admitted cap with :meth:`CostModel.plan_seconds` — so a plan whose
+    admitted cap is too small to amortise the batched-kernel overhead is
+    steered back to the sequential traversal by measurement, not by a
+    hard-coded threshold.
+    """
+    if max_batch < 1:
+        raise ValueError("max_batch must be >= 1")
+    if len(tuple(arities)) != len(tuple(subcircuit_lengths)):
+        raise ValueError("need one arity per subcircuit")
+    requested = min(max_batch, max(int(a) for a in arities))
+    peak = batched_tree_simulation_bytes(num_qubits, arities, requested)
+    if peak <= memory_bytes:
+        cap = requested
+        reason = "requested batch cap fits the budget"
+    else:
+        cap = max_batch_for_budget(num_qubits, arities, memory_bytes)
+        peak = batched_tree_simulation_bytes(num_qubits, arities, cap)
+        reason = (
+            "batch cap lowered to fit the budget"
+            if peak <= memory_bytes
+            else "even the sequential pool exceeds the budget"
+        )
+    fits = peak <= memory_bytes
+    use_batched = cap > 1
+    batched_seconds = sequential_seconds = None
+    if cost_model is not None:
+        batched_seconds = cost_model.plan_seconds(
+            arities, subcircuit_lengths, batched=True, max_batch=cap
+        )
+        sequential_seconds = cost_model.plan_seconds(
+            arities, subcircuit_lengths, batched=False
+        )
+        use_batched = cap > 1 and batched_seconds <= sequential_seconds
+    return AdmissionDecision(
+        fits_memory=fits,
+        max_batch=cap,
+        peak_bytes=peak,
+        use_batched=use_batched,
+        reason=reason,
+        predicted_batched_seconds=batched_seconds,
+        predicted_sequential_seconds=sequential_seconds,
+    )
 
 
 @dataclass(frozen=True)

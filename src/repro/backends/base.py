@@ -135,11 +135,13 @@ class Backend(ABC):
         """Apply noise events to a batch where row ``i`` draws from ``rngs[i]``.
 
         Per-row independent streams are what make sharded execution bitwise
-        reproducible: a trajectory's noise depends only on its own generator,
-        never on how trajectories were grouped into batches.  Row ``i``
-        consumes ``rngs[i]`` exactly as :meth:`apply_noise_events` would on a
-        single state.  The generic implementation loops rows; batch backends
-        override it to keep the operator application vectorised.
+        reproducible: a trajectory's noise depends only on its own stream —
+        a :class:`numpy.random.Generator` or a path-keyed
+        :class:`~repro.core.pathrng.PathStream` — never on how trajectories
+        were grouped into batches.  Row ``i`` consumes ``rngs[i]`` exactly
+        as :meth:`apply_noise_events` would on a single state.  The generic
+        implementation loops rows; batch backends override it to keep both
+        the operator application and the draws vectorised.
         """
         batched = state if state.ndim == 2 else state.reshape(1, -1)
         if batched.shape[0] != len(rngs):
@@ -202,6 +204,29 @@ class Backend(ABC):
         return index_to_bitstring(outcome, num_qubits)
 
     @staticmethod
+    def _readout_flips_from_uniforms(
+        outcomes: np.ndarray,
+        num_qubits: int,
+        readout_error: ReadoutError,
+        uniforms: np.ndarray,
+    ) -> np.ndarray:
+        """Flip each measured bit of each outcome given pre-drawn uniforms.
+
+        ``uniforms`` is ``(outcomes.size, num_qubits)``, row ``i`` holding
+        outcome ``i``'s per-bit draws in bit order.  Splitting the draw from
+        the flip lets batched callers supply one vectorised block of
+        uniforms for many per-row streams while remaining bitwise identical
+        to the per-outcome path.
+        """
+        positions = np.arange(num_qubits)
+        bits = (outcomes[:, None] >> positions[None, :]) & 1
+        flip_probability = np.where(
+            bits == 1, readout_error.p0_given_1, readout_error.p1_given_0
+        )
+        bits ^= uniforms < flip_probability
+        return bits @ (1 << positions)
+
+    @staticmethod
     def _apply_readout_flips(
         outcomes: np.ndarray,
         num_qubits: int,
@@ -214,13 +239,12 @@ class Backend(ABC):
         implementation behind both per-shot and batched sampling, consuming
         ``num_qubits`` uniforms per outcome in outcome order.
         """
-        positions = np.arange(num_qubits)
-        bits = (outcomes[:, None] >> positions[None, :]) & 1
-        flip_probability = np.where(
-            bits == 1, readout_error.p0_given_1, readout_error.p1_given_0
+        return Backend._readout_flips_from_uniforms(
+            outcomes,
+            num_qubits,
+            readout_error,
+            rng.random((outcomes.size, num_qubits)),
         )
-        bits ^= rng.random((outcomes.size, num_qubits)) < flip_probability
-        return bits @ (1 << positions)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name!r}>"

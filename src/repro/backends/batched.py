@@ -21,6 +21,14 @@ because their branch probabilities depend on the state.  Measurement is one
 batched inverse-CDF pass over row-wise cumulative probabilities (a single
 uniform draw call and one vectorised comparison sum for the whole batch),
 with readout flips vectorised across the whole batch.
+
+The per-row multi-stream paths (``apply_noise_events_multi`` /
+``sample_outcomes_multi``) keep the same shape when the rows' streams are
+path-keyed counter streams (:class:`~repro.core.pathrng.PathStream`): the
+next uniform of every row is a pure function of ``(key, counter)``, so one
+:func:`~repro.core.pathrng.draw_block` call produces the whole batch's draws
+— bitwise identical to the per-row scalar draws the sequential traversal
+performs — and no per-row Python loop survives on the hot path.
 """
 
 from __future__ import annotations
@@ -152,7 +160,10 @@ class BatchedNumpyBackend(OptimizedNumpyBackend):
         """Apply each sampled mixture branch to the rows that drew it."""
         channel = event.channel
         batch = batched.shape[0]
-        for branch in np.unique(indices):
+        # sorted(set(...)) beats np.unique at the tiny batch sizes the tree
+        # traversal produces (<= max_batch rows) and keeps branch order
+        # deterministic.
+        for branch in sorted(set(indices.tolist())):
             if branch == 0 and channel.mixture_identity_first:
                 continue
             unitary = channel.mixture_unitary(int(branch))
@@ -167,31 +178,66 @@ class BatchedNumpyBackend(OptimizedNumpyBackend):
     def apply_noise_events_multi(self, state, events, rngs):
         """Apply noise events with row ``i`` sampling from ``rngs[i]``.
 
-        The branch *draws* are scalar (one inverse-CDF lookup per row from
-        that row's own generator, consuming it exactly like the sequential
-        path), while the branch *application* stays group-wise vectorised.
-        Per-row streams make the result independent of how trajectories were
-        chunked into batches, which is what sharded dispatch relies on.
+        With path-keyed counter streams (the engine's traversals), each
+        mixed-unitary event takes *one* vectorised draw for the whole batch
+        — every row's next uniform is a pure function of its ``(key,
+        counter)`` pair, bitwise identical to the scalar draw the sequential
+        path performs — and the branch *application* stays group-wise
+        vectorised.  Generic per-row generators fall back to scalar draws.
+        General Kraus channels keep the per-row loop either way (their
+        branch probabilities depend on the state), each row consuming one
+        uniform from its own stream.  Per-row streams make the result
+        independent of how trajectories were chunked into batches, which is
+        what sharded dispatch relies on.
         """
         batched = state if state.ndim == 2 else state.reshape(1, -1)
         if batched.shape[0] != len(rngs):
             raise ValueError("need exactly one generator per batch row")
+        from repro.core.pathrng import all_path_streams, draw_block
         from repro.noise.trajectory import sample_channel_on_state
 
+        block_draws = all_path_streams(rngs)
         for event in events:
             channel = event.channel
             if channel.is_mixed_unitary:
-                indices = np.fromiter(
-                    (channel.sample_mixture_index(rng) for rng in rngs),
-                    dtype=np.int64,
-                    count=len(rngs),
-                )
+                if block_draws:
+                    uniforms = draw_block(rngs, 1)[:, 0]
+                    indices = channel.mixture_indices_from_uniforms(uniforms)
+                else:
+                    indices = np.fromiter(
+                        (channel.sample_mixture_index(rng) for rng in rngs),
+                        dtype=np.int64,
+                        count=len(rngs),
+                    )
                 self._apply_sampled_branches(batched, event, indices)
             else:
                 for i, row_rng in enumerate(rngs):
                     batched[i], _ = sample_channel_on_state(
                         batched[i], channel, event.qubits, row_rng
                     )
+        return state
+
+    def apply_noise_events_uniforms(self, state, events, uniforms):
+        """Apply mixed-unitary events from pre-drawn per-row uniforms.
+
+        ``uniforms`` is a ``(B, len(events))`` block whose column ``j``
+        holds each row's branch-selection uniform for ``events[j]`` — the
+        engine pre-draws a whole subcircuit's noise uniforms in one
+        :func:`~repro.core.pathrng.draw_block` call (valid because every
+        mixed-unitary event consumes exactly one uniform per row, keeping
+        the row counters in lockstep).  Branch application is identical to
+        :meth:`apply_noise_events_multi`; callers must only pass events
+        whose channels are mixed-unitary.
+        """
+        batched = state if state.ndim == 2 else state.reshape(1, -1)
+        if uniforms.shape != (batched.shape[0], len(events)):
+            raise ValueError("uniforms must be one column per event, "
+                             "one row per trajectory")
+        for j, event in enumerate(events):
+            indices = event.channel.mixture_indices_from_uniforms(
+                uniforms[:, j]
+            )
+            self._apply_sampled_branches(batched, event, indices)
         return state
 
     # ------------------------------------------------------------------
@@ -241,18 +287,26 @@ class BatchedNumpyBackend(OptimizedNumpyBackend):
     ) -> list[str]:
         """Sample one outcome per row, row ``i`` drawing from ``rngs[i]``.
 
-        The uniforms are scalar per-row draws (so each row consumes its own
-        stream exactly like :meth:`sample_outcome` on a single state — one
-        outcome uniform, then that row's readout flips) while the row-wise
-        cumulative probabilities and the inverse-CDF comparison, the costly
-        part, stay vectorised across the batch.
+        Each row consumes its own stream exactly like :meth:`sample_outcome`
+        on a single state — one outcome uniform, then that row's
+        ``num_qubits`` readout-flip uniforms.  With path-keyed counter
+        streams both draws are single vectorised blocks across the batch
+        (bitwise identical to the per-row scalar draws); generic generators
+        fall back to the scalar per-row path.  The row-wise cumulative
+        probabilities and the inverse-CDF comparison stay vectorised either
+        way.
         """
         batched = state if state.ndim == 2 else state.reshape(1, -1)
         if batched.shape[0] != len(rngs):
             raise ValueError("need exactly one generator per batch row")
-        draws = np.fromiter(
-            (rng.random() for rng in rngs), dtype=float, count=len(rngs)
-        )
+        from repro.core.pathrng import all_path_streams, draw_block
+
+        if all_path_streams(rngs):
+            draws = draw_block(rngs, 1)[:, 0]
+        else:
+            draws = np.fromiter(
+                (rng.random() for rng in rngs), dtype=float, count=len(rngs)
+            )
         return self._outcomes_from_draws(batched, draws, readout_error, rngs)
 
     def _outcomes_from_draws(
@@ -279,9 +333,18 @@ class BatchedNumpyBackend(OptimizedNumpyBackend):
         positions = np.sum(cumulative <= scaled[:, None], axis=1)
         outcomes = np.minimum(positions, dim - 1).astype(np.int64)
         if readout_error is not None:
+            from repro.core.pathrng import all_path_streams, draw_block
+
             if isinstance(rng_or_rngs, np.random.Generator):
                 outcomes = self._apply_readout_flips(
                     outcomes, num_qubits, readout_error, rng_or_rngs
+                )
+            elif all_path_streams(rng_or_rngs):
+                # One block draw yields every row's flip uniforms at once,
+                # row i consuming counters exactly like its scalar path.
+                outcomes = self._readout_flips_from_uniforms(
+                    outcomes, num_qubits, readout_error,
+                    draw_block(rng_or_rngs, num_qubits),
                 )
             else:
                 for i, row_rng in enumerate(rng_or_rngs):

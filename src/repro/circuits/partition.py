@@ -16,6 +16,7 @@ __all__ = [
     "split_equal_gates",
     "split_by_lengths",
     "boundaries_for_equal_parts",
+    "candidate_part_counts",
 ]
 
 
@@ -43,6 +44,30 @@ def boundaries_for_equal_parts(num_gates: int, parts: int) -> list[int]:
 def split_equal_gates(circuit: Circuit, parts: int) -> list[Circuit]:
     """Split ``circuit`` into ``parts`` consecutive, near-equal subcircuits."""
     return circuit.split(boundaries_for_equal_parts(circuit.num_gates, parts))
+
+
+def candidate_part_counts(
+    num_gates: int,
+    min_part_gates: int = 1,
+    max_parts: int | None = None,
+) -> list[int]:
+    """Feasible part counts for a near-equal split of ``num_gates`` gates.
+
+    A count ``k`` is feasible when every one of the ``k`` pieces still holds
+    at least ``min_part_gates`` gates (callers pass the copy cost here, so a
+    reuse layer is never shorter than the copy it amortises).  This is the
+    candidate axis the calibrated DCP search sweeps.
+    """
+    if num_gates < 1:
+        raise ValueError("num_gates must be >= 1")
+    if min_part_gates < 1:
+        raise ValueError("min_part_gates must be >= 1")
+    limit = max(1, num_gates // min_part_gates)
+    if max_parts is not None:
+        if max_parts < 1:
+            raise ValueError("max_parts must be >= 1")
+        limit = min(limit, max_parts)
+    return list(range(1, limit + 1))
 
 
 def split_by_lengths(circuit: Circuit, lengths: Sequence[int]) -> list[Circuit]:

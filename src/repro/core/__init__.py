@@ -26,7 +26,8 @@ from repro.core.copycost import (
     CopyCostProfile,
     measure_copy_cost,
 )
-from repro.core.engine import SubtreeAssignment, TQSimEngine, child_seed
+from repro.core.costmodel import CostModel, calibrate_cost_model, get_cost_model
+from repro.core.engine import SubtreeAssignment, TQSimEngine
 from repro.core.partitioners import (
     CircuitPartitioner,
     DynamicCircuitPartitioner,
@@ -41,6 +42,13 @@ from repro.core.results import (
     SimulationResult,
     merge_many,
     merge_results,
+)
+from repro.core.pathrng import (
+    PathStream,
+    child_key,
+    child_keys,
+    root_key_from_seed,
+    run_root_key,
 )
 from repro.core.sampling_theory import (
     DEFAULT_CONFIDENCE_Z,
@@ -69,7 +77,14 @@ __all__ = [
     "BatchedTrajectorySimulator",
     "TQSimEngine",
     "SubtreeAssignment",
-    "child_seed",
+    "PathStream",
+    "child_key",
+    "child_keys",
+    "root_key_from_seed",
+    "run_root_key",
+    "CostModel",
+    "calibrate_cost_model",
+    "get_cost_model",
     "Backend",
     "BatchedNumpyBackend",
     "NumpyBackend",

@@ -29,22 +29,27 @@ Both traversals produce identical cost counters (``gate_applications``,
 advancing ``B`` rows counts as ``B`` applications, and a broadcast into ``B``
 rows counts as ``B`` reuse copies.
 
-Seeding
--------
+Seeding (contract v2)
+---------------------
 Every tree node owns an independent random stream addressed by its *path*
-``(j, c1, c2, ...)`` — the child indices walked from the root.  First-layer
-node ``j`` is seeded by the ``j``-th child spawned from the engine's root
-:class:`numpy.random.SeedSequence`; every deeper node's sequence is derived
-*statelessly* from its parent's via :func:`child_seed` (the functional
-equivalent of ``SeedSequence.spawn``).  A node's stream covers exactly its
-own draws: trajectory noise while applying its subcircuit, and — at leaves —
-the outcome draw plus readout flips.
+``(j, c1, c2, ...)`` — the child indices walked from the root.  A node's
+stream is a :class:`~repro.core.pathrng.PathStream`: a 64-bit *path key*
+plus a draw counter, where the key of first-layer node ``j`` is
+``child_key(run_key, j)`` and every deeper node's key derives *statelessly*
+from its parent's via :func:`~repro.core.pathrng.child_key`.  The run key
+itself is ``child_key(root_key_from_seed(seed), run_index)``, so consecutive
+``run`` calls on one engine still produce fresh, independent ensembles.  A
+node's stream covers exactly its own draws: trajectory noise while applying
+its subcircuit, and — at leaves — the outcome draw plus readout flips.
 
 Two properties follow, and they are the engine's signature guarantees:
 
 * **Traversal independence.**  The sequential and the batched traversal
-  consume each node's stream identically (the batched kernels draw per-row
-  scalars from per-row streams), so counts and counters are *bitwise
+  consume each node's stream identically — and because the ``t``-th uniform
+  of a stream is a pure function of ``(key, t)``, the batched kernels
+  generate all per-row uniforms in one vectorised block
+  (:func:`~repro.core.pathrng.draw_block`) that is bitwise identical to the
+  sequential per-row draws.  Counts and counters are therefore *bitwise
   identical* across traversals, backends and chunk sizes — with or without
   noise.
 * **Sharding at any depth.**  A run over any set of disjoint subtrees — a
@@ -72,13 +77,21 @@ from repro.core.partitioners import (
     DynamicCircuitPartitioner,
     PartitionPlan,
 )
+from repro.core.pathrng import (
+    PathStream,
+    all_path_streams,
+    child_key,
+    child_keys,
+    draw_block,
+    root_key_from_seed,
+    run_root_key,
+)
 from repro.core.results import CostCounters, SimulationResult
 from repro.noise.model import NoiseModel
 
 __all__ = [
     "TQSimEngine",
     "SubtreeAssignment",
-    "child_seed",
     "DEFAULT_MAX_TREE_BATCH",
 ]
 
@@ -86,25 +99,6 @@ __all__ = [
 #: pooled buffer holds ``min(A_i, max_batch)`` statevectors, so this bounds
 #: peak memory at ``num_layers * max_batch`` states regardless of arity.
 DEFAULT_MAX_TREE_BATCH = 64
-
-
-def child_seed(
-    parent: np.random.SeedSequence, index: int
-) -> np.random.SeedSequence:
-    """The ``index``-th child of ``parent``, derived without mutating it.
-
-    ``SeedSequence.spawn`` appends the child's position to the parent's
-    ``spawn_key`` and bumps a stateful counter; this helper performs the same
-    construction functionally, so any process can re-derive the stream of the
-    tree node at path ``(j, c1, ..., cd)`` from the root's ``j``-th spawned
-    child alone.  That stateless chain is what lets a worker reproduce an
-    arbitrary subtree of a run bitwise (see :mod:`repro.dispatch`).
-    """
-    return np.random.SeedSequence(
-        entropy=parent.entropy,
-        spawn_key=(*parent.spawn_key, int(index)),
-        pool_size=parent.pool_size,
-    )
 
 
 @dataclass(frozen=True)
@@ -119,15 +113,16 @@ class SubtreeAssignment:
 
     Attributes
     ----------
-    prefix_seeds:
-        The seed sequence of every node along ``path`` (``prefix_seeds[i]``
+    prefix_keys:
+        The 64-bit path key of every node along ``path`` (``prefix_keys[i]``
         belongs to node ``path[:i+1]``).  The worker replays the prefix
         subcircuits through these streams to rebuild the node's intermediate
         state bitwise before descending.
-    child_seeds:
-        One seed sequence per covered child, in child order.  For a
-        non-empty path these are ``child_seed(prefix_seeds[-1], c)``; for
-        the root path they are the root's spawned first-layer streams.
+    child_keys:
+        One path key per covered child, in child order.  For a non-empty
+        path these are ``child_key(prefix_keys[-1], c)``; for the root path
+        they are the run key's first-layer children.  Plain ints, so specs
+        pickle across process boundaries with no generator state attached.
     counted_prefix_layers:
         ``counted_prefix_layers[i]`` is True when *this* assignment accounts
         the prefix node ``path[:i+1]``'s work in the cost counters.  Shards
@@ -139,8 +134,8 @@ class SubtreeAssignment:
     path: tuple[int, ...]
     child_start: int
     child_count: int
-    prefix_seeds: tuple[np.random.SeedSequence, ...]
-    child_seeds: tuple[np.random.SeedSequence, ...]
+    prefix_keys: tuple[int, ...]
+    child_keys: tuple[int, ...]
     counted_prefix_layers: tuple[bool, ...]
 
     def __post_init__(self) -> None:
@@ -148,15 +143,15 @@ class SubtreeAssignment:
             raise ValueError("an assignment must cover at least one child")
         if self.child_start < 0:
             raise ValueError("child_start must be >= 0")
-        if len(self.prefix_seeds) != len(self.path):
+        if len(self.prefix_keys) != len(self.path):
             raise ValueError(
-                f"need one prefix seed per path layer ({len(self.path)}), "
-                f"got {len(self.prefix_seeds)}"
+                f"need one prefix key per path layer ({len(self.path)}), "
+                f"got {len(self.prefix_keys)}"
             )
-        if len(self.child_seeds) != self.child_count:
+        if len(self.child_keys) != self.child_count:
             raise ValueError(
-                f"need one seed per covered child ({self.child_count}), "
-                f"got {len(self.child_seeds)}"
+                f"need one key per covered child ({self.child_count}), "
+                f"got {len(self.child_keys)}"
             )
         if len(self.counted_prefix_layers) != len(self.path):
             raise ValueError(
@@ -236,14 +231,16 @@ class TQSimEngine:
         Parameters
         ----------
         seed:
-            Root seed.  Every run spawns one child
-            :class:`~numpy.random.SeedSequence` per first-layer subtree from
-            it (deeper nodes derive theirs statelessly via
-            :func:`child_seed`), so a fixed seed pins the whole trajectory
-            ensemble while every tree node still draws from an independent
-            stream.  An explicit ``SeedSequence`` may be passed (shared-root
-            dispatch); spawning is stateful, so consecutive ``run`` calls on
-            one engine produce fresh, independent ensembles.
+            Root seed, folded into a 64-bit root key
+            (:func:`~repro.core.pathrng.root_key_from_seed`).  Each ``run``
+            call derives a fresh run key from the root key and a per-engine
+            run counter, and every tree node's stream key follows
+            statelessly from the run key via
+            :func:`~repro.core.pathrng.child_key` — so a fixed seed pins
+            the whole trajectory ensemble while consecutive ``run`` calls
+            still produce fresh, independent ensembles.  An explicit
+            ``SeedSequence`` may be passed (shared-root dispatch); it is
+            folded without being mutated.
         batch_size:
             Sibling-chunk size of the batched traversal.  ``None`` (default)
             lets every chunk grow to ``max_batch``; an explicit value caps
@@ -275,10 +272,8 @@ class TQSimEngine:
                 )
         self.batch_size = None if batch_size is None else int(batch_size)
         self.max_batch = int(max_batch)
-        if isinstance(seed, np.random.SeedSequence):
-            self._seed_sequence = seed
-        else:
-            self._seed_sequence = np.random.SeedSequence(seed)
+        self._root_key = root_key_from_seed(seed)
+        self._runs_started = 0
 
     # ------------------------------------------------------------------
     @property
@@ -295,7 +290,7 @@ class TQSimEngine:
         shots: int,
         partitioner: CircuitPartitioner | None = None,
         plan: PartitionPlan | None = None,
-        subtree_seeds: Sequence[np.random.SeedSequence] | None = None,
+        subtree_keys: Sequence[int] | None = None,
         assignments: Sequence[SubtreeAssignment] | None = None,
     ) -> SimulationResult:
         """Simulate ``circuit`` with computation reuse.
@@ -311,9 +306,9 @@ class TQSimEngine:
             this engine's state-copy cost.
         plan:
             A pre-built plan (overrides ``partitioner``).
-        subtree_seeds:
-            One :class:`~numpy.random.SeedSequence` per first-layer subtree
-            of the plan, overriding the engine's own spawning (the classic
+        subtree_keys:
+            One 64-bit path key per first-layer subtree of the plan,
+            overriding the engine's own key derivation (the classic
             first-layer dispatch hook; shorthand for one root-path
             assignment covering the full first layer).
         assignments:
@@ -323,7 +318,7 @@ class TQSimEngine:
             prefix streams (accounted only where the assignment owns the
             prefix node), then traverses exactly the covered children —
             reproducing bitwise the outcomes the full run produces for those
-            subtrees.  Mutually exclusive with ``subtree_seeds``.
+            subtrees.  Mutually exclusive with ``subtree_keys``.
 
         Returns
         -------
@@ -335,9 +330,9 @@ class TQSimEngine:
         """
         if shots < 1:
             raise ValueError("shots must be >= 1")
-        if assignments is not None and subtree_seeds is not None:
+        if assignments is not None and subtree_keys is not None:
             raise ValueError(
-                "pass either subtree_seeds or assignments, not both"
+                "pass either subtree_keys or assignments, not both"
             )
         if plan is None:
             if partitioner is None:
@@ -352,20 +347,26 @@ class TQSimEngine:
             )
         arities = plan.tree.arities
         if assignments is None:
-            if subtree_seeds is None:
-                subtree_seeds = self._seed_sequence.spawn(arities[0])
-            elif len(subtree_seeds) != arities[0]:
+            if subtree_keys is None:
+                # Advancing the run index is what keeps repeated run() calls
+                # statistically independent under one fixed seed.
+                run_key = child_key(self._root_key, self._runs_started)
+                self._runs_started += 1
+                subtree_keys = [
+                    int(k) for k in child_keys(run_key, 0, arities[0])
+                ]
+            elif len(subtree_keys) != arities[0]:
                 raise ValueError(
-                    f"need one subtree seed per first-layer subtree "
-                    f"({arities[0]}), got {len(subtree_seeds)}"
+                    f"need one subtree key per first-layer subtree "
+                    f"({arities[0]}), got {len(subtree_keys)}"
                 )
             assignments = [
                 SubtreeAssignment(
                     path=(),
                     child_start=0,
                     child_count=arities[0],
-                    prefix_seeds=(),
-                    child_seeds=tuple(subtree_seeds),
+                    prefix_keys=(),
+                    child_keys=tuple(int(k) for k in subtree_keys),
                     counted_prefix_layers=(),
                 )
             ]
@@ -405,12 +406,12 @@ class TQSimEngine:
             )
             if batched:
                 self._run_tree_batched(
-                    circuit, plan, counts, cost, assignment.child_seeds,
+                    circuit, plan, counts, cost, assignment.child_keys,
                     start_layer=assignment.depth, parent_state=prefix_state,
                 )
             else:
                 self._run_tree(
-                    circuit, plan, counts, cost, assignment.child_seeds,
+                    circuit, plan, counts, cost, assignment.child_keys,
                     start_layer=assignment.depth, parent_state=prefix_state,
                 )
         cost.wall_time_seconds = time.perf_counter() - start
@@ -423,7 +424,7 @@ class TQSimEngine:
             "tree": str(plan.tree),
             "subcircuit_lengths": plan.subcircuit_lengths,
             "requested_shots": shots,
-            "seeding": "per-node-path",
+            "seeding": "path-keyed-counter-v2",
             "theoretical_speedup": plan.theoretical_speedup(
                 self.copy_cost_in_gates
             ),
@@ -499,11 +500,11 @@ class TQSimEngine:
                 # resume from it.
                 else backend.copy_state(state)
             )
-            rng = np.random.default_rng(assignment.prefix_seeds[layer])
+            stream = PathStream(assignment.prefix_keys[layer])
             # The multi-stream path with a single row consumes the stream
             # exactly as both traversals do, on every backend family.
             state = self._apply_subcircuit(
-                work, plan.subcircuits[layer], tally, None, row_rngs=[rng]
+                work, plan.subcircuits[layer], tally, None, row_rngs=[stream]
             )
             cache[assignment.path[: layer + 1]] = state
         return state
@@ -531,19 +532,19 @@ class TQSimEngine:
         plan: PartitionPlan,
         counts: dict[str, int],
         cost: CostCounters,
-        child_seeds: Sequence[np.random.SeedSequence],
+        entry_keys: Sequence[int],
         start_layer: int = 0,
         parent_state: np.ndarray | None = None,
     ) -> None:
         """Iterative depth-first traversal over the pooled state buffers.
 
-        Runs the ``len(child_seeds)`` subtrees rooted at ``start_layer``
-        (the whole tree when ``start_layer`` is 0), each seeded by its own
-        sequence; deeper nodes derive theirs from the parent's via
-        :func:`child_seed`.  ``pool[i]`` holds the intermediate state
-        produced by the node of layer ``i`` currently on the traversal path;
-        ``progress[i]`` counts how many of that node's parent's children
-        have already executed.
+        Runs the ``len(entry_keys)`` subtrees rooted at ``start_layer``
+        (the whole tree when ``start_layer`` is 0), each keyed by its own
+        path key; deeper nodes derive theirs from the parent's via
+        :func:`~repro.core.pathrng.child_key`.  ``pool[i]`` holds the
+        intermediate state produced by the node of layer ``i`` currently on
+        the traversal path; ``progress[i]`` counts how many of that node's
+        parent's children have already executed.
         """
         backend = self.backend
         arities = plan.tree.arities
@@ -555,10 +556,10 @@ class TQSimEngine:
             for layer in range(start_layer, num_layers)
         }
         progress = [0] * num_layers
-        seqs: list[np.random.SeedSequence | None] = [None] * num_layers
+        keys: list[int] = [0] * num_layers
 
         def arity_at(layer: int) -> int:
-            return len(child_seeds) if layer == start_layer else arities[layer]
+            return len(entry_keys) if layer == start_layer else arities[layer]
 
         layer = start_layer
         while layer >= start_layer:
@@ -570,7 +571,7 @@ class TQSimEngine:
             index = progress[layer]
             progress[layer] += 1
             if layer == start_layer:
-                seq = child_seeds[index]
+                key = entry_keys[index]
                 if parent_state is None:
                     # First-layer nodes start from |0...0> just like the
                     # baseline; resetting the buffer is not a reuse copy.
@@ -579,11 +580,11 @@ class TQSimEngine:
                     state = backend.copy_into(pool[layer], parent_state)
                     cost.state_copies += 1
             else:
-                seq = child_seed(seqs[layer - 1], index)
+                key = child_key(keys[layer - 1], index)
                 state = backend.copy_into(pool[layer], pool[layer - 1])
                 cost.state_copies += 1
-            seqs[layer] = seq
-            rng = np.random.default_rng(seq)
+            keys[layer] = key
+            rng = PathStream(key)
             state = self._apply_subcircuit(state, subcircuits[layer], cost, rng)
             # Rebind in case the backend works out of place; in-place
             # backends return the pooled buffer itself.
@@ -600,9 +601,9 @@ class TQSimEngine:
         state: np.ndarray,
         subcircuit: Circuit,
         cost: CostCounters,
-        rng: np.random.Generator | None,
+        rng: PathStream | np.random.Generator | None,
         weight: int = 1,
-        row_rngs: Sequence[np.random.Generator] | None = None,
+        row_rngs: Sequence[PathStream] | None = None,
     ) -> np.ndarray:
         """Apply one subcircuit with freshly sampled trajectory noise.
 
@@ -613,8 +614,44 @@ class TQSimEngine:
         identically.  Noise draws come from ``rng``, or — when ``row_rngs``
         is given (batched chunks, whose rows are distinct tree nodes) —
         from each row's own stream.
+
+        When every noise event of the subcircuit is mixed-unitary and the
+        rows carry path-keyed counter streams, all of the chunk's noise
+        uniforms are pre-drawn in *one* block: each event consumes exactly
+        one uniform per row, so the counters advance in lockstep and column
+        ``j`` of the block is bitwise identical to the ``j``-th per-event
+        draw the generic path performs.  That turns ~one ``draw_block`` call
+        per gate into one per subcircuit application.
         """
         backend = self.backend
+        if row_rngs is not None and self.noise_model is not None:
+            apply_uniforms = getattr(backend, "apply_noise_events_uniforms",
+                                     None)
+            if apply_uniforms is not None and all_path_streams(row_rngs):
+                gate_events = [
+                    self.noise_model.events_for_gate(gate)
+                    for gate in subcircuit
+                ]
+                total = sum(len(events) for events in gate_events)
+                if total and all(
+                    event.channel.is_mixed_unitary
+                    for events in gate_events
+                    for event in events
+                ):
+                    uniforms = draw_block(row_rngs, total)
+                    column = 0
+                    for gate, events in zip(subcircuit, gate_events):
+                        state = backend.apply_gate(state, gate)
+                        cost.gate_applications += weight
+                        if events:
+                            width = len(events)
+                            state = apply_uniforms(
+                                state, events,
+                                uniforms[:, column : column + width],
+                            )
+                            column += width
+                            cost.noise_applications += width * weight
+                    return state
         for gate in subcircuit:
             state = backend.apply_gate(state, gate)
             cost.gate_applications += weight
@@ -639,13 +676,13 @@ class TQSimEngine:
         plan: PartitionPlan,
         counts: dict[str, int],
         cost: CostCounters,
-        child_seeds: Sequence[np.random.SeedSequence],
+        entry_keys: Sequence[int],
         start_layer: int = 0,
         parent_state: np.ndarray | None = None,
     ) -> None:
         """Depth-first traversal over chunks of sibling subtrees.
 
-        Runs the ``len(child_seeds)`` subtrees rooted at ``start_layer``
+        Runs the ``len(entry_keys)`` subtrees rooted at ``start_layer``
         (the whole tree when ``start_layer`` is 0).  ``pool[i]`` is a
         ``(min(A_i, cap), 2**n)`` buffer whose live rows are the layer-``i``
         siblings of the current chunk.  Per layer, ``pending`` counts
@@ -659,13 +696,14 @@ class TQSimEngine:
         buffer.
 
         Random streams: every row of a chunk is its own tree node with its
-        own seed sequence (``child_seeds`` at the entry layer, the
-        :func:`child_seed` chain below), so noise and outcome draws always
-        take the per-row multi-stream backend paths while the operator
-        application stays vectorised.  Draws therefore depend only on a
-        node's path — never on the chunk cap, the arity of sibling layers,
-        or how nodes were grouped into batches — which is what makes both
-        the chunking and any sharding of the tree bitwise reproducible.
+        own :class:`~repro.core.pathrng.PathStream` (``entry_keys`` at the
+        entry layer, the vectorised :func:`~repro.core.pathrng.child_keys`
+        chain below), so the per-row multi-stream backend paths draw all
+        rows' uniforms in one block while the operator application stays
+        vectorised.  Draws therefore depend only on a node's path — never on
+        the chunk cap, the arity of sibling layers, or how nodes were
+        grouped into batches — which is what makes both the chunking and any
+        sharding of the tree bitwise reproducible.
         """
         backend = self.backend
         arities = plan.tree.arities
@@ -675,7 +713,7 @@ class TQSimEngine:
         cap = self.chunk_cap
 
         def arity_at(layer: int) -> int:
-            return len(child_seeds) if layer == start_layer else arities[layer]
+            return len(entry_keys) if layer == start_layer else arities[layer]
 
         pool: dict[int, np.ndarray] = {
             layer: backend.allocate_batch(
@@ -690,21 +728,19 @@ class TQSimEngine:
         loaded = [0] * num_layers
         expanded = [0] * num_layers
         parent: list[np.ndarray | None] = [None] * num_layers
-        parent_seq: list[np.random.SeedSequence | None] = [None] * num_layers
-        chunk_seqs: list[list[np.random.SeedSequence]] = [
-            [] for _ in range(num_layers)
-        ]
-        pending[start_layer] = len(child_seeds)
+        parent_key: list[int] = [0] * num_layers
+        chunk_keys: list[list[int]] = [[] for _ in range(num_layers)]
+        pending[start_layer] = len(entry_keys)
         layer = start_layer
         while layer >= start_layer:
             if expanded[layer] < loaded[layer]:
                 # Descend into the next unexpanded row of the live chunk.
                 row = pool[layer][expanded[layer]]
-                row_seq = chunk_seqs[layer][expanded[layer]]
+                row_key = chunk_keys[layer][expanded[layer]]
                 expanded[layer] += 1
                 layer += 1
                 parent[layer] = row
-                parent_seq[layer] = row_seq
+                parent_key[layer] = row_key
                 pending[layer] = arities[layer]
                 cursor[layer] = 0
                 loaded[layer] = 0
@@ -718,7 +754,7 @@ class TQSimEngine:
             batch = pool[layer][:chunk]
             base = cursor[layer]
             if layer == start_layer:
-                seq_slice = list(child_seeds[base : base + chunk])
+                key_slice = [int(k) for k in entry_keys[base : base + chunk]]
                 if parent_state is None:
                     # Root-path chunks start from |0...0> like the baseline;
                     # resets are not reuse copies.
@@ -727,13 +763,13 @@ class TQSimEngine:
                     backend.broadcast_into(batch, parent_state)
                     cost.state_copies += chunk
             else:
-                seq_slice = [
-                    child_seed(parent_seq[layer], base + i)
-                    for i in range(chunk)
+                # One vectorised hash derives the whole chunk's node keys.
+                key_slice = [
+                    int(k) for k in child_keys(parent_key[layer], base, chunk)
                 ]
                 backend.broadcast_into(batch, parent[layer])
                 cost.state_copies += chunk
-            row_rngs = [np.random.default_rng(seq) for seq in seq_slice]
+            row_rngs = [PathStream(key) for key in key_slice]
             state = self._apply_subcircuit(
                 batch, subcircuits[layer], cost, None,
                 weight=chunk, row_rngs=row_rngs,
@@ -753,6 +789,6 @@ class TQSimEngine:
                     counts[bitstring] = counts.get(bitstring, 0) + 1
                 cost.leaf_samples += chunk
             else:
-                chunk_seqs[layer] = seq_slice
+                chunk_keys[layer] = key_slice
                 loaded[layer] = chunk
                 expanded[layer] = 0

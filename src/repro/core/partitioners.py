@@ -13,8 +13,13 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.circuits.circuit import Circuit
-from repro.circuits.partition import split_by_lengths, split_equal_gates
+from repro.circuits.partition import (
+    candidate_part_counts,
+    split_by_lengths,
+    split_equal_gates,
+)
 from repro.core.copycost import DEFAULT_COPY_COST_IN_GATES
+from repro.core.costmodel import CostModel
 from repro.core.sampling_theory import (
     DEFAULT_CONFIDENCE_Z,
     DEFAULT_MARGIN_OF_ERROR,
@@ -223,24 +228,49 @@ class DynamicCircuitPartitioner(CircuitPartitioner):
        ``k`` is the largest value keeping ``A_r >= 2`` and keeping every piece
        at least one state-copy-cost long.  Arities are then bumped one by one
        until the tree produces at least ``N`` outcomes.
+
+    Calibrated search
+    -----------------
+    With a :class:`~repro.core.costmodel.CostModel` the partitioner stops
+    trusting the single analytic ``k``: it sweeps every feasible remaining
+    subcircuit count (see
+    :func:`repro.circuits.partition.candidate_part_counts`), prices each
+    candidate tree with :meth:`CostModel.plan_seconds` — which knows about
+    batched-kernel amortisation and chunking, not just gate counts — and
+    returns the plan with the lowest predicted wall time.  The analytic plan
+    is always among the candidates, so calibration can only match or beat
+    it under the model.  ``copy_cost_in_gates`` left at ``None`` is filled
+    from the model's measured ratio.
     """
 
     name = "dcp"
 
     def __init__(
         self,
-        copy_cost_in_gates: float = DEFAULT_COPY_COST_IN_GATES,
+        copy_cost_in_gates: float | None = None,
         confidence_z: float = DEFAULT_CONFIDENCE_Z,
         margin_of_error: float = DEFAULT_MARGIN_OF_ERROR,
         max_subcircuits: int | None = None,
         max_stored_states: int | None = None,
         min_first_layer_shots: int = 1,
+        cost_model: CostModel | None = None,
+        max_candidate_subcircuits: int = 12,
     ) -> None:
+        if copy_cost_in_gates is None:
+            copy_cost_in_gates = (
+                cost_model.copy_cost_in_gates
+                if cost_model is not None
+                else DEFAULT_COPY_COST_IN_GATES
+            )
         if copy_cost_in_gates < 0:
             raise ValueError("copy_cost_in_gates must be non-negative")
         if min_first_layer_shots < 1:
             raise ValueError("min_first_layer_shots must be >= 1")
+        if max_candidate_subcircuits < 1:
+            raise ValueError("max_candidate_subcircuits must be >= 1")
         self.copy_cost_in_gates = float(copy_cost_in_gates)
+        self.cost_model = cost_model
+        self.max_candidate_subcircuits = int(max_candidate_subcircuits)
         self.confidence_z = float(confidence_z)
         self.margin_of_error = float(margin_of_error)
         self.max_subcircuits = max_subcircuits
@@ -255,6 +285,62 @@ class DynamicCircuitPartitioner(CircuitPartitioner):
     def plan(self, circuit: Circuit, shots: int,
              noise_model: NoiseModel | None = None) -> PartitionPlan:
         self._validate(circuit, shots)
+        if self.cost_model is None:
+            return self._plan_analytic(circuit, shots, noise_model)
+        return self._plan_calibrated(circuit, shots, noise_model)
+
+    def _plan_calibrated(self, circuit: Circuit, shots: int,
+                         noise_model: NoiseModel | None) -> PartitionPlan:
+        """Sweep feasible subcircuit counts, pick the cheapest predicted plan."""
+        model = self.cost_model
+        assert model is not None
+        min_gates = max(1, int(math.ceil(self.copy_cost_in_gates)))
+        first_length = min(min_gates, circuit.num_gates)
+        remaining = circuit.num_gates - first_length
+        force_ks: list[int | None] = [None, 0]
+        if remaining >= 1:
+            force_ks.extend(
+                candidate_part_counts(
+                    remaining, min_gates, self.max_candidate_subcircuits
+                )
+            )
+        best: PartitionPlan | None = None
+        best_seconds = math.inf
+        seen: set[tuple] = set()
+        considered = 0
+        for force_k in force_ks:
+            plan = self._plan_analytic(
+                circuit, shots, noise_model, force_k=force_k
+            )
+            signature = (
+                tuple(plan.tree.arities),
+                tuple(plan.subcircuit_lengths),
+            )
+            if signature in seen:
+                continue
+            seen.add(signature)
+            considered += 1
+            seconds = model.plan_seconds(
+                plan.tree.arities, plan.subcircuit_lengths
+            )
+            if seconds < best_seconds:
+                best, best_seconds = plan, seconds
+        assert best is not None
+        best.parameters.update(
+            {
+                "calibrated": True,
+                "predicted_seconds": best_seconds,
+                "candidate_plans": considered,
+                "cost_model_backend": model.backend,
+                "cost_model_num_qubits": model.num_qubits,
+            }
+        )
+        return best
+
+    def _plan_analytic(self, circuit: Circuit, shots: int,
+                       noise_model: NoiseModel | None,
+                       force_k: int | None = None) -> PartitionPlan:
+        """The paper's two-phase construction, optionally at a forced ``k``."""
         total_gates = circuit.num_gates
         min_gates = max(1, int(math.ceil(self.copy_cost_in_gates)))
 
@@ -287,7 +373,12 @@ class DynamicCircuitPartitioner(CircuitPartitioner):
             int(math.floor(math.log2(remaining_ratio))) if remaining_ratio >= 2 else 0
         )
         k_from_gates = (total_gates - first_length) // min_gates
-        k = min(k_from_shots, k_from_gates)
+        if force_k is None:
+            k = min(k_from_shots, k_from_gates)
+        else:
+            # Calibrated candidates may exceed the analytic Eq. 6 bound —
+            # the cost model, not the >= 2 arity heuristic, judges them.
+            k = min(force_k, k_from_gates)
         if self.max_subcircuits is not None:
             k = min(k, self.max_subcircuits - 1)
         if self.max_stored_states is not None:

@@ -16,14 +16,15 @@ than the worker pool the planner descends (``max_depth``) and splits the
 children of deeper reuse nodes, with a load-aware balancer that prices the
 per-shard prefix replays in gate-equivalents.
 
-Per-node seed streams addressed by tree path (spawned/derived from one root
-``SeedSequence``; see :mod:`repro.core.engine`) make every decomposition
-exact: serial, pooled and single-engine execution of the same root seed
-produce bitwise-identical merged counts and cost counters, for any shard
-count, any split depth, any backend and any worker scheduling order.
+Per-node counter streams addressed by tree path (64-bit keys derived
+statelessly from one root key; see :mod:`repro.core.pathrng`) make every
+decomposition exact: serial, pooled and single-engine execution of the same
+root seed produce bitwise-identical merged counts and cost counters, for any
+shard count, any split depth, any backend and any worker scheduling order.
 """
 
-from repro.core.engine import SubtreeAssignment, child_seed
+from repro.core.engine import SubtreeAssignment
+from repro.core.pathrng import child_key
 from repro.dispatch.dispatchers import (
     Dispatcher,
     PoolDispatcher,
@@ -39,6 +40,6 @@ __all__ = [
     "ShardPlanner",
     "ShardSpec",
     "SubtreeAssignment",
-    "child_seed",
+    "child_key",
     "run_shard",
 ]

@@ -42,6 +42,7 @@ import numpy as np
 
 from repro.circuits.circuit import Circuit
 from repro.core.copycost import DEFAULT_COPY_COST_IN_GATES
+from repro.core.costmodel import CostModel
 from repro.core.engine import DEFAULT_MAX_TREE_BATCH
 from repro.core.partitioners import CircuitPartitioner, PartitionPlan
 from repro.core.results import SimulationResult, merge_many
@@ -73,6 +74,7 @@ class Dispatcher(ABC):
         batch_size: int | None = None,
         max_batch: int = DEFAULT_MAX_TREE_BATCH,
         max_depth: int = 1,
+        cost_model: CostModel | None = None,
     ) -> None:
         self._planner = ShardPlanner(
             noise_model=noise_model,
@@ -81,6 +83,7 @@ class Dispatcher(ABC):
             batch_size=batch_size,
             max_batch=max_batch,
             max_depth=max_depth,
+            cost_model=cost_model,
         )
         self.seed = seed
         if num_shards is not None and num_shards < 1:
@@ -210,6 +213,7 @@ class PoolDispatcher(Dispatcher):
         batch_size: int | None = None,
         max_batch: int = DEFAULT_MAX_TREE_BATCH,
         max_depth: int = 1,
+        cost_model: CostModel | None = None,
         mp_context: str | None = None,
     ) -> None:
         if num_workers is not None and num_workers < 1:
@@ -228,6 +232,7 @@ class PoolDispatcher(Dispatcher):
             batch_size=batch_size,
             max_batch=max_batch,
             max_depth=max_depth,
+            cost_model=cost_model,
         )
 
     def _effective_num_shards(self) -> int:

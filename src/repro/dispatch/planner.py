@@ -16,13 +16,16 @@ plan can still feed 16 workers.  Shards that split a node's children must
 each replay that node's prefix subcircuits (cheap by construction — the DCP
 plans put the short subcircuits first), and the load-aware balancer accounts
 that replay in gate-equivalents (via the configured state-copy cost from
-:mod:`repro.core.copycost`) when choosing shard boundaries.
+:mod:`repro.core.copycost`) when choosing shard boundaries.  When a
+calibrated :class:`~repro.core.costmodel.CostModel` is supplied, the
+balancer prices units and prefix replays in measured nanoseconds instead of
+the analytic gate-equivalent ratio.
 
-Because every node's stream derives statelessly from the root's spawned
-first-layer children, the union of any shard decomposition reproduces the
-single-process run bitwise: counts and cost counters are identical whether
-one engine runs the full plan or ``W`` workers each run a slice of any
-layer.
+Because every node's stream key derives statelessly from the run key
+(:mod:`repro.core.pathrng`), the union of any shard decomposition reproduces
+the single-process run bitwise: counts and cost counters are identical
+whether one engine runs the full plan or ``W`` workers each run a slice of
+any layer.
 """
 
 from __future__ import annotations
@@ -34,11 +37,12 @@ import numpy as np
 
 from repro.circuits.circuit import Circuit
 from repro.core.copycost import DEFAULT_COPY_COST_IN_GATES
+from repro.core.costmodel import CostModel
 from repro.core.engine import (
     DEFAULT_MAX_TREE_BATCH,
     SubtreeAssignment,
-    child_seed,
 )
+from repro.core.pathrng import child_key, child_keys, run_root_key
 from repro.core.partitioners import (
     CircuitPartitioner,
     DynamicCircuitPartitioner,
@@ -66,11 +70,13 @@ class ShardSpec:
         assignments select which subtrees of it this shard executes.
     assignments:
         The ``(path, child-range)`` slices this shard covers, each with its
-        pre-derived seed streams and prefix-ownership flags.
+        pre-derived path keys and prefix-ownership flags.
     estimated_cost:
-        The planner's load estimate for this shard, in gate-equivalents
+        The planner's load estimate for this shard — gate-equivalents
         (subtree gates + state copies at the configured copy cost + prefix
-        replays).  Recorded so dispatch metadata can expose the balance.
+        replays) by default, measured nanoseconds when the planner was
+        given a calibrated cost model.  Recorded so dispatch metadata can
+        expose the balance.
     """
 
     index: int
@@ -145,7 +151,9 @@ class ShardPlanner:
     Parameters mirror :class:`~repro.core.engine.TQSimEngine` so a
     dispatcher built on this planner is a drop-in replacement for a single
     engine; ``max_depth`` is the one extra knob (how many tree layers the
-    planner may descend: 1 reproduces classic first-layer sharding).
+    planner may descend: 1 reproduces classic first-layer sharding), and an
+    optional calibrated ``cost_model`` switches the balancer from analytic
+    gate-equivalents to measured per-gate / per-copy nanoseconds.
     """
 
     def __init__(
@@ -156,6 +164,7 @@ class ShardPlanner:
         batch_size: int | None = None,
         max_batch: int = DEFAULT_MAX_TREE_BATCH,
         max_depth: int = 1,
+        cost_model: CostModel | None = None,
     ) -> None:
         if max_depth < 1:
             raise ValueError("max_depth must be >= 1")
@@ -165,6 +174,7 @@ class ShardPlanner:
         self.batch_size = batch_size
         self.max_batch = int(max_batch)
         self.max_depth = int(max_depth)
+        self.cost_model = cost_model
 
     # ------------------------------------------------------------------
     def plan_shards(
@@ -180,13 +190,13 @@ class ShardPlanner:
     ) -> list[ShardSpec]:
         """Split a shot request into at most ``num_shards`` worker units.
 
-        Planning (partitioning, depth selection, balancing and seed
+        Planning (partitioning, depth selection, balancing and key
         derivation) runs once, in the calling process; workers receive
-        finished specs.  The root's spawned children are exactly the streams
-        ``TQSimEngine(seed=seed)`` would derive for the same full plan, and
-        deeper node streams follow the engine's stateless
-        :func:`~repro.core.engine.child_seed` chain, which is what makes the
-        decomposition bitwise equivalent to the single-process run.
+        finished specs.  The first-layer keys are exactly the streams
+        ``TQSimEngine(seed=seed)`` derives for its first run of the same
+        full plan, and deeper node keys follow the engine's stateless
+        :func:`~repro.core.pathrng.child_key` chain, which is what makes
+        the decomposition bitwise equivalent to the single-process run.
 
         With ``strict=True`` a request for more shards than the deepest
         allowed layer can supply raises instead of being rebalanced down.
@@ -230,15 +240,11 @@ class ShardPlanner:
                 )
             num_shards = units_total
 
-        root = (
-            seed
-            if isinstance(seed, np.random.SeedSequence)
-            else np.random.SeedSequence(seed)
-        )
-        subtree_seeds = root.spawn(arities[0])
+        run_key = run_root_key(seed)
+        subtree_keys = [int(k) for k in child_keys(run_key, 0, arities[0])]
 
         children_per_path = arities[depth]
-        unit_cost, prefix_cost = self._cost_model(plan, depth)
+        unit_cost, prefix_cost = self._load_estimates(plan, depth)
         ranges = _balanced_unit_ranges(
             units_total, children_per_path, num_shards, unit_cost, prefix_cost
         )
@@ -246,7 +252,7 @@ class ShardPlanner:
         specs: list[ShardSpec] = []
         for index, (start, stop) in enumerate(ranges):
             assignments = self._assignments_for_range(
-                plan, depth, start, stop, subtree_seeds
+                plan, depth, start, stop, subtree_keys
             )
             specs.append(
                 ShardSpec(
@@ -269,21 +275,32 @@ class ShardPlanner:
         return specs
 
     # ------------------------------------------------------------------
-    def _cost_model(
+    def _load_estimates(
         self, plan: PartitionPlan, depth: int
     ) -> tuple[float, float]:
-        """Gate-equivalent cost of one unit subtree and of one prefix replay.
+        """Cost of one unit subtree and of one prefix replay.
 
         A *unit* is one child subtree hanging below the split layer: its
         cost is every subcircuit execution inside it plus its state copies
         at the configured copy cost (paper Section 3.6).  A shard touching a
         path additionally replays that path's prefix subcircuits once,
         which is the load the balancer trades off against unit counts.
+
+        Without a calibrated model the unit is gate-equivalents (one gate =
+        1.0, one copy = ``copy_cost_in_gates``); with one, both figures are
+        measured nanoseconds (one gate = ``gate_ns``, one copy =
+        ``copy_ns``).  Only the *ratio* steers the boundary search, so the
+        two modes differ exactly where the analytic ratio mis-prices copies.
         """
         arities = plan.tree.arities
         lengths = plan.subcircuit_lengths
         num_layers = len(arities)
-        copy_cost = self.copy_cost_in_gates
+        if self.cost_model is not None:
+            gate_unit = self.cost_model.gate_ns
+            copy_unit = self.cost_model.copy_ns
+        else:
+            gate_unit = 1.0
+            copy_unit = self.copy_cost_in_gates
 
         unit_gates = 0.0
         unit_copies = 0.0
@@ -294,9 +311,11 @@ class ShardPlanner:
             unit_gates += instances * lengths[layer]
             if layer >= 1:
                 unit_copies += instances
-        unit_cost = unit_gates + copy_cost * unit_copies
+        unit_cost = gate_unit * unit_gates + copy_unit * unit_copies
 
-        prefix_cost = sum(lengths[:depth]) + copy_cost * max(depth - 1, 0)
+        prefix_cost = (
+            gate_unit * sum(lengths[:depth]) + copy_unit * max(depth - 1, 0)
+        )
         return unit_cost, prefix_cost
 
     def _assignments_for_range(
@@ -305,7 +324,7 @@ class ShardPlanner:
         depth: int,
         start: int,
         stop: int,
-        subtree_seeds: list[np.random.SeedSequence],
+        subtree_keys: list[int],
     ) -> list[SubtreeAssignment]:
         """Materialise the unit range ``[start, stop)`` as path assignments.
 
@@ -324,16 +343,18 @@ class ShardPlanner:
             child_hi = min(children_per_path, child_lo + (stop - unit))
             path = _decode_path(path_index, arities[:depth])
             if depth == 0:
-                prefix_seeds: tuple[np.random.SeedSequence, ...] = ()
-                seeds = tuple(subtree_seeds[child_lo:child_hi])
+                prefix_keys: tuple[int, ...] = ()
+                keys = tuple(subtree_keys[child_lo:child_hi])
             else:
-                chain = [subtree_seeds[path[0]]]
+                chain = [subtree_keys[path[0]]]
                 for node in path[1:]:
-                    chain.append(child_seed(chain[-1], node))
-                prefix_seeds = tuple(chain)
-                seeds = tuple(
-                    child_seed(chain[-1], c)
-                    for c in range(child_lo, child_hi)
+                    chain.append(child_key(chain[-1], node))
+                prefix_keys = tuple(chain)
+                keys = tuple(
+                    int(k)
+                    for k in child_keys(
+                        chain[-1], child_lo, child_hi - child_lo
+                    )
                 )
             counted = tuple(
                 child_lo == 0 and all(p == 0 for p in path[layer + 1 :])
@@ -344,8 +365,8 @@ class ShardPlanner:
                     path=path,
                     child_start=child_lo,
                     child_count=child_hi - child_lo,
-                    prefix_seeds=prefix_seeds,
-                    child_seeds=seeds,
+                    prefix_keys=prefix_keys,
+                    child_keys=keys,
                     counted_prefix_layers=counted,
                 )
             )

@@ -17,6 +17,7 @@ from typing import Any
 from repro.circuits.circuit import Circuit
 from repro.circuits.transpile import DEFAULT_FUSION_SKIP_NAMES, fuse_single_qubit_runs
 from repro.core.baseline import BaselineNoisySimulator
+from repro.core.costmodel import CostModel, get_cost_model
 from repro.core.engine import TQSimEngine
 from repro.core.partitioners import CircuitPartitioner, DynamicCircuitPartitioner
 from repro.core.results import SimulationResult
@@ -99,6 +100,21 @@ class ExperimentConfig:
             min_first_layer_shots=max(16, self.shots // 8),
         )
 
+    def calibrated_dcp_partitioner(
+        self, cost_model: CostModel
+    ) -> DynamicCircuitPartitioner:
+        """A DCP whose plan search is priced by a measured cost model.
+
+        Same statistical knobs as :meth:`dcp_partitioner`; only the cost
+        side changes — the copy cost comes from the model's measured ratio
+        and the candidate sweep is judged on predicted wall time.
+        """
+        return DynamicCircuitPartitioner(
+            margin_of_error=self.effective_margin_of_error,
+            min_first_layer_shots=max(16, self.shots // 8),
+            cost_model=cost_model,
+        )
+
     def scaled(self, **overrides) -> "ExperimentConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **overrides)
@@ -133,6 +149,11 @@ class ComparisonRow:
     tqsim_batched: SimulationResult | None = None
     batched_wall_clock_speedup: float | None = None
     batched_tree_speedup: float | None = None
+    tqsim_calibrated: SimulationResult | None = None
+    calibrated_tree: str | None = None
+    calibrated_wall_clock_speedup: float | None = None
+    calibrated_vs_analytic_speedup: float | None = None
+    calibrated_predicted_seconds: float | None = None
 
     @property
     def fidelity_difference(self) -> float:
@@ -168,6 +189,17 @@ class ComparisonRow:
             row["batched_wall_clock_speedup"] = self.batched_wall_clock_speedup
             row["batched_tree_speedup"] = self.batched_tree_speedup
             row["batched_counters_match"] = self.batched_counters_match
+        if self.tqsim_calibrated is not None:
+            row["calibrated_tree"] = self.calibrated_tree
+            row["calibrated_wall_clock_speedup"] = (
+                self.calibrated_wall_clock_speedup
+            )
+            row["calibrated_vs_analytic_speedup"] = (
+                self.calibrated_vs_analytic_speedup
+            )
+            row["calibrated_predicted_seconds"] = (
+                self.calibrated_predicted_seconds
+            )
         return row
 
 
@@ -413,6 +445,8 @@ def compare_simulators(
     config: ExperimentConfig = DEFAULT_CONFIG,
     partitioner: CircuitPartitioner | None = None,
     include_batched_tree: bool = False,
+    include_calibrated: bool = False,
+    cost_model: CostModel | None = None,
 ) -> ComparisonRow:
     """Run the baseline and TQSim on one circuit and compare them.
 
@@ -427,6 +461,16 @@ def compare_simulators(
     a second time through the batched tree engine (``backend="batched"``,
     same seed), populating the row's ``batched_*`` fields; sharing the plan
     is what makes the cost counters directly comparable.
+
+    With ``include_calibrated=True`` a third leg plans the circuit with the
+    cost-model-priced DCP search (see
+    :meth:`ExperimentConfig.calibrated_dcp_partitioner`) and executes the
+    winning plan on the batched engine.  ``calibrated_vs_analytic_speedup``
+    is the measured wall-time ratio of the analytic plan over the calibrated
+    plan *on the same backend* (the batched leg when it ran, the sequential
+    leg otherwise), so it isolates the plan choice from the kernel family.
+    ``cost_model`` defaults to :func:`~repro.core.costmodel.get_cost_model`
+    for the batched backend at the circuit's width.
     """
     circuit = fuse_for_noise_model(circuit, noise_model)
     ideal = StatevectorSimulator(
@@ -467,6 +511,40 @@ def compare_simulators(
             tqsim_result, use_wall_time=True
         )
 
+    calibrated_result = None
+    calibrated_tree = None
+    calibrated_wall_clock_speedup = None
+    calibrated_vs_analytic_speedup = None
+    calibrated_predicted_seconds = None
+    if include_calibrated:
+        if cost_model is None:
+            cost_model = get_cost_model("batched", circuit.num_qubits)
+        calibrated_plan = config.calibrated_dcp_partitioner(cost_model).plan(
+            circuit, config.shots, noise_model
+        )
+        calibrated_result = TQSimEngine(
+            noise_model,
+            seed=config.seed + 1,
+            backend="batched",
+            copy_cost_in_gates=cost_model.copy_cost_in_gates,
+        ).run(circuit, config.shots, plan=calibrated_plan)
+        # Compare plan against plan on the same backend: the batched leg when
+        # it ran, otherwise the sequential tqsim leg.
+        analytic_leg = (
+            batched_result if batched_result is not None else tqsim_result
+        )
+        calibrated_tree = str(calibrated_plan.tree)
+        calibrated_wall_clock_speedup = calibrated_result.speedup_over(
+            baseline_result, use_wall_time=True
+        )
+        calibrated_vs_analytic_speedup = (
+            analytic_leg.cost.wall_time_seconds
+            / calibrated_result.cost.wall_time_seconds
+        )
+        calibrated_predicted_seconds = calibrated_plan.parameters.get(
+            "predicted_seconds"
+        )
+
     baseline_nf = normalized_fidelity(ideal, baseline_result.probabilities())
     tqsim_nf = normalized_fidelity(ideal, tqsim_result.probabilities())
     return ComparisonRow(
@@ -488,4 +566,9 @@ def compare_simulators(
         tqsim_batched=batched_result,
         batched_wall_clock_speedup=batched_wall_clock_speedup,
         batched_tree_speedup=batched_tree_speedup,
+        tqsim_calibrated=calibrated_result,
+        calibrated_tree=calibrated_tree,
+        calibrated_wall_clock_speedup=calibrated_wall_clock_speedup,
+        calibrated_vs_analytic_speedup=calibrated_vs_analytic_speedup,
+        calibrated_predicted_seconds=calibrated_predicted_seconds,
     )

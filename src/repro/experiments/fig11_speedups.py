@@ -87,6 +87,30 @@ class SuiteSweepResult:
         )
 
     @property
+    def best_calibrated_vs_analytic_speedup(self) -> float:
+        """Best measured wall-time win of the calibrated plan pick.
+
+        Ratio of the analytic DCP plan's wall time over the calibrated
+        plan's, both on the batched engine — above 1.0 means the measured
+        cost model picked a genuinely faster plan for at least one circuit.
+        """
+        return max(
+            row.calibrated_vs_analytic_speedup
+            for row in self.rows
+            if row.calibrated_vs_analytic_speedup is not None
+        )
+
+    @property
+    def calibrated_wins(self) -> int:
+        """Circuits where the calibrated plan measured faster than analytic."""
+        return sum(
+            1
+            for row in self.rows
+            if row.calibrated_vs_analytic_speedup is not None
+            and row.calibrated_vs_analytic_speedup > 1.0
+        )
+
+    @property
     def max_batched_tree_speedup(self) -> float:
         """Best measured batched-tree speedup over the sequential tree."""
         return max(row.batched_tree_speedup for row in self.batched_rows)
@@ -122,15 +146,20 @@ def run(config: ExperimentConfig = DEFAULT_CONFIG) -> SuiteSweepResult:
     """Run baseline-vs-TQSim on every suite circuit within the width budget.
 
     Every row also carries the batched tree engine executing the same DCP
-    plan (``ComparisonRow.batched_*``), and ``batched_rows`` holds the
-    dedicated high-arity measurement of the batched vs sequential traversal.
+    plan (``ComparisonRow.batched_*``) plus the calibrated leg
+    (``ComparisonRow.calibrated_*``) — the cost-model-priced plan search
+    executed on the batched engine, with the measured analytic-vs-calibrated
+    wall-time ratio — and ``batched_rows`` holds the dedicated high-arity
+    measurement of the batched vs sequential traversal.  Calibration runs at
+    most once per circuit width (the per-process cost-model cache).
     """
     noise_model = depolarizing_noise_model()
     result = SuiteSweepResult()
     for spec, circuit in benchmark_suite(max_qubits=config.max_qubits,
                                          seed=config.seed):
         row = compare_simulators(circuit, noise_model, config,
-                                 include_batched_tree=True)
+                                 include_batched_tree=True,
+                                 include_calibrated=True)
         result.specs.append(spec)
         result.rows.append(row)
         result.batched_rows.append(

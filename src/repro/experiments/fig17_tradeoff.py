@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from repro.circuits.library.qpe import qpe_circuit
 from repro.core.baseline import BaselineNoisySimulator
+from repro.core.costmodel import get_cost_model
 from repro.core.engine import TQSimEngine
 from repro.core.partitioners import (
     DynamicCircuitPartitioner,
@@ -25,7 +26,13 @@ from repro.metrics.fidelity import normalized_fidelity
 from repro.noise.sycamore import depolarizing_noise_model
 from repro.statevector.simulator import StatevectorSimulator
 
-__all__ = ["TradeoffRow", "TradeoffResult", "run", "paper_structures"]
+__all__ = [
+    "CalibratedPick",
+    "TradeoffRow",
+    "TradeoffResult",
+    "run",
+    "paper_structures",
+]
 
 PAPER_SHOTS = 1000
 PAPER_QPE_QUBITS = 9
@@ -44,12 +51,34 @@ class TradeoffRow:
 
 
 @dataclass(frozen=True)
+class CalibratedPick:
+    """The analytic DCP plan vs the cost-model-picked plan, measured.
+
+    Both plans execute on the batched engine with the same seed (best of
+    ``repeats`` runs each), so the ratio isolates the *plan choice* made by
+    the calibrated search from everything else.
+    """
+
+    analytic_tree: str
+    calibrated_tree: str
+    analytic_seconds: float
+    calibrated_seconds: float
+    predicted_seconds: float
+
+    @property
+    def measured_speedup(self) -> float:
+        """Analytic-plan wall time over calibrated-plan wall time."""
+        return self.analytic_seconds / self.calibrated_seconds
+
+
+@dataclass(frozen=True)
 class TradeoffResult:
     """All evaluated structures, ordered as in the paper's figure."""
 
     num_qubits: int
     shots: int
     rows: list[TradeoffRow]
+    calibrated: CalibratedPick | None = None
 
     def row(self, label: str) -> TradeoffRow:
         """Look a structure up by its label."""
@@ -88,8 +117,45 @@ def _scaled(arities: tuple[int, ...], scale: float) -> tuple[int, ...]:
     return tuple(max(1, round(a * factor)) for a in arities)
 
 
+def _measure_calibrated_pick(circuit, noise_model,
+                             config: ExperimentConfig,
+                             repeats: int = 2) -> CalibratedPick:
+    """Time the analytic DCP plan against the calibrated pick, both batched."""
+    cost_model = get_cost_model("batched", circuit.num_qubits)
+    analytic_plan = config.dcp_partitioner().plan(
+        circuit, config.shots, noise_model
+    )
+    calibrated_plan = config.calibrated_dcp_partitioner(cost_model).plan(
+        circuit, config.shots, noise_model
+    )
+
+    def best_seconds(plan) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            result = TQSimEngine(
+                noise_model, seed=config.seed + 1, backend="batched",
+                copy_cost_in_gates=cost_model.copy_cost_in_gates,
+            ).run(circuit, config.shots, plan=plan)
+            best = min(best, result.cost.wall_time_seconds)
+        return best
+
+    return CalibratedPick(
+        analytic_tree=str(analytic_plan.tree),
+        calibrated_tree=str(calibrated_plan.tree),
+        analytic_seconds=best_seconds(analytic_plan),
+        calibrated_seconds=best_seconds(calibrated_plan),
+        predicted_seconds=calibrated_plan.parameters["predicted_seconds"],
+    )
+
+
 def run(config: ExperimentConfig = DEFAULT_CONFIG) -> TradeoffResult:
-    """Evaluate the six Figure-17 structures on a QPE circuit."""
+    """Evaluate the six Figure-17 structures on a QPE circuit.
+
+    Besides the paper's six analytic structures, the result carries the
+    ``calibrated`` side-by-side: the analytic DCP plan vs the plan the
+    microbenchmark-calibrated cost model picks, both measured on the
+    batched engine.
+    """
     num_qubits = min(config.max_qubits, PAPER_QPE_QUBITS)
     circuit = qpe_circuit(num_qubits)
     noise_model = depolarizing_noise_model()
@@ -120,4 +186,9 @@ def run(config: ExperimentConfig = DEFAULT_CONFIG) -> TradeoffResult:
                 total_outcomes=result.total_outcomes,
             )
         )
-    return TradeoffResult(num_qubits=num_qubits, shots=config.shots, rows=rows)
+    return TradeoffResult(
+        num_qubits=num_qubits,
+        shots=config.shots,
+        rows=rows,
+        calibrated=_measure_calibrated_pick(circuit, noise_model, config),
+    )

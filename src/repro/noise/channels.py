@@ -145,8 +145,22 @@ class KrausChannel:
         """
         if self._mixture_cumulative is None:
             self._build_mixture_caches()
+        return self.mixture_indices_from_uniforms(rng.random(size))
+
+    def mixture_indices_from_uniforms(
+        self, uniforms: np.ndarray
+    ) -> np.ndarray:
+        """Map pre-drawn uniforms in [0, 1) to mixture branch indices.
+
+        One vectorised inverse-CDF lookup, bitwise identical to feeding the
+        same uniforms through :meth:`sample_mixture_index` one at a time —
+        which is what lets batched engines draw a whole block of per-row
+        counter-stream uniforms at once without changing any outcome.
+        """
+        if self._mixture_cumulative is None:
+            self._build_mixture_caches()
         cumulative = self._mixture_cumulative
-        draws = rng.random(size) * cumulative[-1]
+        draws = np.asarray(uniforms, dtype=float) * cumulative[-1]
         indices = np.searchsorted(cumulative, draws, side="right")
         return np.minimum(indices, cumulative.size - 1)
 

@@ -66,3 +66,66 @@ def test_missing_subcommand_exits_with_usage(capsys):
     with pytest.raises(SystemExit):
         main([])
     assert "usage" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# calibrate subcommand + calibrated run flags
+# ----------------------------------------------------------------------
+def test_calibrate_prints_table_and_caches(capsys, tmp_path):
+    from repro.core.costmodel import (
+        clear_cost_model_memory_cache,
+        load_cost_model_cache,
+    )
+
+    clear_cost_model_memory_cache()
+    cache = tmp_path / "calibration.json"
+    assert main(["calibrate", "--qubits", "5", "--repeats", "4",
+                 "--cache", str(cache)]) == 0
+    output = capsys.readouterr().out
+    for field in ("gate_ns", "copy_ns", "batch_overhead_ns",
+                  "batch_row_ns", "sample_ns", "copy_cost_in_gates"):
+        assert field in output
+    assert f"cached to {cache}" in output
+    assert ("batched", 5) in load_cost_model_cache(str(cache))
+
+
+def test_calibrate_rejects_unknown_backend(capsys):
+    assert main(["calibrate", "--backend", "nosuch"]) == 2
+    output = capsys.readouterr().out
+    assert "unknown backend 'nosuch'" in output
+    assert "available:" in output
+
+
+@pytest.mark.parametrize(
+    "argv, message",
+    [
+        (["calibrate", "--qubits", "0"], "--qubits must be >= 1"),
+        (["calibrate", "--repeats", "0"], "--repeats must be >= 1"),
+    ],
+)
+def test_calibrate_rejects_bad_values(capsys, argv, message):
+    assert main(argv) == 2
+    assert message in capsys.readouterr().out
+
+
+def test_run_rejects_copy_cost_with_calibrated(capsys):
+    assert main(["run", "table2", "--copy-cost", "10",
+                 "--calibrated"]) == 2
+    assert "mutually exclusive" in capsys.readouterr().out
+
+
+def test_run_rejects_negative_copy_cost(capsys):
+    assert main(["run", "table2", "--copy-cost", "-1"]) == 2
+    assert "--copy-cost must be non-negative" in capsys.readouterr().out
+
+
+def test_parser_accepts_calibration_flags():
+    args = build_parser().parse_args(
+        ["calibrate", "--backend", "numpy", "--qubits", "7",
+         "--cache", "cm.json", "--refresh", "--repeats", "8"]
+    )
+    assert args.backend == "numpy"
+    assert args.qubits == 7
+    assert args.cache == "cm.json"
+    assert args.refresh is True
+    assert args.repeats == 8

@@ -1,0 +1,343 @@
+"""The microbenchmark-calibrated cost model (repro.core.costmodel).
+
+Calibration is timed against the real backends (tiny widths, few repeats so
+the suite stays fast); everything downstream of a measurement — the plan
+pricing, the caches, the calibrated partition search and the admission
+logic — is exercised with synthetic models so the assertions are exact.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.analysis.memory import AdmissionDecision, admit_plan
+from repro.circuits.library import qft_circuit
+from repro.circuits.partition import candidate_part_counts
+from repro.core.costmodel import (
+    CostModel,
+    calibrate_cost_model,
+    clear_cost_model_memory_cache,
+    get_cost_model,
+    load_cost_model_cache,
+    save_cost_model_cache,
+)
+from repro.core.partitioners import DynamicCircuitPartitioner
+from repro.noise import depolarizing_noise_model
+
+
+def synthetic_model(**overrides) -> CostModel:
+    """A round-number model so plan pricing can be checked by hand."""
+    values = dict(
+        backend="batched",
+        num_qubits=8,
+        gate_ns=1000.0,
+        copy_ns=100.0,
+        batch_overhead_ns=900.0,
+        batch_row_ns=100.0,
+        sample_ns=500.0,
+    )
+    values.update(overrides)
+    return CostModel(**values)
+
+
+# ----------------------------------------------------------------------
+# Model arithmetic
+# ----------------------------------------------------------------------
+def test_copy_cost_ratios():
+    model = synthetic_model()
+    assert model.copy_cost_in_gates == pytest.approx(0.1)
+    # One batched call on 10 rows: (900/10 + 100) ns per row.
+    assert model.batched_gate_row_ns(10) == pytest.approx(190.0)
+    assert model.batched_copy_cost_in_gates(10) == pytest.approx(100 / 190)
+
+
+def test_plan_seconds_sequential_counts_every_node():
+    model = synthetic_model()
+    # Tree (2, 3), lengths (4, 5): layer0 = 2*4 gates, layer1 = 6*5 gates,
+    # 6 reuse copies, 6 leaf samples.
+    expected_ns = (2 * 4 + 6 * 5) * 1000 + 6 * 100 + 6 * 500
+    assert model.plan_seconds((2, 3), (4, 5), batched=False) == pytest.approx(
+        expected_ns * 1e-9
+    )
+
+
+def test_plan_seconds_batched_mirrors_engine_chunking():
+    model = synthetic_model()
+    # Arity 10 with max_batch 4 → chunks of 4, 4, 2 per parent: per gate,
+    # 2 full calls (900 + 4*100) and one remainder call (900 + 2*100).
+    per_gate = 2 * (900 + 4 * 100) + (900 + 2 * 100)
+    # One layer of 3 gates; layer 0 never copies, so only leaf samples add.
+    expected_ns = 3 * per_gate + 10 * 500
+    assert model.plan_seconds((10,), (3,), batched=True,
+                              max_batch=4) == pytest.approx(expected_ns * 1e-9)
+
+
+def test_plan_seconds_batched_beats_sequential_when_overhead_dominates():
+    model = synthetic_model()
+    assert model.plan_seconds((16, 16), (10, 10), batched=True, max_batch=16) \
+        < model.plan_seconds((16, 16), (10, 10), batched=False)
+
+
+def test_plan_seconds_monotone_in_subcircuit_length():
+    model = synthetic_model()
+    short = model.plan_seconds((4, 4), (3, 3))
+    longer = model.plan_seconds((4, 4), (3, 9))
+    assert longer > short
+
+
+def test_predicted_speedup_favors_reuse():
+    model = synthetic_model()
+    # 20-gate circuit split in half vs 256 flat runs of the whole circuit.
+    assert model.predicted_speedup((16, 16), (10, 10), batched=False) > 1.0
+
+
+def test_plan_seconds_validation():
+    model = synthetic_model()
+    with pytest.raises(ValueError, match="one arity per subcircuit"):
+        model.plan_seconds((2, 2), (5,))
+    with pytest.raises(ValueError, match="max_batch"):
+        model.plan_seconds((2,), (5,), max_batch=0)
+
+
+@pytest.mark.parametrize(
+    "field, value",
+    [
+        ("gate_ns", 0.0),
+        ("copy_ns", -1.0),
+        ("batch_row_ns", 0.0),
+        ("sample_ns", -5.0),
+        ("batch_overhead_ns", -0.1),
+        ("num_qubits", 0),
+    ],
+)
+def test_model_validation_rejects_bad_fields(field, value):
+    with pytest.raises(ValueError):
+        synthetic_model(**{field: value})
+
+
+def test_dict_round_trip():
+    model = synthetic_model()
+    assert CostModel.from_dict(model.as_dict()) == model
+
+
+# ----------------------------------------------------------------------
+# Calibration + caches
+# ----------------------------------------------------------------------
+def test_calibrate_measures_positive_costs():
+    model = calibrate_cost_model("batched", num_qubits=4, repeats=4, rounds=1)
+    assert model.backend == "batched"
+    assert model.num_qubits == 4
+    for value in (model.gate_ns, model.copy_ns, model.batch_row_ns,
+                  model.sample_ns):
+        assert value > 0
+    assert model.batch_overhead_ns >= 0
+
+
+def test_calibrate_non_batch_backend_degenerate_fit():
+    model = calibrate_cost_model("optimized", num_qubits=4, repeats=4,
+                                 rounds=1)
+    assert model.batch_overhead_ns == 0.0
+    assert model.batch_row_ns == model.gate_ns
+    # The degenerate fit makes both traversal predictions coincide.
+    assert model.plan_seconds((4,), (3,), batched=True) == pytest.approx(
+        model.plan_seconds((4,), (3,), batched=False)
+    )
+
+
+def test_calibrate_validation():
+    with pytest.raises(ValueError):
+        calibrate_cost_model("batched", num_qubits=0)
+    with pytest.raises(ValueError):
+        calibrate_cost_model("batched", num_qubits=4, repeats=0)
+    with pytest.raises(ValueError, match="unknown backend"):
+        calibrate_cost_model("nosuch", num_qubits=4)
+
+
+def test_cache_round_trip(tmp_path):
+    path = str(tmp_path / "nested" / "calibration.json")
+    models = {
+        ("batched", 8): synthetic_model(),
+        ("optimized", 6): synthetic_model(backend="optimized", num_qubits=6),
+    }
+    save_cost_model_cache(models, path)
+    assert load_cost_model_cache(path) == models
+
+
+def test_load_cache_tolerates_missing_and_corrupt_files(tmp_path):
+    assert load_cost_model_cache(str(tmp_path / "absent.json")) == {}
+    corrupt = tmp_path / "corrupt.json"
+    corrupt.write_text("{not json")
+    assert load_cost_model_cache(str(corrupt)) == {}
+    # Invalid entries are skipped, valid ones kept.
+    mixed = tmp_path / "mixed.json"
+    mixed.write_text(json.dumps({
+        "version": 1,
+        "models": [synthetic_model().as_dict(), {"backend": "x"}],
+    }))
+    assert load_cost_model_cache(str(mixed)) == {
+        ("batched", 8): synthetic_model()
+    }
+
+
+def test_get_cost_model_calibrates_once_per_process(monkeypatch, tmp_path):
+    clear_cost_model_memory_cache()
+    calls = {"count": 0}
+    real = calibrate_cost_model
+
+    def counting(*args, **kwargs):
+        calls["count"] += 1
+        return real("batched", num_qubits=4, repeats=2, rounds=1)
+
+    monkeypatch.setattr(
+        "repro.core.costmodel.calibrate_cost_model", counting
+    )
+    path = str(tmp_path / "cm.json")
+    first = get_cost_model("batched", 4, cache_path=path)
+    second = get_cost_model("batched", 4, cache_path=path)
+    assert first == second
+    assert calls["count"] == 1
+    # A fresh process (cleared memory cache) resolves from disk.
+    clear_cost_model_memory_cache()
+    assert get_cost_model("batched", 4, cache_path=path) == first
+    assert calls["count"] == 1
+    # refresh forces a re-measurement.
+    get_cost_model("batched", 4, cache_path=path, refresh=True)
+    assert calls["count"] == 2
+    clear_cost_model_memory_cache()
+
+
+# ----------------------------------------------------------------------
+# candidate_part_counts
+# ----------------------------------------------------------------------
+def test_candidate_part_counts_bounds():
+    assert candidate_part_counts(20, 5) == [1, 2, 3, 4]
+    assert candidate_part_counts(20, 5, max_parts=2) == [1, 2]
+    # A single undivided part is always feasible.
+    assert candidate_part_counts(3, 5) == [1]
+
+
+def test_candidate_part_counts_validation():
+    with pytest.raises(ValueError):
+        candidate_part_counts(0)
+    with pytest.raises(ValueError):
+        candidate_part_counts(10, 0)
+    with pytest.raises(ValueError):
+        candidate_part_counts(10, 2, max_parts=0)
+
+
+# ----------------------------------------------------------------------
+# Calibrated DCP search
+# ----------------------------------------------------------------------
+def test_calibrated_dcp_annotates_and_never_loses_to_analytic():
+    circuit = qft_circuit(5)
+    noise = depolarizing_noise_model()
+    model = synthetic_model(num_qubits=5)
+    analytic = DynamicCircuitPartitioner().plan(circuit, 64, noise)
+    calibrated_plan = DynamicCircuitPartitioner(cost_model=model).plan(
+        circuit, 64, noise
+    )
+    params = calibrated_plan.parameters
+    assert params["calibrated"] is True
+    assert params["cost_model_backend"] == "batched"
+    assert params["candidate_plans"] >= 2
+    predicted = params["predicted_seconds"]
+    assert predicted == pytest.approx(
+        model.plan_seconds(
+            calibrated_plan.tree.arities,
+            [len(sub) for sub in calibrated_plan.subcircuits],
+        )
+    )
+    # The analytic plan is always among the candidates, so the pick can
+    # only tie or beat it under the model.
+    assert predicted <= model.plan_seconds(
+        analytic.tree.arities, [len(sub) for sub in analytic.subcircuits]
+    ) * (1 + 1e-12)
+
+
+def test_calibrated_dcp_still_covers_circuit_and_shots():
+    circuit = qft_circuit(5)
+    noise = depolarizing_noise_model()
+    plan = DynamicCircuitPartitioner(
+        cost_model=synthetic_model(num_qubits=5)
+    ).plan(circuit, 100, noise)
+    assert sum(len(sub) for sub in plan.subcircuits) == len(circuit)
+    assert math.prod(plan.tree.arities) >= 100
+
+
+def test_calibrated_dcp_takes_copy_cost_from_model():
+    model = synthetic_model(copy_ns=42_000.0)
+    partitioner = DynamicCircuitPartitioner(cost_model=model)
+    assert partitioner.copy_cost_in_gates == pytest.approx(42.0)
+    # An explicit scalar still wins over the model-derived one.
+    pinned = DynamicCircuitPartitioner(cost_model=model,
+                                       copy_cost_in_gates=7.0)
+    assert pinned.copy_cost_in_gates == pytest.approx(7.0)
+
+
+# ----------------------------------------------------------------------
+# Cost-aware admission
+# ----------------------------------------------------------------------
+def test_admit_plan_memory_only_path():
+    decision = admit_plan(
+        num_qubits=4,
+        arities=(8, 8),
+        subcircuit_lengths=(5, 5),
+        memory_bytes=8 * 2**30,
+    )
+    assert isinstance(decision, AdmissionDecision)
+    assert decision.fits_memory
+    assert decision.max_batch == 8
+    assert decision.use_batched
+
+
+def test_admit_plan_shrinks_batch_under_tight_budget():
+    # A (64, 2**20) complex pool is 1 GiB; cap the budget below that.
+    decision = admit_plan(
+        num_qubits=20,
+        arities=(64,),
+        subcircuit_lengths=(10,),
+        memory_bytes=256 * 2**20,
+        max_batch=64,
+    )
+    # The requested cap does not fit, so admission lowers it until the
+    # buffer pool does; the *admitted* configuration fits by construction.
+    assert decision.fits_memory
+    assert 1 <= decision.max_batch < 64
+    assert decision.peak_bytes <= 256 * 2**20
+    assert "lowered" in decision.reason
+
+
+def test_admit_plan_consults_cost_model():
+    # Make batching catastrophically expensive: the model should veto it
+    # even though memory admits the full batch.
+    slow_batch = synthetic_model(
+        batch_overhead_ns=1e9, batch_row_ns=1e9, gate_ns=10.0
+    )
+    decision = admit_plan(
+        num_qubits=4,
+        arities=(16,),
+        subcircuit_lengths=(6,),
+        memory_bytes=8 * 2**30,
+        cost_model=slow_batch,
+    )
+    assert not decision.use_batched
+    assert decision.predicted_sequential_seconds is not None
+    assert decision.predicted_seconds == pytest.approx(
+        decision.predicted_sequential_seconds
+    )
+    # And a model where batching is nearly free picks the batched leg.
+    fast_batch = synthetic_model(
+        batch_overhead_ns=0.0, batch_row_ns=1.0, gate_ns=1000.0
+    )
+    decision = admit_plan(
+        num_qubits=4,
+        arities=(16,),
+        subcircuit_lengths=(6,),
+        memory_bytes=8 * 2**30,
+        cost_model=fast_batch,
+    )
+    assert decision.use_batched
+    assert decision.predicted_seconds == pytest.approx(
+        decision.predicted_batched_seconds
+    )

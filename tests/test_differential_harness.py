@@ -138,6 +138,97 @@ def test_all_execution_paths_bitwise_identical(case_seed):
 
 
 # ---------------------------------------------------------------------------
+# Pinned seeding-contract-v2 cases (non-random, exact expected draws)
+# ---------------------------------------------------------------------------
+def test_pinned_general_kraus_five_way_identity(qft5):
+    """A pure general-Kraus model runs all five paths bitwise identically.
+
+    Amplitude damping's branch probabilities depend on the state, so every
+    path takes the per-row fallback (one uniform per row per application
+    from the row's own path-keyed stream) — the case the vectorised
+    pre-draw must *not* capture.  Pinned (not drawn) so it runs on every
+    invocation, including the multiprocess leg.
+    """
+    noise = NoiseModel(
+        single_qubit_channels=[AmplitudeDampingChannel(0.05)],
+        two_qubit_channels=[AmplitudeDampingChannel(0.03)],
+        name="amplitude-damping",
+    )
+    plan = ManualPartitioner((3, 4, 4)).plan(qft5, 48, noise)
+    reference = TQSimEngine(noise, seed=1234, backend="optimized").run(
+        qft5, 48, plan=plan
+    )
+    others = {
+        "batched": TQSimEngine(noise, seed=1234, backend="batched").run(
+            qft5, 48, plan=plan
+        ),
+        "serial": SerialDispatcher(noise, seed=1234, num_shards=3).run(
+            qft5, 48, plan=plan
+        ),
+        "deep": SerialDispatcher(
+            noise, seed=1234, num_shards=5, max_depth=2
+        ).run(qft5, 48, plan=plan),
+        "pooled": PoolDispatcher(
+            noise, seed=1234, num_workers=2, num_shards=5, max_depth=2
+        ).run(qft5, 48, plan=plan),
+    }
+    for name, result in others.items():
+        assert result.counts == reference.counts, name
+        assert _counter_tuple(result) == _counter_tuple(reference), name
+
+
+def test_pinned_mixed_channel_kinds_interleave_identically(qft5):
+    """Mixed-unitary and general-Kraus events inside one subcircuit.
+
+    Depolarizing (mixed-unitary) events draw one uniform per row and
+    amplitude-damping (general-Kraus) applications interleave their draws
+    on the *same* per-row counters, so the all-mixed-unitary pre-draw fast
+    path must decline and the fallback must still match the sequential
+    traversal draw for draw.
+    """
+    noise = NoiseModel(
+        single_qubit_channels=depolarizing_noise_model()
+        .single_qubit_channels,
+        two_qubit_channels=[AmplitudeDampingChannel(0.04)],
+        name="depolarizing+damping",
+    )
+    plan = ManualPartitioner((4, 6)).plan(qft5, 24, noise)
+    sequential = TQSimEngine(noise, seed=77, backend="optimized").run(
+        qft5, 24, plan=plan
+    )
+    batched = TQSimEngine(noise, seed=77, backend="batched").run(
+        qft5, 24, plan=plan
+    )
+    assert batched.counts == sequential.counts
+    assert _counter_tuple(batched) == _counter_tuple(sequential)
+
+
+def test_pinned_path_keyed_draws_are_reproducible(qft5):
+    """The same (circuit, plan, seed) always yields the same counts.
+
+    Fresh engines, fresh processes and repeated runs of run-index 0 may
+    never drift: outcome histograms are pure functions of the path keys.
+    """
+    noise = depolarizing_noise_model()
+    noise.readout_error = ReadoutError(0.02, 0.01)
+    plan = ManualPartitioner((4, 8)).plan(qft5, 32, noise)
+    first = TQSimEngine(noise, seed=2026, backend="batched").run(
+        qft5, 32, plan=plan
+    )
+    second = TQSimEngine(noise, seed=2026, backend="batched").run(
+        qft5, 32, plan=plan
+    )
+    assert first.counts == second.counts
+    # Consecutive runs of ONE engine advance the run index instead:
+    # a fresh ensemble, not a replay.
+    engine = TQSimEngine(noise, seed=2026, backend="batched")
+    run0 = engine.run(qft5, 32, plan=plan)
+    run1 = engine.run(qft5, 32, plan=plan)
+    assert run0.counts == first.counts
+    assert run1.counts != run0.counts
+
+
+# ---------------------------------------------------------------------------
 # Acceptance sweep: the ROADMAP's A0-starvation case, measured exhaustively
 # ---------------------------------------------------------------------------
 def test_low_arity_plan_deep_sharding_acceptance_matrix(qft5):

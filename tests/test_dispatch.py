@@ -16,7 +16,8 @@ from repro.core import (
     TreeStructure,
     UniformCircuitPartitioner,
 )
-from repro.core.engine import SubtreeAssignment, child_seed
+from repro.core.engine import SubtreeAssignment
+from repro.core.pathrng import child_key, child_keys, run_root_key
 from repro.dispatch import (
     PoolDispatcher,
     SerialDispatcher,
@@ -88,23 +89,18 @@ def test_planner_rebalances_instead_of_empty_shards(qft5):
                                               plan=plan, strict=True)
 
 
-def test_planner_seeds_match_engine_spawn(qft5):
-    """The planner's spawned children are the engine's, in the same order."""
+def test_planner_keys_match_engine_chain(qft5):
+    """The planner's subtree keys are the engine's run-0 keys, in order."""
     shards = ShardPlanner().plan_shards(qft5, SHOTS, 3, seed=17,
                                         partitioner=PARTITIONER)
-    reference = np.random.SeedSequence(17).spawn(12)
+    reference = [int(k) for k in child_keys(run_root_key(17), 0, 12)]
     flattened = [
-        seed
+        key
         for shard in shards
         for assignment in shard.assignments
-        for seed in assignment.child_seeds
+        for key in assignment.child_keys
     ]
-    assert len(flattened) == 12
-    for ours, theirs in zip(flattened, reference):
-        assert np.array_equal(
-            np.random.default_rng(ours).random(4),
-            np.random.default_rng(theirs).random(4),
-        )
+    assert flattened == reference
 
 
 def test_planner_validates_arguments(qft5):
@@ -124,21 +120,21 @@ def test_planner_validates_arguments(qft5):
 
 def test_shard_spec_validates_consistency(qft5):
     plan = ManualPartitioner((4, 3)).plan(qft5, 12, None)
-    seeds = tuple(np.random.SeedSequence(0).spawn(4))
-    # Seed count must match the covered children.
+    keys = tuple(int(k) for k in child_keys(run_root_key(0), 0, 4))
+    # Key count must match the covered children.
     with pytest.raises(ValueError):
         SubtreeAssignment(path=(), child_start=0, child_count=3,
-                          prefix_seeds=(), child_seeds=seeds[:2],
+                          prefix_keys=(), child_keys=keys[:2],
                           counted_prefix_layers=())
-    # Prefix seeds must cover every path layer.
+    # Prefix keys must cover every path layer.
     with pytest.raises(ValueError):
         SubtreeAssignment(path=(1,), child_start=0, child_count=1,
-                          prefix_seeds=(), child_seeds=seeds[:1],
+                          prefix_keys=(), child_keys=keys[:1],
                           counted_prefix_layers=(True,))
     # Assignments must address the plan's tree.
     out_of_range = SubtreeAssignment(
-        path=(), child_start=2, child_count=3, prefix_seeds=(),
-        child_seeds=seeds[:3], counted_prefix_layers=(),
+        path=(), child_start=2, child_count=3, prefix_keys=(),
+        child_keys=keys[:3], counted_prefix_layers=(),
     )
     with pytest.raises(ValueError):
         ShardSpec(index=0, num_shards=1, circuit=qft5, plan=plan,
@@ -146,8 +142,8 @@ def test_shard_spec_validates_consistency(qft5):
                   requested_shots=12)
     too_deep = SubtreeAssignment(
         path=(0, 0), child_start=0, child_count=1,
-        prefix_seeds=(seeds[0], child_seed(seeds[0], 0)),
-        child_seeds=seeds[:1], counted_prefix_layers=(True, True),
+        prefix_keys=(keys[0], child_key(keys[0], 0)),
+        child_keys=keys[:1], counted_prefix_layers=(True, True),
     )
     with pytest.raises(ValueError):
         ShardSpec(index=0, num_shards=1, circuit=qft5, plan=plan,
@@ -335,23 +331,20 @@ def test_deep_planner_counts_each_prefix_node_exactly_once(qft5):
     assert owners == {(0,): 1, (1,): 1, (2,): 1}
 
 
-def test_deep_planner_seeds_follow_engine_chain(qft5):
-    """Deep child seeds must be the engine's stateless child_seed chain."""
+def test_deep_planner_keys_follow_engine_chain(qft5):
+    """Deep child keys must be the engine's stateless child_key chain."""
     plan = ManualPartitioner((2, 6)).plan(qft5, 12, None)
     shards = ShardPlanner(max_depth=2).plan_shards(
         qft5, 12, 4, seed=21, plan=plan
     )
-    subtree_seeds = np.random.SeedSequence(21).spawn(2)
+    subtree_keys = [int(k) for k in child_keys(run_root_key(21), 0, 2)]
     for shard in shards:
         for assignment in shard.assignments:
             (j,) = assignment.path
-            for offset, seed in enumerate(assignment.child_seeds):
-                expected = child_seed(
-                    subtree_seeds[j], assignment.child_start + offset
-                )
-                assert np.array_equal(
-                    np.random.default_rng(seed).random(4),
-                    np.random.default_rng(expected).random(4),
+            assert assignment.prefix_keys == (subtree_keys[j],)
+            for offset, key in enumerate(assignment.child_keys):
+                assert key == child_key(
+                    subtree_keys[j], assignment.child_start + offset
                 )
 
 
@@ -406,22 +399,22 @@ def test_run_shard_deep_spec_is_self_contained(qft5):
 def test_engine_rejects_overlapping_assignments(qft5):
     """Overlapping slices would silently double-count outcomes."""
     plan = ManualPartitioner((4, 3)).plan(qft5, 12, None)
-    seeds = np.random.SeedSequence(3).spawn(4)
+    keys = [int(k) for k in child_keys(run_root_key(3), 0, 4)]
     engine = TQSimEngine(seed=3)
 
     def root_slice(start, count):
         return SubtreeAssignment(
-            path=(), child_start=start, child_count=count, prefix_seeds=(),
-            child_seeds=tuple(seeds[start : start + count]),
+            path=(), child_start=start, child_count=count, prefix_keys=(),
+            child_keys=tuple(keys[start : start + count]),
             counted_prefix_layers=(),
         )
 
     def deep_slice(j, start, count, counted=(False,)):
         return SubtreeAssignment(
             path=(j,), child_start=start, child_count=count,
-            prefix_seeds=(seeds[j],),
-            child_seeds=tuple(
-                child_seed(seeds[j], c) for c in range(start, start + count)
+            prefix_keys=(keys[j],),
+            child_keys=tuple(
+                child_key(keys[j], c) for c in range(start, start + count)
             ),
             counted_prefix_layers=counted,
         )
@@ -441,7 +434,7 @@ def test_engine_rejects_overlapping_assignments(qft5):
                      deep_slice(3, 0, 3, (True,))],
     )
     single = TQSimEngine(seed=3).run(
-        qft5, 12, plan=plan, subtree_seeds=list(seeds)
+        qft5, 12, plan=plan, subtree_keys=list(keys)
     )
     assert mixed.counts == single.counts
     assert mixed.cost.matches(single.cost)
@@ -483,16 +476,16 @@ def test_deep_prefix_replay_cached_within_a_shard(qft5):
     assert deep.cost.matches(single.cost)
 
 
-def test_engine_rejects_seeds_and_assignments_together(qft5):
+def test_engine_rejects_keys_and_assignments_together(qft5):
     plan = ManualPartitioner((4, 3)).plan(qft5, 12, None)
-    seeds = np.random.SeedSequence(0).spawn(4)
+    keys = [int(k) for k in child_keys(run_root_key(0), 0, 4)]
     assignment = SubtreeAssignment(
-        path=(), child_start=0, child_count=4, prefix_seeds=(),
-        child_seeds=tuple(seeds), counted_prefix_layers=(),
+        path=(), child_start=0, child_count=4, prefix_keys=(),
+        child_keys=tuple(keys), counted_prefix_layers=(),
     )
     engine = TQSimEngine(seed=0)
     with pytest.raises(ValueError):
-        engine.run(qft5, 12, plan=plan, subtree_seeds=seeds,
+        engine.run(qft5, 12, plan=plan, subtree_keys=keys,
                    assignments=[assignment])
     with pytest.raises(ValueError):
         engine.run(qft5, 12, plan=plan, assignments=[])
