@@ -1,6 +1,6 @@
 """Command-line entry point: ``python -m repro``.
 
-Three subcommands:
+Four subcommands:
 
 * ``python -m repro list`` — every reproducible paper artefact with its
   claim.
@@ -16,6 +16,10 @@ Three subcommands:
   — measure the per-primitive cost model (see
   :mod:`repro.core.costmodel`) and print its table, optionally persisting
   it to a JSON artifact for reuse and CI diffing.
+* ``python -m repro lint [paths] [--rules ...] [--format json|text]
+  [--fail-on warning|error]`` — run the AST-based contract checker (see
+  :mod:`repro.lint`) that enforces the seeding, backend-conformance,
+  multiprocessing-safety and API-hygiene invariants; the CI gate.
 """
 
 from __future__ import annotations
@@ -81,6 +85,16 @@ def build_parser() -> argparse.ArgumentParser:
                            help="re-measure even when a cached model exists")
     calibrate.add_argument("--repeats", type=int, default=48,
                            help="timed kernel calls per measurement burst")
+
+    lint = commands.add_parser(
+        "lint",
+        help="run the AST-based contract checker over the source tree",
+    )
+    # The lint arguments live next to the rules so the checker is usable
+    # standalone (tests drive add_lint_arguments/run_lint_cli directly).
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
     return parser
 
 
@@ -224,6 +238,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_list()
     if args.command == "calibrate":
         return _cmd_calibrate(args)
+    if args.command == "lint":
+        from repro.lint.cli import run_lint_cli
+
+        return run_lint_cli(args)
     return _cmd_run(args)
 
 

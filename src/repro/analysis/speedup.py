@@ -3,8 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
-
 from repro.core.partitioners import PartitionPlan
 from repro.core.tree import TreeStructure
 

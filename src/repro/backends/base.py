@@ -21,14 +21,24 @@ both honour this contract.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro.circuits.gate import Gate
 from repro.noise.channels import ReadoutError
-from repro.noise.model import NoiseModel
+from repro.noise.model import NoiseEvent, NoiseModel
 from repro.statevector.sampling import index_to_bitstring, inverse_cdf_index
+
+if TYPE_CHECKING:
+    from repro.core.pathrng import UniformStream
+
+    #: Anything a backend may draw uniforms from: a numpy ``Generator`` (the
+    #: baseline simulators) or a path-keyed counter stream (the engine's
+    #: seeding contract).  Runtime code never imports this — annotations are
+    #: strings under ``from __future__ import annotations`` — so the
+    #: backends package stays import-cycle free.
+    RandomStream = np.random.Generator | UniformStream
 
 __all__ = ["Backend"]
 
@@ -37,13 +47,13 @@ class Backend(ABC):
     """Abstract execution backend for statevector simulation."""
 
     #: Registry key of the backend (subclasses override).
-    name = "abstract"
+    name: str = "abstract"
 
     #: True when the backend's kernels advance a ``(B, 2**n)`` batch of
     #: trajectories per call (and it provides ``allocate_batch`` /
     #: ``sample_outcomes``).  Batch-aware engines key off this flag instead
     #: of probing for individual methods.
-    supports_batch = False
+    supports_batch: bool = False
 
     # ------------------------------------------------------------------
     # State management
@@ -104,7 +114,7 @@ class Backend(ABC):
         state: np.ndarray,
         gate: Gate,
         noise_model: NoiseModel,
-        rng: np.random.Generator,
+        rng: RandomStream,
     ) -> np.ndarray:
         """Sample and apply the noise events attached to ``gate``."""
         return self.apply_noise_events(
@@ -114,8 +124,8 @@ class Backend(ABC):
     def apply_noise_events(
         self,
         state: np.ndarray,
-        events,
-        rng: np.random.Generator,
+        events: Sequence[NoiseEvent],
+        rng: RandomStream,
     ) -> np.ndarray:
         """Sample and apply already-matched noise events.
 
@@ -129,8 +139,8 @@ class Backend(ABC):
     def apply_noise_events_multi(
         self,
         state: np.ndarray,
-        events,
-        rngs: Sequence[np.random.Generator],
+        events: Sequence[NoiseEvent],
+        rngs: Sequence[RandomStream],
     ) -> np.ndarray:
         """Apply noise events to a batch where row ``i`` draws from ``rngs[i]``.
 
@@ -156,7 +166,7 @@ class Backend(ABC):
     def sample_outcomes_multi(
         self,
         state: np.ndarray,
-        rngs: Sequence[np.random.Generator],
+        rngs: Sequence[RandomStream],
         readout_error: ReadoutError | None = None,
     ) -> list[str]:
         """Sample one outcome per batch row, row ``i`` drawing from ``rngs[i]``.
@@ -183,7 +193,7 @@ class Backend(ABC):
     def sample_outcome(
         self,
         state: np.ndarray,
-        rng: np.random.Generator,
+        rng: RandomStream,
         readout_error: ReadoutError | None = None,
     ) -> str:
         """Sample one measurement outcome, including optional readout error.
@@ -231,7 +241,7 @@ class Backend(ABC):
         outcomes: np.ndarray,
         num_qubits: int,
         readout_error: ReadoutError,
-        rng: np.random.Generator,
+        rng: RandomStream,
     ) -> np.ndarray:
         """Flip each measured bit of each outcome index with its error rate.
 

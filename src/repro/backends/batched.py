@@ -33,7 +33,7 @@ performs — and no per-row Python loop survives on the hot path.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -42,6 +42,9 @@ from repro.noise.channels import ReadoutError
 from repro.noise.model import NoiseEvent
 from repro.statevector.apply import apply_unitary
 from repro.statevector.sampling import index_to_bitstring
+
+if TYPE_CHECKING:
+    from repro.backends.base import RandomStream
 
 __all__ = ["BatchedNumpyBackend", "DEFAULT_BATCH_SIZE"]
 
@@ -126,7 +129,12 @@ class BatchedNumpyBackend(OptimizedNumpyBackend):
     # ------------------------------------------------------------------
     # Noise (per-trajectory sampling, group-wise application)
     # ------------------------------------------------------------------
-    def apply_noise_events(self, state, events, rng):
+    def apply_noise_events(
+        self,
+        state: np.ndarray,
+        events: Sequence[NoiseEvent],
+        rng: RandomStream,
+    ) -> np.ndarray:
         """Apply matched noise events with per-trajectory branch sampling."""
         for event in events:
             self._apply_event(state, event, rng)
@@ -175,7 +183,12 @@ class BatchedNumpyBackend(OptimizedNumpyBackend):
                 self.apply_unitary(sub, unitary, event.qubits)
                 batched[rows] = sub
 
-    def apply_noise_events_multi(self, state, events, rngs):
+    def apply_noise_events_multi(
+        self,
+        state: np.ndarray,
+        events: Sequence[NoiseEvent],
+        rngs: Sequence[RandomStream],
+    ) -> np.ndarray:
         """Apply noise events with row ``i`` sampling from ``rngs[i]``.
 
         With path-keyed counter streams (the engine's traversals), each
@@ -217,7 +230,12 @@ class BatchedNumpyBackend(OptimizedNumpyBackend):
                     )
         return state
 
-    def apply_noise_events_uniforms(self, state, events, uniforms):
+    def apply_noise_events_uniforms(
+        self,
+        state: np.ndarray,
+        events: Sequence[NoiseEvent],
+        uniforms: np.ndarray,
+    ) -> np.ndarray:
         """Apply mixed-unitary events from pre-drawn per-row uniforms.
 
         ``uniforms`` is a ``(B, len(events))`` block whose column ``j``
@@ -246,7 +264,7 @@ class BatchedNumpyBackend(OptimizedNumpyBackend):
     def sample_outcome(
         self,
         state: np.ndarray,
-        rng: np.random.Generator,
+        rng: RandomStream,
         readout_error: ReadoutError | None = None,
     ) -> str:
         """Sample one outcome (only valid for a single-trajectory state)."""
@@ -262,7 +280,7 @@ class BatchedNumpyBackend(OptimizedNumpyBackend):
     def sample_outcomes(
         self,
         state: np.ndarray,
-        rng: np.random.Generator,
+        rng: RandomStream,
         readout_error: ReadoutError | None = None,
     ) -> list[str]:
         """Sample one measurement outcome per trajectory.
@@ -282,7 +300,7 @@ class BatchedNumpyBackend(OptimizedNumpyBackend):
     def sample_outcomes_multi(
         self,
         state: np.ndarray,
-        rngs: Sequence[np.random.Generator],
+        rngs: Sequence[RandomStream],
         readout_error: ReadoutError | None = None,
     ) -> list[str]:
         """Sample one outcome per row, row ``i`` drawing from ``rngs[i]``.

@@ -1,7 +1,8 @@
 """Circuit intermediate representation and benchmark circuit library."""
 
-from repro.circuits.gate import Gate
+from repro.circuits import stdgates
 from repro.circuits.circuit import Circuit
+from repro.circuits.gate import Gate
 from repro.circuits.partition import (
     boundaries_for_equal_parts,
     split_by_lengths,
@@ -15,7 +16,6 @@ from repro.circuits.transpile import (
     decompose_to_two_qubit_gates,
     fuse_single_qubit_runs,
 )
-from repro.circuits import stdgates
 
 __all__ = [
     "Gate",

@@ -8,7 +8,6 @@ from typing import Iterable, Iterator, Sequence
 import numpy as np
 
 from repro.circuits.gate import Gate
-from repro.circuits import stdgates
 
 __all__ = ["Circuit"]
 

@@ -3,8 +3,6 @@
 from __future__ import annotations
 
 import networkx as nx
-import numpy as np
-
 from repro.circuits.circuit import Circuit
 
 __all__ = [

@@ -10,7 +10,7 @@ the suite exposes both numbers so reports can show them side by side.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from typing import Iterable
 
 from repro.circuits.circuit import Circuit
 from repro.circuits.library.adder import adder_circuit

@@ -11,7 +11,6 @@ import re
 
 from repro.circuits.circuit import Circuit
 from repro.circuits.gate import Gate
-from repro.circuits import stdgates
 
 __all__ = ["to_qasm", "from_qasm"]
 

@@ -37,18 +37,18 @@ from repro.core.partitioners import (
     SingleShotPartitioner,
     UniformCircuitPartitioner,
 )
-from repro.core.results import (
-    CostCounters,
-    SimulationResult,
-    merge_many,
-    merge_results,
-)
 from repro.core.pathrng import (
     PathStream,
     child_key,
     child_keys,
     root_key_from_seed,
     run_root_key,
+)
+from repro.core.results import (
+    CostCounters,
+    SimulationResult,
+    merge_many,
+    merge_results,
 )
 from repro.core.sampling_theory import (
     DEFAULT_CONFIDENCE_Z,

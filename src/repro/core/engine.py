@@ -84,7 +84,6 @@ from repro.core.pathrng import (
     child_keys,
     draw_block,
     root_key_from_seed,
-    run_root_key,
 )
 from repro.core.results import CostCounters, SimulationResult
 from repro.noise.model import NoiseModel

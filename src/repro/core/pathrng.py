@@ -33,13 +33,14 @@ identical by construction.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Protocol, Sequence
 
 import numpy as np
 
 __all__ = [
     "GOLDEN",
     "PathStream",
+    "UniformStream",
     "all_path_streams",
     "child_key",
     "child_keys",
@@ -47,6 +48,23 @@ __all__ = [
     "root_key_from_seed",
     "run_root_key",
 ]
+
+
+class UniformStream(Protocol):
+    """The draw interface every sampling helper consumes.
+
+    Structural type of the ``Generator.random`` subset the trajectory
+    samplers use: one scalar uniform, or a shaped block of uniforms.  Both
+    :class:`PathStream` and :class:`numpy.random.Generator` satisfy it,
+    which is what lets the baseline simulators and the path-keyed engine
+    share every sampling helper (``inverse_cdf_index``, readout flips, ...)
+    unchanged.  This protocol is the typed source of truth the backend
+    conformance checks (:mod:`repro.lint`) and mypy run against.
+    """
+
+    def random(
+        self, size: int | tuple[int, ...] | None = None
+    ) -> float | np.ndarray: ...
 
 #: 2**64 / phi, the splitmix64 stream increment ("Weyl constant").
 GOLDEN = 0x9E3779B97F4A7C15
@@ -195,7 +213,9 @@ class PathStream:
         self.key = int(key) & _MASK
         self.counter = int(counter)
 
-    def random(self, size=None):
+    def random(
+        self, size: int | tuple[int, ...] | None = None
+    ) -> float | np.ndarray:
         """Next uniform(s) in [0, 1), matching ``Generator.random``."""
         if size is None:
             value = _uniform_int(self.key, self.counter)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
-from typing import Any, Mapping, Sequence
+from typing import Any, Sequence
 
 import numpy as np
 

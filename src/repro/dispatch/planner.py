@@ -42,12 +42,12 @@ from repro.core.engine import (
     DEFAULT_MAX_TREE_BATCH,
     SubtreeAssignment,
 )
-from repro.core.pathrng import child_key, child_keys, run_root_key
 from repro.core.partitioners import (
     CircuitPartitioner,
     DynamicCircuitPartitioner,
     PartitionPlan,
 )
+from repro.core.pathrng import child_key, child_keys, run_root_key
 from repro.noise.model import NoiseModel
 
 __all__ = ["ShardSpec", "ShardPlanner"]

@@ -10,8 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.common import DEFAULT_CONFIG, ExperimentConfig
 from repro.experiments import fig11_speedups
+from repro.experiments.common import DEFAULT_CONFIG, ExperimentConfig
 
 __all__ = ["FidelityResult", "run", "PAPER_AVERAGE_DIFFERENCE", "PAPER_MAX_DIFFERENCE"]
 

@@ -1,0 +1,42 @@
+"""``repro.lint``: the AST-based contract checker for this repository.
+
+The bitwise-reproducibility guarantee rests on conventions no runtime test
+enforces directly: randomness routes through :mod:`repro.core.pathrng`,
+backends implement the multi-stream hook surface in matched pairs, and
+everything crossing the process-pool boundary is module-level and picklable.
+This package turns those conventions into mechanical checks — run them with
+``python -m repro lint`` (see :mod:`repro.lint.cli`) or programmatically via
+:func:`run_lint`.
+
+Extending: subclass :class:`Rule` (or :class:`ModuleRule` for single-module
+checks), give it a ``<family>-<name>`` id, and add it to
+:func:`repro.lint.config.default_rules`.  Exemptions go in
+:data:`repro.lint.config.DEFAULT_ALLOWLIST` and must carry a justification.
+"""
+
+from repro.lint.config import DEFAULT_ALLOWLIST, default_rules
+from repro.lint.framework import (
+    AllowlistEntry,
+    Finding,
+    LintConfig,
+    LintConfigError,
+    LintReport,
+    ModuleRule,
+    Project,
+    Rule,
+    run_lint,
+)
+
+__all__ = [
+    "AllowlistEntry",
+    "DEFAULT_ALLOWLIST",
+    "Finding",
+    "LintConfig",
+    "LintConfigError",
+    "LintReport",
+    "ModuleRule",
+    "Project",
+    "Rule",
+    "default_rules",
+    "run_lint",
+]

@@ -1,0 +1,131 @@
+"""``python -m repro lint`` — run the contract checker from the command line.
+
+Exit codes follow the rest of the CLI: ``0`` clean, ``1`` findings at or
+above the ``--fail-on`` threshold, ``2`` usage or configuration errors.
+With no paths the installed ``repro`` package itself is linted, so the CI
+gate and the acceptance check are the same invocation from any directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.lint.config import DEFAULT_ALLOWLIST, default_rules
+from repro.lint.framework import LintConfig, LintConfigError, run_lint
+
+__all__ = ["add_lint_arguments", "run_lint_cli"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``lint`` subcommand's arguments to ``parser``."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids or family prefixes "
+             "(det, backend, mp, api); default: all rules",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="findings output format (default: text)",
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=("warning", "error"),
+        default="error",
+        help="mildest severity that fails the run (default: error)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="also write the full JSON report to this path "
+             "(the CI findings artifact)",
+    )
+    parser.add_argument(
+        "--no-allowlist",
+        action="store_true",
+        help="ignore the shipped allowlist (audit mode: show every finding)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the available rules and exit",
+    )
+
+
+def _default_target() -> Path:
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def run_lint_cli(args: argparse.Namespace) -> int:
+    """Execute the lint subcommand; returns the process exit code."""
+    rules = default_rules()
+    if args.list_rules:
+        width = max(len(rule.rule_id) for rule in rules)
+        for rule in rules:
+            print(f"{rule.rule_id.ljust(width)}  [{rule.severity}]  {rule.description}")
+        return 0
+
+    select = None
+    if args.rules:
+        select = tuple(token.strip() for token in args.rules.split(",") if token.strip())
+        known = {rule.rule_id for rule in rules}
+        families = {rule_id.split("-")[0] for rule_id in known}
+        unknown = [t for t in select if t not in known and t not in families]
+        if unknown:
+            print(f"unknown rule(s): {', '.join(unknown)}; "
+                  f"known: {', '.join(sorted(known))}")
+            return 2
+
+    paths = [Path(p) for p in args.paths] if args.paths else [_default_target()]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"no such path: {', '.join(str(p) for p in missing)}")
+        return 2
+
+    try:
+        config = LintConfig(
+            select=select,
+            fail_on=args.fail_on,
+            allowlist=() if args.no_allowlist else DEFAULT_ALLOWLIST,
+        )
+    except LintConfigError as error:
+        print(f"lint configuration error: {error}")
+        return 2
+
+    report = run_lint(paths, rules, config)
+
+    if args.output is not None:
+        Path(args.output).write_text(
+            json.dumps(report.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        summary = (
+            f"{len(report.findings)} finding(s) in "
+            f"{report.checked_files} file(s); "
+            f"{len(report.suppressed)} allowlisted"
+        )
+        for entry in report.unused_allowlist:
+            print(
+                f"note: unused allowlist entry ({entry.rule_id}, "
+                f"{entry.path_glob}, {entry.symbol_glob}) — remove it",
+                file=sys.stderr,
+            )
+        print(summary)
+    return 1 if report.failed else 0

@@ -1,0 +1,171 @@
+"""Default rule set and the justified allowlist for the shipped tree.
+
+Every entry here is a *deliberate* exemption from a contract rule, pinned to
+one file and one symbol, with the reason it is sound.  The framework rejects
+entries without a justification (:class:`~repro.lint.framework.
+LintConfigError`), and entries that stop matching anything are reported as
+unused by the CLI — so this list can only shrink or stay honest.
+
+Grounds for exemption, in the order the rules list them:
+
+* **Baseline simulators** (``core/baseline.py``, ``core/batched.py``,
+  ``statevector/simulator.py``, ``density/simulator.py``) deliberately draw
+  from seeded ``numpy`` ``Generator`` streams: they are the *comparison
+  anchors* the tree engine is validated against, not participants in the
+  path-keyed sharding contract (only :class:`~repro.core.engine.TQSimEngine`
+  guarantees bitwise equality across execution modes).
+* **Circuit construction** (``circuits/stdgates.py``, ``circuits/library``)
+  draws circuit *structure* (Haar unitaries, secret strings) before any
+  trajectory exists; every entry point takes a seed or Generator, and the
+  unseeded fallbacks are user-facing conveniences outside the engine.
+* **Calibration and metric timers** (``core/copycost.py``,
+  ``core/costmodel.py``, engine/dispatcher wall-time counters, experiment
+  harnesses, ``vqa/landscape.py``) read the wall clock to *report* time or
+  to fit the cost model; no timed value ever feeds a random draw or a
+  simulation outcome.
+* **Analysis helpers** (``statevector/sampling.py``,
+  ``statevector/state.py``, ``metrics/statistics.py``,
+  ``redunelim/simulator.py``) sample from exact distributions for
+  post-processing; they accept an optional Generator and default to a local
+  one only when the caller does not care about reproducibility.
+"""
+
+from __future__ import annotations
+
+from repro.lint.framework import AllowlistEntry, Rule
+from repro.lint.rules_backend import (
+    BackendRegistryRule,
+    BackendStaticConformanceRule,
+)
+from repro.lint.rules_determinism import ForeignRandomRule, WallClockRule
+from repro.lint.rules_hygiene import (
+    AnnotationRule,
+    BareExceptRule,
+    MutableDefaultRule,
+)
+from repro.lint.rules_multiprocessing import ExecutorCallableRule, ModuleStateRule
+
+__all__ = ["DEFAULT_ALLOWLIST", "default_rules"]
+
+
+def default_rules() -> list[Rule]:
+    """Fresh instances of every shipped rule, determinism first."""
+    return [
+        ForeignRandomRule(),
+        WallClockRule(),
+        BackendStaticConformanceRule(),
+        BackendRegistryRule(),
+        ExecutorCallableRule(),
+        ModuleStateRule(),
+        AnnotationRule(),
+        MutableDefaultRule(),
+        BareExceptRule(),
+    ]
+
+
+_RNG = "numpy.random.default_rng"
+_PC = "time.perf_counter"
+
+DEFAULT_ALLOWLIST: tuple[AllowlistEntry, ...] = (
+    # -- det-rng: baseline/reference simulators (comparison anchors) -------
+    AllowlistEntry(
+        "det-rng", "*core/baseline.py", _RNG,
+        "per-shot baseline simulator: the seeded Generator stream is the "
+        "paper's reference execution, outside the path-keyed tree contract",
+    ),
+    AllowlistEntry(
+        "det-rng", "*core/batched.py", _RNG,
+        "batched per-shot baseline simulator: seeded Generator stream, a "
+        "comparison anchor outside the path-keyed tree contract",
+    ),
+    AllowlistEntry(
+        "det-rng", "*statevector/simulator.py", _RNG,
+        "ideal statevector simulator: seeded Generator for exact-"
+        "distribution sampling, not a trajectory participant",
+    ),
+    AllowlistEntry(
+        "det-rng", "*density/simulator.py", _RNG,
+        "density-matrix reference simulator: seeded Generator for readout "
+        "sampling on the exact distribution, not a trajectory participant",
+    ),
+    # -- det-rng: circuit construction (structure, not trajectories) -------
+    AllowlistEntry(
+        "det-rng", "*circuits/stdgates.py", _RNG,
+        "Haar-random gate constructors draw circuit structure; callers pass "
+        "a Generator, the unseeded fallback is a user-facing convenience",
+    ),
+    AllowlistEntry(
+        "det-rng", "*circuits/library/*.py", _RNG,
+        "model-circuit builders (QV/QSC/BV) draw circuit structure from a "
+        "caller-provided seed before any trajectory exists",
+    ),
+    # -- det-rng: analysis and calibration helpers -------------------------
+    AllowlistEntry(
+        "det-rng", "*statevector/sampling.py", _RNG,
+        "exact-distribution sampling helpers take an optional Generator; "
+        "the fallback only serves callers outside the engine",
+    ),
+    AllowlistEntry(
+        "det-rng", "*statevector/state.py", _RNG,
+        "Statevector convenience constructors/samplers take an optional "
+        "Generator; the fallback only serves callers outside the engine",
+    ),
+    AllowlistEntry(
+        "det-rng", "*metrics/statistics.py", _RNG,
+        "bootstrap statistics helper with a pinned default seed; "
+        "post-processing only",
+    ),
+    AllowlistEntry(
+        "det-rng", "*redunelim/simulator.py", _RNG,
+        "redundancy-elimination study seeds its own Generator for parameter "
+        "draws; an offline analysis, not an engine path",
+    ),
+    AllowlistEntry(
+        "det-rng", "*core/copycost.py", _RNG,
+        "copy-cost calibration perturbs a scratch state with a pinned seed; "
+        "measurement harness, not a simulation path",
+    ),
+    AllowlistEntry(
+        "det-rng", "*core/costmodel.py", _RNG,
+        "cost-model calibration builds scratch states/draws with pinned "
+        "seeds; measurement harness, not a simulation path",
+    ),
+    # -- det-clock: CostCounters wall-time metrics -------------------------
+    AllowlistEntry(
+        "det-clock", "*core/engine.py", "time.perf_counter*",
+        "engine records wall_time_seconds in CostCounters; reported as a "
+        "metric, never feeds a draw or an outcome",
+    ),
+    AllowlistEntry(
+        "det-clock", "*core/baseline.py", "time.perf_counter*",
+        "baseline simulator records wall_time_seconds; metric only",
+    ),
+    AllowlistEntry(
+        "det-clock", "*core/batched.py", "time.perf_counter*",
+        "batched baseline records wall_time_seconds; metric only",
+    ),
+    AllowlistEntry(
+        "det-clock", "*dispatch/dispatchers.py", "time.perf_counter*",
+        "dispatchers time the end-to-end pool execution for "
+        "metadata['dispatch']; metric only",
+    ),
+    # -- det-clock: calibration timers (issue-sanctioned) ------------------
+    AllowlistEntry(
+        "det-clock", "*core/copycost.py", "time.perf_counter*",
+        "copy-cost calibration timer — measuring time is the entire point",
+    ),
+    AllowlistEntry(
+        "det-clock", "*core/costmodel.py", "time.perf_counter*",
+        "cost-model calibration timer — measuring time is the entire point",
+    ),
+    # -- det-clock: experiment harnesses (issue-sanctioned) ----------------
+    AllowlistEntry(
+        "det-clock", "*experiments/*.py", "time.perf_counter*",
+        "experiment harnesses measure the wall-clock legs the paper's "
+        "figures report",
+    ),
+    AllowlistEntry(
+        "det-clock", "*vqa/landscape.py", "time.perf_counter*",
+        "QAOA landscape sweep reports measured wall time per grid point",
+    ),
+)

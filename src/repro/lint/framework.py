@@ -1,0 +1,374 @@
+"""The AST lint framework: rules, findings, allowlists and the runner.
+
+``repro.lint`` is a project-specific static-analysis pass: it turns the
+invariants the differential-test harness checks *dynamically* — every random
+draw routes through :mod:`repro.core.pathrng`, every registered backend
+implements the multi-stream hook surface, everything crossing the process
+pool boundary is picklable — into fast, mechanical checks that run before a
+single trajectory is simulated.
+
+The pieces:
+
+* :class:`Finding` — one diagnostic: path, line, rule id, severity, message
+  and the *symbol* that triggered it (the symbol is what allowlist entries
+  match against, so an exemption stays pinned to e.g.
+  ``numpy.random.default_rng`` in one file instead of silencing a rule).
+* :class:`Rule` — the extension point.  A rule sees the whole
+  :class:`Project` (every parsed module plus import resolution) and yields
+  findings; single-module rules subclass :class:`ModuleRule`.
+* :class:`AllowlistEntry` — a justified exemption.  Entries *must* carry a
+  non-empty justification — :class:`LintConfigError` otherwise — which is
+  how the CLI guarantees "zero unjustified allowlist entries" structurally.
+* :func:`run_lint` — parse, run rules, filter allowlisted findings, report.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "AllowlistEntry",
+    "Finding",
+    "LintConfig",
+    "LintConfigError",
+    "LintReport",
+    "ModuleContext",
+    "ModuleRule",
+    "Project",
+    "Rule",
+    "SEVERITIES",
+    "run_lint",
+]
+
+#: Recognised severities, mildest first (order is what ``--fail-on`` keys on).
+SEVERITIES = ("warning", "error")
+
+
+class LintConfigError(ValueError):
+    """Raised for malformed lint configuration (e.g. unjustified allowlist)."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by a rule."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: str
+    message: str
+    #: Qualified symbol that triggered the finding (allowlist match key).
+    symbol: str = ""
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (the CI artifact schema)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "message": self.message,
+            "symbol": self.symbol,
+        }
+
+    def render(self) -> str:
+        """One-line human-readable form."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} [{self.severity}] {self.message}"
+        )
+
+
+@dataclass(frozen=True)
+class AllowlistEntry:
+    """A justified exemption for findings of one rule in matching files.
+
+    ``path_glob`` and ``symbol_glob`` are :mod:`fnmatch` patterns matched
+    against the finding's posix path and qualified symbol.  ``justification``
+    is mandatory and non-empty: the allowlist is part of the contract's
+    paper trail, not an off switch.
+    """
+
+    rule_id: str
+    path_glob: str
+    symbol_glob: str = "*"
+    justification: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.justification.strip():
+            raise LintConfigError(
+                f"allowlist entry ({self.rule_id!r}, {self.path_glob!r}) "
+                "has no justification; every exemption must say why"
+            )
+
+    def matches(self, finding: Finding) -> bool:
+        """True when this entry suppresses ``finding``."""
+        return (
+            finding.rule_id == self.rule_id
+            and fnmatch.fnmatch(finding.path, self.path_glob)
+            and fnmatch.fnmatch(finding.symbol or finding.message, self.symbol_glob)
+        )
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Rule selection, failure threshold and the allowlist."""
+
+    #: Rule ids or family prefixes (``det``, ``backend``, ...); None = all.
+    select: tuple[str, ...] | None = None
+    #: Mildest severity that makes the run fail ("warning" or "error").
+    fail_on: str = "error"
+    allowlist: tuple[AllowlistEntry, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.fail_on not in SEVERITIES:
+            raise LintConfigError(
+                f"fail_on must be one of {SEVERITIES}, got {self.fail_on!r}"
+            )
+
+    def rule_selected(self, rule_id: str) -> bool:
+        """True when ``rule_id`` (or its family prefix) is selected."""
+        if self.select is None:
+            return True
+        return any(
+            rule_id == token or rule_id.startswith(token + "-")
+            for token in self.select
+        )
+
+
+class ModuleContext:
+    """One parsed module: source, AST, and an import-resolution table."""
+
+    def __init__(self, path: Path, relpath: str, source: str) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.source = source
+        self.tree = ast.parse(source, filename=str(path))
+        #: Local name -> fully qualified dotted name it was imported as.
+        self.imports: dict[str, str] = {}
+        #: Local names bound by plain ``import pkg.mod`` (module objects).
+        self.module_names: set[str] = set()
+        self._collect_imports()
+
+    @property
+    def module_name(self) -> str:
+        """Dotted module name inferred from the path (``repro.core.engine``)."""
+        parts = list(Path(self.relpath).with_suffix("").parts)
+        if "src" in parts:
+            parts = parts[parts.index("src") + 1 :]
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts)
+
+    def _collect_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    qualified = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.imports[local] = qualified
+                    self.module_names.add(local)
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    # Relative import: anchor at this module's package.
+                    package = self.module_name.split(".")
+                    base_parts = package[: len(package) - node.level]
+                    base = ".".join(base_parts + ([node.module] if node.module else []))
+                else:
+                    base = node.module or ""
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.imports[local] = f"{base}.{alias.name}" if base else alias.name
+
+    def qualified_name(self, node: ast.expr) -> str | None:
+        """Resolve a ``Name``/``Attribute`` chain to a dotted name, if possible.
+
+        ``np.random.default_rng`` resolves through ``import numpy as np`` to
+        ``numpy.random.default_rng``; unresolvable expressions (calls,
+        subscripts, locals) return None.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.imports.get(node.id, node.id)
+        return ".".join([root, *reversed(parts)])
+
+
+class Project:
+    """Every module under the lint roots, parsed once and shared by rules."""
+
+    def __init__(
+        self, roots: Sequence[Path], modules: list[ModuleContext], parse_errors: list[Finding]
+    ) -> None:
+        self.roots = list(roots)
+        self.modules = modules
+        self.parse_errors = parse_errors
+
+    @classmethod
+    def load(cls, paths: Sequence[Path]) -> "Project":
+        """Parse every ``.py`` file under ``paths`` (files or directories)."""
+        modules: list[ModuleContext] = []
+        errors: list[Finding] = []
+        roots = [Path(p) for p in paths]
+        for root in roots:
+            files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+            base = root if root.is_dir() else root.parent
+            for file in files:
+                try:
+                    relpath = file.relative_to(base).as_posix()
+                except ValueError:
+                    relpath = file.as_posix()
+                source = file.read_text(encoding="utf-8")
+                try:
+                    modules.append(ModuleContext(file, relpath, source))
+                except SyntaxError as error:
+                    errors.append(
+                        Finding(
+                            path=relpath,
+                            line=error.lineno or 1,
+                            col=error.offset or 0,
+                            rule_id="parse-error",
+                            severity="error",
+                            message=f"syntax error: {error.msg}",
+                        )
+                    )
+        return cls(roots, modules, errors)
+
+    def has_module(self, dotted: str) -> bool:
+        """True when ``dotted`` names a module inside the linted tree."""
+        return any(ctx.module_name == dotted for ctx in self.modules)
+
+
+class Rule(ABC):
+    """One named invariant check over the whole project."""
+
+    #: Stable identifier, ``<family>-<name>`` (family is the ``--rules`` key).
+    rule_id: str = "abstract"
+    #: Default severity of this rule's findings.
+    severity: str = "error"
+    #: One-line description shown by ``--list-rules``.
+    description: str = ""
+
+    @abstractmethod
+    def run(self, project: Project) -> Iterator[Finding]:
+        """Yield every finding in ``project``."""
+
+    def finding(
+        self, ctx: ModuleContext, node: ast.AST, message: str, symbol: str = ""
+    ) -> Finding:
+        """Build a finding anchored at ``node`` in ``ctx``."""
+        return Finding(
+            path=ctx.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            severity=self.severity,
+            message=message,
+            symbol=symbol,
+        )
+
+
+class ModuleRule(Rule):
+    """Convenience base for rules that inspect one module at a time."""
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        for ctx in project.modules:
+            yield from self.visit_module(ctx)
+
+    @abstractmethod
+    def visit_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield every finding in one module."""
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: list[Finding]
+    suppressed: list[tuple[Finding, AllowlistEntry]]
+    unused_allowlist: list[AllowlistEntry]
+    checked_files: int
+    fail_on: str = "error"
+
+    @property
+    def failed(self) -> bool:
+        """True when any finding meets the configured failure threshold."""
+        threshold = SEVERITIES.index(self.fail_on)
+        return any(
+            SEVERITIES.index(f.severity) >= threshold for f in self.findings
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable report (uploaded as the CI findings artifact)."""
+        return {
+            "checked_files": self.checked_files,
+            "fail_on": self.fail_on,
+            "failed": self.failed,
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [
+                {"finding": f.to_dict(), "justification": entry.justification}
+                for f, entry in self.suppressed
+            ],
+            "unused_allowlist": [
+                {
+                    "rule": entry.rule_id,
+                    "path": entry.path_glob,
+                    "symbol": entry.symbol_glob,
+                    "justification": entry.justification,
+                }
+                for entry in self.unused_allowlist
+            ],
+        }
+
+
+def run_lint(
+    paths: Sequence[Path | str],
+    rules: Iterable[Rule],
+    config: LintConfig | None = None,
+) -> LintReport:
+    """Run ``rules`` over every module under ``paths`` and apply the config.
+
+    Findings matching an allowlist entry are moved to ``report.suppressed``
+    (with the entry's justification); allowlist entries that suppressed
+    nothing are reported under ``report.unused_allowlist`` so stale
+    exemptions surface instead of rotting.
+    """
+    config = config if config is not None else LintConfig()
+    project = Project.load([Path(p) for p in paths])
+    raw: list[Finding] = list(project.parse_errors)
+    for rule in rules:
+        if not config.rule_selected(rule.rule_id):
+            continue
+        raw.extend(rule.run(project))
+    raw.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+
+    kept: list[Finding] = []
+    suppressed: list[tuple[Finding, AllowlistEntry]] = []
+    used: set[int] = set()
+    for finding in raw:
+        entry = next((e for e in config.allowlist if e.matches(finding)), None)
+        if entry is None:
+            kept.append(finding)
+        else:
+            suppressed.append((finding, entry))
+            used.add(id(entry))
+    unused = [e for e in config.allowlist if id(e) not in used]
+    return LintReport(
+        findings=kept,
+        suppressed=suppressed,
+        unused_allowlist=unused,
+        checked_files=len(project.modules),
+        fail_on=config.fail_on,
+    )

@@ -1,0 +1,147 @@
+"""API-hygiene rules: the public engine/backend surface stays typed and safe.
+
+These are the slow-burn hazards: a public hook without annotations lets a
+new backend drift from the contract without mypy noticing (the conformance
+rules need a *typed* source of truth), a mutable default argument is shared
+state across calls — across *shards*, for anything reached from worker
+processes — and a bare ``except`` eats ``KeyboardInterrupt`` inside worker
+loops, turning Ctrl-C into a hung pool.
+
+* ``api-annotations`` (warning) — public methods and functions in the
+  engine/backend/dispatch/pathrng modules missing parameter or return
+  annotations.
+* ``api-mutable-default`` (error) — ``def f(x=[])`` / ``{}`` / ``set()``
+  and friends, anywhere.
+* ``api-bare-except`` (error) — ``except:`` handlers, anywhere.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+from typing import Iterator
+
+from repro.lint.framework import Finding, ModuleContext, ModuleRule
+
+__all__ = ["AnnotationRule", "BareExceptRule", "MutableDefaultRule"]
+
+#: Files whose public surface must be fully annotated (the contract files).
+ANNOTATION_SCOPE = (
+    "*core/engine.py",
+    "*core/pathrng.py",
+    "*backends/*.py",
+    "*dispatch/*.py",
+)
+
+
+def _functions_with_parents(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef, ast.AST]]:
+    parents: dict[int, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, parents[id(node)]
+
+
+class AnnotationRule(ModuleRule):
+    """Public contract-surface methods must be fully annotated."""
+
+    rule_id = "api-annotations"
+    severity = "warning"
+    description = (
+        "public engine/backend/dispatch methods must annotate every "
+        "parameter and the return type (mypy's source of truth)"
+    )
+
+    def visit_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not any(fnmatch.fnmatch(ctx.relpath, glob) for glob in ANNOTATION_SCOPE):
+            return
+        for fn, parent in _functions_with_parents(ctx.tree):
+            if fn.name.startswith("_") and fn.name != "__init__":
+                continue
+            if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # nested helper, not public surface
+            if isinstance(parent, ast.ClassDef) and parent.name.startswith("_"):
+                continue
+            owner = f"{parent.name}." if isinstance(parent, ast.ClassDef) else ""
+            symbol = f"{owner}{fn.name}"
+            missing = [
+                arg.arg
+                for arg in (
+                    *fn.args.posonlyargs,
+                    *fn.args.args,
+                    *fn.args.kwonlyargs,
+                )
+                if arg.annotation is None and arg.arg not in ("self", "cls")
+            ]
+            if missing:
+                yield self.finding(
+                    ctx,
+                    fn,
+                    f"{symbol} leaves parameter(s) {', '.join(missing)} "
+                    "unannotated; the contract surface is typed",
+                    symbol=symbol,
+                )
+            if fn.returns is None and fn.name != "__init__":
+                yield self.finding(
+                    ctx,
+                    fn,
+                    f"{symbol} has no return annotation; the contract "
+                    "surface is typed",
+                    symbol=symbol,
+                )
+
+
+class MutableDefaultRule(ModuleRule):
+    """Flag mutable default arguments."""
+
+    rule_id = "api-mutable-default"
+    severity = "error"
+    description = "default arguments must not be mutable (shared across calls)"
+
+    _MUTABLE_CALLS = {"list", "dict", "set", "bytearray"}
+
+    def visit_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for fn, _parent in _functions_with_parents(ctx.tree):
+            defaults = [*fn.args.defaults, *fn.args.kw_defaults]
+            for default in defaults:
+                if default is None:
+                    continue
+                if isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                    isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in self._MUTABLE_CALLS
+                ):
+                    yield self.finding(
+                        ctx,
+                        default,
+                        f"{fn.name} has a mutable default argument; one "
+                        "instance is shared across every call (and every "
+                        "shard) — default to None instead",
+                        symbol=fn.name,
+                    )
+
+
+class BareExceptRule(ModuleRule):
+    """Flag bare ``except:`` handlers."""
+
+    rule_id = "api-bare-except"
+    severity = "error"
+    description = (
+        "bare except swallows KeyboardInterrupt/SystemExit; catch Exception "
+        "or something narrower"
+    )
+
+    def visit_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare except: swallows KeyboardInterrupt and SystemExit "
+                    "(hangs worker pools); name the exception type",
+                    symbol="except",
+                )

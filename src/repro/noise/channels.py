@@ -224,12 +224,14 @@ class PauliChannel(KrausChannel):
                 raise ValueError("Pauli probabilities must be non-negative")
             terms[label] = terms.get(label, 0.0) + max(float(probability), 0.0)
         identity_label = "I" * num_qubits
-        total_non_identity = sum(p for l, p in terms.items() if l != identity_label)
+        total_non_identity = sum(
+            p for lbl, p in terms.items() if lbl != identity_label
+        )
         if total_non_identity > 1.0 + 1e-9:
             raise ValueError("Pauli error probabilities sum to more than one")
         terms[identity_label] = max(1.0 - total_non_identity, 0.0)
-        labels = sorted(terms, key=lambda l: (l != identity_label, l))
-        probs = np.array([terms[l] for l in labels], dtype=float)
+        labels = sorted(terms, key=lambda lbl: (lbl != identity_label, lbl))
+        probs = np.array([terms[lbl] for lbl in labels], dtype=float)
         unitaries = [_pauli_matrix(label) for label in labels]
         kraus = [math.sqrt(p) * u for p, u in zip(probs, unitaries) if p > 0]
         # Keep the same filtering for the mixture arrays.
@@ -240,7 +242,7 @@ class PauliChannel(KrausChannel):
             error_probability=float(total_non_identity),
             mixture=(probs[keep], [u for u, k in zip(unitaries, keep) if k]),
         )
-        self.pauli_probabilities = {l: float(terms[l]) for l in labels}
+        self.pauli_probabilities = {lbl: float(terms[lbl]) for lbl in labels}
 
 
 class DepolarizingChannel(PauliChannel):

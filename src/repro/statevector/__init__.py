@@ -14,8 +14,8 @@ from repro.statevector.sampling import (
     merge_counts,
     sample_from_probabilities,
 )
-from repro.statevector.state import Statevector
 from repro.statevector.simulator import StatevectorSimulator
+from repro.statevector.state import Statevector
 
 __all__ = [
     "Statevector",

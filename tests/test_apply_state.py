@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.circuits import Circuit, Gate
+from repro.circuits import Gate
 from repro.circuits.circuit import _expand_gate
 from repro.circuits.stdgates import cx_matrix, h_matrix, random_unitary
 from repro.statevector import (

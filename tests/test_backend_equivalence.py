@@ -9,7 +9,6 @@ import numpy as np
 import pytest
 
 from repro.backends import (
-    Backend,
     NumpyBackend,
     OptimizedNumpyBackend,
     available_backends,

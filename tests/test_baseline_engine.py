@@ -1,10 +1,9 @@
 """Tests for the baseline Monte-Carlo simulator and the TQSim reuse engine."""
 
-import numpy as np
 import pytest
 
 from repro.circuits import Circuit
-from repro.circuits.library import ghz_circuit, qft_circuit
+from repro.circuits.library import ghz_circuit
 from repro.core import (
     BaselineNoisySimulator,
     DynamicCircuitPartitioner,
@@ -14,7 +13,7 @@ from repro.core import (
     UniformCircuitPartitioner,
 )
 from repro.metrics import normalized_fidelity, total_variation_distance
-from repro.noise import NoiseModel, ReadoutError, depolarizing_noise_model
+from repro.noise import NoiseModel, ReadoutError
 from repro.statevector import StatevectorSimulator
 
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.circuits import Circuit, Gate, split_equal_gates
+from repro.circuits import Circuit, split_equal_gates
 
 
 def test_builder_appends_in_order(small_circuit):

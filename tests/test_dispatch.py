@@ -6,14 +6,11 @@ bitwise-identical merged counts and cost counters, for any shard count and
 any split depth, on both the sequential and the batched traversal.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import (
     ManualPartitioner,
-    PartitionPlan,
     TQSimEngine,
-    TreeStructure,
     UniformCircuitPartitioner,
 )
 from repro.core.engine import SubtreeAssignment

@@ -10,7 +10,6 @@ import numpy as np
 import pytest
 
 from repro.backends import get_backend
-from repro.circuits.library import ghz_circuit, qft_circuit
 from repro.core import (
     DynamicCircuitPartitioner,
     ManualPartitioner,

@@ -2,10 +2,9 @@
 
 import pytest
 
+from repro.circuits.library import qft_circuit
 from repro.experiments.common import ExperimentConfig, compare_simulators
 from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
-from repro.circuits.library import qft_circuit
-from repro.noise import depolarizing_noise_model
 
 #: Deliberately tiny configuration so the whole module runs in seconds.
 TINY = ExperimentConfig(shots=48, max_qubits=6, seed=5, copy_cost_in_gates=5.0)

@@ -1,6 +1,5 @@
 """End-to-end integration tests crossing multiple subsystems."""
 
-import numpy as np
 import pytest
 
 from repro.circuits.library import bv_circuit, qft_circuit

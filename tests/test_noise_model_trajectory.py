@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.circuits import Circuit, Gate
-from repro.density import DensityMatrix
 from repro.noise import (
     AmplitudeDampingChannel,
     DepolarizingChannel,

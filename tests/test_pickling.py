@@ -12,7 +12,7 @@ import pickle
 import numpy as np
 import pytest
 
-from repro.circuits import Circuit, Gate
+from repro.circuits import Gate
 from repro.circuits.library import qft_circuit
 from repro.core import (
     CostCounters,
@@ -22,7 +22,7 @@ from repro.core import (
     TreeStructure,
 )
 from repro.dispatch import ShardPlanner, run_shard
-from repro.noise import NoiseModel, ReadoutError, depolarizing_noise_model
+from repro.noise import ReadoutError, depolarizing_noise_model
 from repro.noise.channels import (
     AmplitudeDampingChannel,
     DepolarizingChannel,

@@ -162,7 +162,7 @@ def test_fusion_skips_name_sensitive_gates():
 
 def test_fusion_skip_names_flow_from_noise_model():
     from repro.experiments.common import fuse_for_noise_model
-    from repro.noise import NoiseModel, depolarizing_noise_model
+    from repro.noise import depolarizing_noise_model
     from repro.noise.channels import DepolarizingChannel
 
     model = depolarizing_noise_model()

@@ -11,7 +11,6 @@ from repro.core import (
     V100,
     XEON_6130,
     CostCounters,
-    DeviceProfile,
     NumpyBackend,
     SimulationResult,
     measure_copy_cost,
