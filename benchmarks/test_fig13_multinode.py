@@ -41,10 +41,31 @@ def test_fig13_multinode_scaling(benchmark, bench_config):
         f"serial {measured.serial_seconds:.3f}s)",
         measured.as_rows(),
     )
+    faulty = result.measured_faulty
+    print_table(
+        "Figure 13d — fault-tolerant dispatch (one injected worker crash)",
+        [
+            {
+                "leg": "pool",
+                "seconds": faulty.pool_seconds,
+            },
+            {
+                "leg": "resilient",
+                "seconds": faulty.resilient_seconds,
+            },
+            {
+                "leg": "resilient+crash",
+                "seconds": faulty.faulty_seconds,
+            },
+        ],
+    )
     # Larger circuits scale better than smaller ones; TQSim always wins.
     for name in result.strong:
         assert result.strong_scaling_speedups(name)[-1] >= 1.0
     assert all(point.tqsim_speedup > 1.0
                for points in result.weak.values() for point in points)
-    # Sharded execution is exact by construction, on any machine.
+    # Sharded execution is exact by construction, on any machine — with and
+    # without faults in the pooled legs.
     assert measured.counts_match_serial
+    assert faulty.counts_match_serial
+    assert faulty.pool_rebuilds >= 1

@@ -1,0 +1,86 @@
+"""Microbenchmark: fault-tolerant dispatch overhead and crash recovery.
+
+Two questions the resilience layer must answer with numbers:
+
+* What does supervision cost when nothing goes wrong?  The fault-free
+  resilient run executes the same shards through the same pool as the plain
+  :class:`~repro.dispatch.PoolDispatcher`, plus deadline/straggler
+  bookkeeping in the parent — the issue budget is **< 5 %** overhead.
+* What does one worker crash cost?  An injected ``os._exit`` on shard 0's
+  first attempt forces the full recovery path (broken-pool detection,
+  rebuild, re-run); the benchmark prints the measured recovery time.
+
+The hard assertions are the exactness contract (all legs bitwise identical
+to serial) and the recovery accounting; the overhead assertion is lenient
+(best-of-repeats plus an absolute slack) because tier-1 collects this file
+and shared CI runners time noisily.
+"""
+
+from conftest import print_table
+
+from repro.circuits.library import qft_circuit
+from repro.core import ManualPartitioner
+from repro.experiments.common import measure_faulty_dispatch
+from repro.noise import depolarizing_noise_model
+
+TREE_ARITIES = (16, 16)
+WIDTH = 9
+SHOTS = 256
+REPEATS = 3
+
+#: Fractional fault-free overhead budget from the issue (< 5 %) plus an
+#: absolute slack for timer noise on sub-second runs.
+OVERHEAD_BUDGET = 0.05
+ABSOLUTE_SLACK_SECONDS = 0.25
+
+
+def test_resilient_dispatch_overhead_and_recovery(bench_config):
+    noise_model = depolarizing_noise_model()
+    width = min(WIDTH, bench_config.max_qubits)
+    circuit = qft_circuit(width)
+    config = bench_config.scaled(shots=SHOTS)
+    plan = ManualPartitioner(TREE_ARITIES).plan(circuit, SHOTS, noise_model)
+
+    measured = measure_faulty_dispatch(
+        circuit, noise_model, config, plan, num_workers=2, repeats=REPEATS
+    )
+
+    print_table(
+        f"Resilient dispatch — {measured.name}, {measured.num_workers} "
+        "worker(s), one injected crash",
+        [
+            {
+                "leg": "pool (plain)",
+                "seconds": measured.pool_seconds,
+                "note": "baseline",
+            },
+            {
+                "leg": "resilient (fault-free)",
+                "seconds": measured.resilient_seconds,
+                "note": f"overhead {measured.fault_free_overhead:+.1%}",
+            },
+            {
+                "leg": "resilient (1 crash)",
+                "seconds": measured.faulty_seconds,
+                "note": (
+                    f"recovery {measured.recovery_overhead_seconds:.3f}s, "
+                    f"{measured.pool_rebuilds} rebuild(s)"
+                ),
+            },
+        ],
+    )
+
+    # Exactness: healthy or crashed, every leg merges to the serial bits.
+    assert measured.counts_match_serial
+    # The injected crash must actually have exercised the recovery path.
+    assert measured.pool_rebuilds >= 1
+    assert measured.faulty_seconds > 0
+    # Fault-free supervision overhead: < 5% with absolute slack for noise.
+    assert measured.resilient_seconds <= (
+        measured.pool_seconds * (1.0 + OVERHEAD_BUDGET)
+        + ABSOLUTE_SLACK_SECONDS
+    ), (
+        f"resilient fault-free leg {measured.resilient_seconds:.3f}s vs "
+        f"plain pool {measured.pool_seconds:.3f}s "
+        f"({measured.fault_free_overhead:+.1%})"
+    )

@@ -67,6 +67,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--calibrated", action="store_true",
                      help="microbenchmark the batched backend and use the "
                           "measured copy cost instead of the analytic value")
+    run.add_argument("--resilient", action="store_true",
+                     help="run the measured dispatch legs through the "
+                          "fault-tolerant ResilientPoolDispatcher (per-shard "
+                          "timeouts, deterministic retries, straggler "
+                          "re-shard) instead of the plain pool")
 
     calibrate = commands.add_parser(
         "calibrate",
@@ -145,6 +150,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     overrides: dict[str, Any] = {}
     if args.shots is not None:
+        # Rejected here, not deep inside a worker: zero shards cannot be
+        # planned, dispatched or merged (Dispatcher.run raises the same
+        # constraint as a ValueError for library callers).
+        if args.shots < 1:
+            print("--shots must be >= 1")
+            return 2
         overrides["shots"] = args.shots
     if args.max_qubits is not None:
         overrides["max_qubits"] = args.max_qubits
@@ -163,6 +174,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print("--max-depth must be >= 1")
             return 2
         extra["max_depth"] = args.max_depth
+    if args.resilient:
+        extra["resilient"] = True
     if args.copy_cost is not None and args.calibrated:
         print("--copy-cost and --calibrated are mutually exclusive")
         return 2

@@ -42,15 +42,24 @@ from repro.circuits.stdgates import cx_matrix, h_matrix
 __all__ = [
     "CostModel",
     "calibrate_cost_model",
+    "estimate_shard_seconds",
     "get_cost_model",
     "load_cost_model_cache",
     "save_cost_model_cache",
     "clear_cost_model_memory_cache",
+    "DEFAULT_ASSUMED_GATE_NS",
     "DEFAULT_CALIBRATION_QUBITS",
 ]
 
 #: Width the CLI and experiments calibrate at when none is given.
 DEFAULT_CALIBRATION_QUBITS = 10
+
+#: Assumed nanoseconds per gate-equivalent when no calibrated model exists.
+#: Deliberately generous (an order of magnitude above the measured batched
+#: kernels on this substrate): an uncalibrated time estimate feeds *timeout*
+#: and straggler thresholds, where overestimating costs a little patience
+#: and underestimating kills healthy shards.
+DEFAULT_ASSUMED_GATE_NS = 20_000.0
 
 #: Larger batch point of the affine batched-kernel fit.
 CALIBRATION_BATCH_ROWS = 16
@@ -187,6 +196,25 @@ class CostModel:
             batch_row_ns=float(data["batch_row_ns"]),
             sample_ns=float(data["sample_ns"]),
         )
+
+
+def estimate_shard_seconds(
+    estimated_cost: float, cost_model: CostModel | None = None
+) -> float:
+    """Wall-seconds estimate for one shard's planner cost figure.
+
+    The shard planner prices a :class:`~repro.dispatch.planner.ShardSpec`
+    in measured nanoseconds when it was given a calibrated model and in
+    analytic gate-equivalents otherwise (see
+    ``ShardPlanner._load_estimates``); this helper collapses both into
+    seconds so timeout and straggler thresholds can be derived uniformly.
+    Uncalibrated estimates use the deliberately conservative
+    :data:`DEFAULT_ASSUMED_GATE_NS` rate.
+    """
+    cost = max(float(estimated_cost), 0.0)
+    if cost_model is not None:
+        return cost * 1e-9
+    return cost * DEFAULT_ASSUMED_GATE_NS * 1e-9
 
 
 # ----------------------------------------------------------------------

@@ -37,15 +37,22 @@ import os
 import time
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 
 import numpy as np
 
 from repro.circuits.circuit import Circuit
 from repro.core.copycost import DEFAULT_COPY_COST_IN_GATES
-from repro.core.costmodel import CostModel
+from repro.core.costmodel import CostModel, estimate_shard_seconds
 from repro.core.engine import DEFAULT_MAX_TREE_BATCH
 from repro.core.partitioners import CircuitPartitioner, PartitionPlan
 from repro.core.results import SimulationResult, merge_many
+from repro.dispatch.faults import (
+    DispatchError,
+    FaultInjector,
+    PoolBrokenError,
+    ShardExecutionError,
+)
 from repro.dispatch.planner import ShardPlanner, ShardSpec
 from repro.dispatch.worker import run_shard
 from repro.noise.model import NoiseModel
@@ -119,7 +126,15 @@ class Dispatcher(ABC):
         partitioner: CircuitPartitioner | None = None,
         plan: PartitionPlan | None = None,
     ) -> SimulationResult:
-        """Plan, shard, execute and merge one simulation request."""
+        """Plan, shard, execute and merge one simulation request.
+
+        Raises :class:`ValueError` up front for ``shots < 1``: an empty
+        request has no shards, and everything downstream (`max` over shard
+        depths, :func:`~repro.core.results.merge_many`) correctly assumes a
+        non-empty decomposition.
+        """
+        if shots < 1:
+            raise ValueError("shots must be >= 1")
         shards = self._planner.plan_shards(
             circuit,
             shots,
@@ -145,6 +160,12 @@ class Dispatcher(ABC):
             "shard_wall_times": shard_seconds,
             "shard_seconds_total": sum(shard_seconds),
             "shard_estimated_costs": [spec.estimated_cost for spec in shards],
+            "shard_estimated_seconds": [
+                estimate_shard_seconds(
+                    spec.estimated_cost, self._planner.cost_model
+                )
+                for spec in shards
+            ],
             "replayed_prefix_gates": sum(
                 spec.replayed_prefix_gates for spec in shards
             ),
@@ -198,6 +219,11 @@ class PoolDispatcher(Dispatcher):
         available (workers inherit the parent's imported modules, so warm-up
         cost is a fraction of a ``spawn`` interpreter boot); pass ``"spawn"``
         explicitly to exercise the cold path.
+    fault_injector:
+        Deterministic fault schedule threaded into every
+        :func:`~repro.dispatch.worker.run_shard` call (see
+        :mod:`repro.dispatch.faults`).  ``None`` — the default — is inert;
+        this knob exists for fault-injection tests and benchmarks.
     """
 
     mode = "pool"
@@ -215,6 +241,7 @@ class PoolDispatcher(Dispatcher):
         max_depth: int = 1,
         cost_model: CostModel | None = None,
         mp_context: str | None = None,
+        fault_injector: FaultInjector | None = None,
     ) -> None:
         if num_workers is not None and num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -223,6 +250,7 @@ class PoolDispatcher(Dispatcher):
             methods = multiprocessing.get_all_start_methods()
             mp_context = "fork" if "fork" in methods else None
         self.mp_context = mp_context
+        self.fault_injector = fault_injector
         super().__init__(
             noise_model=noise_model,
             seed=seed,
@@ -248,17 +276,54 @@ class PoolDispatcher(Dispatcher):
             workers = _default_worker_count()
         return max(1, min(workers, num_shards))
 
-    def _execute(self, shards: list[ShardSpec]) -> list[SimulationResult]:
+    def _make_pool(self, num_workers: int) -> ProcessPoolExecutor:
+        """A fresh worker pool under this dispatcher's start method."""
         context = (
             multiprocessing.get_context(self.mp_context)
             if self.mp_context is not None
             else None
         )
-        with ProcessPoolExecutor(
-            max_workers=self._num_workers_used(len(shards)),
-            mp_context=context,
-        ) as pool:
-            futures = [pool.submit(run_shard, spec) for spec in shards]
-            # Collect in submission (shard) order; completion order is
-            # scheduler-dependent and must not influence the merged result.
-            return [future.result() for future in futures]
+        return ProcessPoolExecutor(max_workers=num_workers, mp_context=context)
+
+    def _execute(self, shards: list[ShardSpec]) -> list[SimulationResult]:
+        with self._make_pool(self._num_workers_used(len(shards))) as pool:
+            futures = [
+                pool.submit(run_shard, spec, 0, self.fault_injector)
+                for spec in shards
+            ]
+            try:
+                # Collect in submission (shard) order; completion order is
+                # scheduler-dependent and must not influence the merged
+                # result.
+                return [future.result() for future in futures]
+            except BaseException as error:
+                # Cancel everything still queued before teardown: without
+                # this, the context manager's shutdown(wait=True) would run
+                # every remaining shard to completion just to throw the
+                # results away.
+                pool.shutdown(wait=False, cancel_futures=True)
+                if isinstance(error, BrokenProcessPool):
+                    raise PoolBrokenError(
+                        "a worker process died mid-run; "
+                        "ResilientPoolDispatcher recovers from this"
+                    ) from error
+                if isinstance(error, DispatchError) or not isinstance(
+                    error, Exception
+                ):
+                    raise
+                shard = next(
+                    (
+                        index
+                        for index, future in enumerate(futures)
+                        if future.done()
+                        and not future.cancelled()
+                        and future.exception() is not None
+                    ),
+                    -1,
+                )
+                raise ShardExecutionError(
+                    shard,
+                    0,
+                    f"shard {shard} raised "
+                    f"{type(error).__name__}: {error}",
+                ) from error

@@ -31,7 +31,7 @@ any layer.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -50,7 +50,7 @@ from repro.core.partitioners import (
 from repro.core.pathrng import child_key, child_keys, run_root_key
 from repro.noise.model import NoiseModel
 
-__all__ = ["ShardSpec", "ShardPlanner"]
+__all__ = ["ShardSpec", "ShardPlanner", "split_shard_spec"]
 
 
 @dataclass(frozen=True)
@@ -372,6 +372,76 @@ class ShardPlanner:
             )
             unit += child_hi - child_lo
         return assignments
+
+
+def split_shard_spec(spec: ShardSpec, parts: int) -> list[ShardSpec]:
+    """Re-split one shard's child-range into ``parts`` contiguous sub-specs.
+
+    This is the speculative-re-shard primitive: when a shard straggles, the
+    :class:`~repro.dispatch.resilient.ResilientPoolDispatcher` re-executes
+    its assigned children as several smaller shards on idle workers.  The
+    split is *exact by construction* — each sub-assignment keeps the
+    original's path, prefix keys and the child-key slice it covers, so
+    every child subtree draws from the same path-addressed streams it would
+    have drawn from in the original shard, and the union of the sub-specs'
+    counts is bitwise the original's.
+
+    Prefix accounting must not double: only the sub-assignment that starts
+    at the original assignment's first covered child inherits its
+    ``counted_prefix_layers`` flags; every later slice re-replays the prefix
+    (real work, reported via ``replayed_prefix_gates``) without accounting
+    it, exactly like the planner's own boundary-splitting shards.
+
+    Sub-specs keep the parent's ``index``/``num_shards`` so their merged
+    provenance stays attributable to the shard they replace.
+    """
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    total_children = sum(a.child_count for a in spec.assignments)
+    parts = min(parts, total_children)
+    if parts == 1:
+        return [spec]
+
+    base, extra = divmod(total_children, parts)
+    sizes = [base + (1 if i < extra else 0) for i in range(parts)]
+
+    pieces: list[list[SubtreeAssignment]] = [[]]
+    need = sizes[0]
+    for assignment in spec.assignments:
+        offset = 0
+        while offset < assignment.child_count:
+            take = min(need, assignment.child_count - offset)
+            counted = (
+                assignment.counted_prefix_layers
+                if offset == 0
+                else (False,) * len(assignment.counted_prefix_layers)
+            )
+            pieces[-1].append(
+                SubtreeAssignment(
+                    path=assignment.path,
+                    child_start=assignment.child_start + offset,
+                    child_count=take,
+                    prefix_keys=assignment.prefix_keys,
+                    child_keys=assignment.child_keys[offset : offset + take],
+                    counted_prefix_layers=counted,
+                )
+            )
+            offset += take
+            need -= take
+            if need == 0 and len(pieces) < parts:
+                pieces.append([])
+                need = sizes[len(pieces) - 1]
+
+    fraction = 1.0 / parts
+    return [
+        replace(
+            spec,
+            assignments=tuple(piece),
+            estimated_cost=spec.estimated_cost * fraction,
+        )
+        for piece in pieces
+        if piece
+    ]
 
 
 def _decode_path(path_index: int, arities: tuple[int, ...]) -> tuple[int, ...]:

@@ -1,0 +1,616 @@
+"""Fault-tolerant pool dispatch: timeouts, retries, and straggler re-shard.
+
+:class:`ResilientPoolDispatcher` keeps the drop-in ``run(circuit, shots)``
+contract of :class:`~repro.dispatch.dispatchers.PoolDispatcher` and wraps
+the worker pool in a supervision loop:
+
+* **Timeouts** — every shard attempt gets a deadline derived from the
+  planner's cost estimate (``timeout_factor ×`` the estimated seconds,
+  clamped to a configurable floor/ceiling).  A running future cannot be
+  killed, so a timed-out attempt is *abandoned* (its worker becomes a
+  zombie until it returns or the pool is rebuilt) and the shard is retried.
+* **Retries with deterministic backoff** — failed and timed-out attempts
+  requeue with exponential backoff whose jitter is drawn from a
+  :mod:`repro.core.pathrng` stream keyed by ``(shard, attempt)``: no
+  wall-clock entropy, so a fault scenario schedules identically on every
+  run and the determinism lint stays green.
+* **Pool rebuilds** — a :class:`BrokenProcessPool` (worker crash/OOM) tears
+  the pool down, builds a fresh one and requeues *only* the incomplete
+  shards; completed results are never re-executed.
+* **Speculative re-shard** — a shard that runs past ``straggler_factor ×``
+  its estimate while workers sit idle is re-split over the idle capacity
+  via :func:`~repro.dispatch.planner.split_shard_spec`.  First full
+  coverage wins (the original result, or the merged sub-results); the
+  loser is cancelled or abandoned.  The path-keyed seeding contract makes
+  the re-split bitwise exact, so the winner's counts are identical either
+  way.
+* **Graceful degradation** — after ``max_pool_rebuilds`` the dispatcher
+  stops burning processes and finishes the remaining shards *in-process*
+  (serially, without the fault injector), recording the downgrade in
+  telemetry instead of raising.
+
+Whatever the fault schedule, the merged counts and cost counters are
+bitwise identical to :class:`~repro.dispatch.dispatchers.SerialDispatcher`
+with the same root seed: every retry, re-split and re-execution draws from
+the same path-addressed streams (see :mod:`repro.core.pathrng`).
+
+Telemetry lands under ``result.metadata["dispatch"]["resilience"]``:
+``attempts`` (submissions per shard), ``timeouts``, ``retries``,
+``failures`` (one record per fault: shard, attempt, kind, error),
+``pool_rebuilds``, ``speculative`` (launched/won/lost), ``degraded`` (+
+``degraded_shards``), ``backoff_seconds_total`` and the derived
+``timeout_seconds`` budget per shard.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import suppress
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.copycost import DEFAULT_COPY_COST_IN_GATES
+from repro.core.costmodel import CostModel, estimate_shard_seconds
+from repro.core.engine import DEFAULT_MAX_TREE_BATCH
+from repro.core.partitioners import CircuitPartitioner, PartitionPlan
+from repro.core.pathrng import PathStream, child_key, run_root_key
+from repro.core.results import SimulationResult, merge_many
+from repro.dispatch.dispatchers import PoolDispatcher
+from repro.dispatch.faults import (
+    FaultInjector,
+    ShardRetryExhaustedError,
+    ShardTimeoutError,
+)
+from repro.dispatch.planner import ShardSpec, split_shard_spec
+from repro.dispatch.worker import run_shard
+from repro.noise.model import NoiseModel
+
+__all__ = ["ResilientPoolDispatcher"]
+
+#: Domain separator for the backoff-jitter key chain: keeps retry jitter
+#: draws disjoint from every tree node's trajectory stream.
+_JITTER_SALT = 0x52455349  # "RESI"
+
+#: Ceiling of one supervision-loop wait (seconds); deadline and backoff
+#: events always wake the loop earlier when they are nearer.
+_MAX_POLL_SECONDS = 0.5
+
+
+@dataclass
+class _Flight:
+    """One in-flight shard attempt (primary or speculative part)."""
+
+    shard: int
+    attempt: int
+    spec: ShardSpec
+    submitted_at: float
+    deadline: float
+    speculative: bool = False
+    part: int = -1
+
+
+@dataclass
+class _SpeculationGroup:
+    """The speculative re-shard racing one straggling primary attempt."""
+
+    shard: int
+    parts: int
+    results: dict[int, SimulationResult] = field(default_factory=dict)
+    futures: list[Future] = field(default_factory=list)
+
+
+class ResilientPoolDispatcher(PoolDispatcher):
+    """A :class:`PoolDispatcher` that survives crashes, hangs and stragglers.
+
+    Parameters (on top of :class:`PoolDispatcher`'s)
+    ------------------------------------------------
+    max_retries:
+        Failed/timed-out attempts allowed per shard before
+        :class:`~repro.dispatch.faults.ShardRetryExhaustedError`.
+    timeout_factor / min_timeout_seconds / max_timeout_seconds:
+        Per-shard deadline = ``clamp(factor × estimated_seconds, floor,
+        ceiling)``.  The floor absorbs estimate error on tiny shards; the
+        ceiling bounds how long a hung worker can stall the run.
+    backoff_base_seconds / backoff_factor / backoff_max_seconds:
+        Retry ``n`` waits ``min(base × factor**(n-1), max)`` scaled by a
+        deterministic jitter in ``[0.5, 1.5)`` drawn from a pathrng stream
+        keyed by ``(shard, attempt)``.
+    straggler_factor / straggler_min_seconds:
+        A primary attempt running past ``max(factor × estimated_seconds,
+        min_seconds)`` with idle workers available triggers one speculative
+        re-shard of its child-range.
+    speculate:
+        Master switch for speculative re-sharding.
+    max_pool_rebuilds:
+        Pool rebuilds (crash recoveries / zombie purges) before degrading
+        to in-process serial execution of the remaining shards.
+    """
+
+    mode = "resilient-pool"
+
+    def __init__(
+        self,
+        noise_model: NoiseModel | None = None,
+        seed: int | np.random.SeedSequence | None = None,
+        num_workers: int | None = None,
+        num_shards: int | None = None,
+        backend: str = "batched",
+        copy_cost_in_gates: float = DEFAULT_COPY_COST_IN_GATES,
+        batch_size: int | None = None,
+        max_batch: int = DEFAULT_MAX_TREE_BATCH,
+        max_depth: int = 1,
+        cost_model: CostModel | None = None,
+        mp_context: str | None = None,
+        fault_injector: FaultInjector | None = None,
+        max_retries: int = 3,
+        timeout_factor: float = 10.0,
+        min_timeout_seconds: float = 5.0,
+        max_timeout_seconds: float = 300.0,
+        backoff_base_seconds: float = 0.05,
+        backoff_factor: float = 2.0,
+        backoff_max_seconds: float = 2.0,
+        straggler_factor: float = 4.0,
+        straggler_min_seconds: float = 1.0,
+        speculate: bool = True,
+        max_pool_rebuilds: int = 2,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if timeout_factor <= 0:
+            raise ValueError("timeout_factor must be positive")
+        if min_timeout_seconds <= 0 or max_timeout_seconds < min_timeout_seconds:
+            raise ValueError(
+                "need 0 < min_timeout_seconds <= max_timeout_seconds"
+            )
+        if backoff_base_seconds < 0 or backoff_max_seconds < 0:
+            raise ValueError("backoff seconds must be non-negative")
+        if backoff_factor < 1:
+            raise ValueError("backoff_factor must be >= 1")
+        if straggler_factor <= 0 or straggler_min_seconds < 0:
+            raise ValueError(
+                "straggler_factor must be positive and "
+                "straggler_min_seconds non-negative"
+            )
+        if max_pool_rebuilds < 0:
+            raise ValueError("max_pool_rebuilds must be >= 0")
+        self.max_retries = int(max_retries)
+        self.timeout_factor = float(timeout_factor)
+        self.min_timeout_seconds = float(min_timeout_seconds)
+        self.max_timeout_seconds = float(max_timeout_seconds)
+        self.backoff_base_seconds = float(backoff_base_seconds)
+        self.backoff_factor = float(backoff_factor)
+        self.backoff_max_seconds = float(backoff_max_seconds)
+        self.straggler_factor = float(straggler_factor)
+        self.straggler_min_seconds = float(straggler_min_seconds)
+        self.speculate = bool(speculate)
+        self.max_pool_rebuilds = int(max_pool_rebuilds)
+        self._last_resilience: dict[str, Any] = {}
+        super().__init__(
+            noise_model=noise_model,
+            seed=seed,
+            num_workers=num_workers,
+            num_shards=num_shards,
+            backend=backend,
+            copy_cost_in_gates=copy_cost_in_gates,
+            batch_size=batch_size,
+            max_batch=max_batch,
+            max_depth=max_depth,
+            cost_model=cost_model,
+            mp_context=mp_context,
+            fault_injector=fault_injector,
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        circuit: Any,
+        shots: int,
+        partitioner: CircuitPartitioner | None = None,
+        plan: PartitionPlan | None = None,
+    ) -> SimulationResult:
+        """Plan, execute under supervision, merge and attach telemetry."""
+        merged = super().run(
+            circuit, shots, partitioner=partitioner, plan=plan
+        )
+        merged.metadata["dispatch"]["resilience"] = self._last_resilience
+        return merged
+
+    # ------------------------------------------------------------------
+    def _timeout_for(self, spec: ShardSpec) -> float:
+        """Deadline budget of one attempt at ``spec`` (seconds)."""
+        estimated = estimate_shard_seconds(
+            spec.estimated_cost, self._planner.cost_model
+        )
+        return min(
+            max(self.timeout_factor * estimated, self.min_timeout_seconds),
+            self.max_timeout_seconds,
+        )
+
+    def _straggler_threshold(self, spec: ShardSpec) -> float:
+        """Runtime past which an attempt at ``spec`` counts as straggling."""
+        estimated = estimate_shard_seconds(
+            spec.estimated_cost, self._planner.cost_model
+        )
+        return max(
+            self.straggler_factor * estimated, self.straggler_min_seconds
+        )
+
+    def _backoff_seconds(self, shard: int, attempt: int) -> float:
+        """Deterministic backoff before retry ``attempt`` of ``shard``.
+
+        Exponential in the attempt number, scaled by a jitter factor in
+        ``[0.5, 1.5)`` drawn from a pathrng stream keyed by the dispatcher
+        seed, a domain salt, the shard and the attempt — a pure function of
+        the configuration, so scheduling is reproducible and two shards
+        failing together do not retry in lockstep.
+        """
+        if attempt < 1 or self.backoff_base_seconds == 0.0:
+            return 0.0
+        base = min(
+            self.backoff_base_seconds * self.backoff_factor ** (attempt - 1),
+            self.backoff_max_seconds,
+        )
+        jitter_key = child_key(
+            child_key(
+                child_key(run_root_key(self.seed), _JITTER_SALT), shard
+            ),
+            attempt,
+        )
+        jitter = 0.5 + float(PathStream(jitter_key).random())
+        return base * jitter
+
+    # ------------------------------------------------------------------
+    def _execute(self, shards: list[ShardSpec]) -> list[SimulationResult]:
+        num_workers = self._num_workers_used(len(shards))
+        timeouts = [self._timeout_for(spec) for spec in shards]
+        straggler_after = [self._straggler_threshold(s) for s in shards]
+        telemetry: dict[str, Any] = {
+            "attempts": [0] * len(shards),
+            "timeouts": 0,
+            "retries": 0,
+            "failures": [],
+            "pool_rebuilds": 0,
+            "speculative": {"launched": 0, "won": 0, "lost": 0},
+            "degraded": False,
+            "degraded_shards": [],
+            "backoff_seconds_total": 0.0,
+            "timeout_seconds": list(timeouts),
+        }
+        self._last_resilience = telemetry
+
+        results: dict[int, SimulationResult] = {}
+        #: Next attempt index per shard (== failed attempts so far).
+        attempts = [0] * len(shards)
+        #: shard -> monotonic instant it may (re)submit.
+        pending: dict[int, float] = {}
+        flights: dict[Future, _Flight] = {}
+        #: Abandoned futures still occupying a worker (cannot be killed).
+        zombies: set[Future] = set()
+        groups: dict[int, _SpeculationGroup] = {}
+        speculated: set[int] = set()
+        pool: ProcessPoolExecutor | None = self._make_pool(num_workers)
+
+        # -- helpers (closures over the supervision state) ---------------
+        def stop_pool(force: bool) -> None:
+            if pool is None:
+                return
+            pool.shutdown(wait=False, cancel_futures=True)
+            if force:
+                # Abandoned attempts keep their worker processes busy past
+                # shutdown; terminating through the executor's process table
+                # is the only way to reclaim them.
+                processes = dict(getattr(pool, "_processes", None) or {})
+                for process in processes.values():
+                    with suppress(OSError):
+                        process.terminate()
+
+        def record_failure(
+            shard: int, attempt: int, kind: str, error: BaseException | None
+        ) -> None:
+            telemetry["failures"].append(
+                {
+                    "shard": shard,
+                    "attempt": attempt,
+                    "kind": kind,
+                    "error": "" if error is None else str(error),
+                }
+            )
+
+        def abandon(future: Future) -> None:
+            """Drop a future we no longer want; track it if still running."""
+            flights.pop(future, None)
+            if not future.cancel() and not future.done():
+                zombies.add(future)
+
+        def discard_group(shard: int, won: bool) -> None:
+            group = groups.pop(shard, None)
+            if group is None:
+                return
+            for future in group.futures:
+                if future in flights:
+                    abandon(future)
+            if not won:
+                telemetry["speculative"]["lost"] += 1
+
+        def submit_primary(shard: int) -> None:
+            assert pool is not None
+            attempt = attempts[shard]
+            future = pool.submit(
+                run_shard, shards[shard], attempt, self.fault_injector
+            )
+            now = time.monotonic()
+            flights[future] = _Flight(
+                shard, attempt, shards[shard], now, now + timeouts[shard]
+            )
+            telemetry["attempts"][shard] += 1
+
+        def schedule_retry(
+            shard: int, kind: str, error: BaseException | None
+        ) -> None:
+            if shard in results or shard in pending:
+                return
+            if attempts[shard] > self.max_retries:
+                raise ShardRetryExhaustedError(
+                    shard,
+                    attempts[shard],
+                    str(error) if error is not None else kind,
+                )
+            delay = self._backoff_seconds(shard, attempts[shard])
+            telemetry["backoff_seconds_total"] += delay
+            telemetry["retries"] += 1
+            pending[shard] = time.monotonic() + delay
+
+        def handle_failure(
+            flight: _Flight, kind: str, error: BaseException | None
+        ) -> None:
+            if flight.speculative:
+                # One failed part invalidates the whole speculative copy;
+                # the primary attempt is still racing, so nothing retries.
+                record_failure(
+                    flight.shard, flight.attempt, f"speculative-{kind}", error
+                )
+                discard_group(flight.shard, won=False)
+                return
+            record_failure(flight.shard, flight.attempt, kind, error)
+            if kind == "timeout":
+                telemetry["timeouts"] += 1
+            attempts[flight.shard] = max(
+                attempts[flight.shard], flight.attempt + 1
+            )
+            schedule_retry(flight.shard, kind, error)
+
+        def handle_success(flight: _Flight, result: SimulationResult) -> None:
+            if flight.shard in results:
+                return  # a racing copy already finished this shard
+            if flight.speculative:
+                group = groups.get(flight.shard)
+                if group is None:
+                    return
+                group.results[flight.part] = result
+                if len(group.results) < group.parts:
+                    return
+                merged = merge_many(
+                    [group.results[i] for i in range(group.parts)]
+                )
+                groups.pop(flight.shard, None)
+                telemetry["speculative"]["won"] += 1
+                for future, other in list(flights.items()):
+                    if other.shard == flight.shard and not other.speculative:
+                        abandon(future)
+                results[flight.shard] = merged
+                pending.pop(flight.shard, None)
+                return
+            discard_group(flight.shard, won=False)
+            results[flight.shard] = result
+            pending.pop(flight.shard, None)
+
+        def rebuild_pool() -> bool:
+            """Replace the pool and requeue incomplete work; False = budget gone."""
+            nonlocal pool
+            for shard in list(groups):
+                discard_group(shard, won=False)
+            for future in list(flights):
+                flight = flights.pop(future)
+                if not flight.speculative:
+                    attempts[flight.shard] = max(
+                        attempts[flight.shard], flight.attempt + 1
+                    )
+            stop_pool(force=True)
+            pool = None
+            zombies.clear()
+            if telemetry["pool_rebuilds"] >= self.max_pool_rebuilds:
+                return False
+            telemetry["pool_rebuilds"] += 1
+            pool = self._make_pool(num_workers)
+            now = time.monotonic()
+            for shard in range(len(shards)):
+                if shard not in results:
+                    pending.setdefault(shard, now)
+            return True
+
+        def degrade() -> None:
+            """Finish the remaining shards in-process, serially.
+
+            The fault injector is deliberately *not* threaded through: an
+            injected crash or hang in-process would take the supervising
+            process down with it, and degraded mode exists to terminate.
+            """
+            nonlocal pool
+            for shard in list(groups):
+                discard_group(shard, won=False)
+            flights.clear()
+            stop_pool(force=True)
+            pool = None
+            zombies.clear()
+            telemetry["degraded"] = True
+            for shard in range(len(shards)):
+                if shard in results:
+                    continue
+                telemetry["degraded_shards"].append(shard)
+                telemetry["attempts"][shard] += 1
+                results[shard] = run_shard(shards[shard], attempts[shard])
+                pending.pop(shard, None)
+
+        # -- supervision loop --------------------------------------------
+        try:
+            now = time.monotonic()
+            for shard in range(len(shards)):
+                pending[shard] = now
+
+            while len(results) < len(shards):
+                if pool is None:
+                    degrade()
+                    break
+
+                # Launch whatever backoff has released.
+                now = time.monotonic()
+                for shard in sorted(pending):
+                    if pending[shard] <= now and shard not in results:
+                        del pending[shard]
+                        submit_primary(shard)
+
+                if not flights:
+                    if pending:
+                        wake = min(pending.values()) - time.monotonic()
+                        if wake > 0:
+                            time.sleep(min(wake, _MAX_POLL_SECONDS))
+                        continue
+                    # Nothing running, nothing queued, shards incomplete:
+                    # unreachable by construction, but degrade beats hanging.
+                    degrade()
+                    break
+
+                # Sleep until the nearest event: a completion (wait() wakes
+                # early), a deadline, a straggler threshold or a retry.
+                now = time.monotonic()
+                events = [flight.deadline for flight in flights.values()]
+                events.extend(
+                    flight.submitted_at + straggler_after[flight.shard]
+                    for flight in flights.values()
+                    if not flight.speculative
+                    and flight.shard not in speculated
+                )
+                events.extend(pending.values())
+                poll = min(
+                    max(min(events) - now, 0.01), _MAX_POLL_SECONDS
+                )
+                done, _ = wait(
+                    list(flights), timeout=poll, return_when=FIRST_COMPLETED
+                )
+
+                pool_broken = False
+                broken_error: BaseException | None = None
+                for future in done:
+                    flight = flights.pop(future, None)
+                    if flight is None:
+                        continue
+                    if flight.shard in results and not flight.speculative:
+                        continue  # stale loser of a speculation race
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool as error:
+                        pool_broken = True
+                        broken_error = error
+                        if not flight.speculative:
+                            record_failure(
+                                flight.shard,
+                                flight.attempt,
+                                "pool-broken",
+                                error,
+                            )
+                            attempts[flight.shard] = max(
+                                attempts[flight.shard], flight.attempt + 1
+                            )
+                    except Exception as error:
+                        handle_failure(flight, "error", error)
+                    else:
+                        handle_success(flight, result)
+
+                if pool_broken:
+                    record_failure(-1, -1, "pool-rebuild", broken_error)
+                    if not rebuild_pool():
+                        degrade()
+                        break
+                    continue
+
+                # Deadlines: abandon and retry timed-out attempts.
+                now = time.monotonic()
+                for future, flight in list(flights.items()):
+                    if now < flight.deadline:
+                        continue
+                    abandon(future)
+                    handle_failure(
+                        flight,
+                        "timeout",
+                        ShardTimeoutError(
+                            flight.shard,
+                            flight.attempt,
+                            timeouts[flight.shard],
+                        ),
+                    )
+
+                # Reclaim workers whose abandoned attempts finally returned.
+                for future in [z for z in zombies if z.done()]:
+                    zombies.discard(future)
+                if (
+                    len(zombies) >= num_workers
+                    and len(results) < len(shards)
+                ):
+                    # Every worker is wedged on an abandoned attempt; only a
+                    # rebuild can free capacity for the retries.
+                    if not rebuild_pool():
+                        degrade()
+                        break
+                    continue
+
+                # Stragglers: re-shard over idle capacity, race the primary.
+                idle = num_workers - len(zombies) - len(flights)
+                if not self.speculate or idle < 1:
+                    continue
+                now = time.monotonic()
+                for future, flight in list(flights.items()):
+                    if idle < 1:
+                        break
+                    if (
+                        flight.speculative
+                        or flight.shard in speculated
+                        or flight.shard in groups
+                        or now - flight.submitted_at
+                        < straggler_after[flight.shard]
+                    ):
+                        continue
+                    parts = split_shard_spec(flight.spec, idle + 1)
+                    if len(parts) < 2:
+                        speculated.add(flight.shard)  # unsplittable
+                        continue
+                    speculated.add(flight.shard)
+                    group = _SpeculationGroup(
+                        shard=flight.shard, parts=len(parts)
+                    )
+                    groups[flight.shard] = group
+                    spec_attempt = flight.attempt + 1
+                    for part_index, part in enumerate(parts):
+                        part_future = pool.submit(
+                            run_shard, part, spec_attempt, self.fault_injector
+                        )
+                        submitted = time.monotonic()
+                        flights[part_future] = _Flight(
+                            flight.shard,
+                            spec_attempt,
+                            part,
+                            submitted,
+                            submitted + self._timeout_for(part),
+                            speculative=True,
+                            part=part_index,
+                        )
+                        group.futures.append(part_future)
+                    telemetry["speculative"]["launched"] += 1
+                    idle -= len(parts)
+
+            return [results[index] for index in range(len(shards))]
+        finally:
+            stop_pool(force=bool(zombies or flights))

@@ -1,7 +1,7 @@
 """The per-process shard entry point.
 
-``run_shard`` is deliberately a *module-level function of one picklable
-argument*: ``ProcessPoolExecutor`` ships it to workers by reference under
+``run_shard`` is deliberately a *module-level function of picklable
+arguments*: ``ProcessPoolExecutor`` ships it to workers by reference under
 every start method (fork and spawn alike), and the same function body serves
 the in-process :class:`~repro.dispatch.dispatchers.SerialDispatcher`, so the
 serial and pooled paths execute byte-for-byte the same code.
@@ -11,22 +11,40 @@ from __future__ import annotations
 
 from repro.core.engine import TQSimEngine
 from repro.core.results import SimulationResult
+from repro.dispatch.faults import FaultInjector
 from repro.dispatch.planner import ShardSpec
 
 __all__ = ["run_shard"]
 
 
-def run_shard(spec: ShardSpec) -> SimulationResult:
+def run_shard(
+    spec: ShardSpec,
+    attempt: int = 0,
+    fault_injector: FaultInjector | None = None,
+) -> SimulationResult:
     """Execute one shard with a locally built engine and tag its provenance.
 
     The engine's own root seed is irrelevant here: every random draw comes
     from the spec's pre-derived per-node streams, so the result depends only
-    on the spec — not on which process, or in which order, it ran.  Deep
-    shards replay their paths' prefix subcircuits to rebuild the entry
-    states (accounted only by the owning shard; see
+    on the spec — not on which process, in which order, or on which
+    *attempt* it ran.  That attempt-independence is what makes retries and
+    speculative re-execution exact: re-running a shard (or any re-split of
+    its child-range) reproduces its counts bitwise.  Deep shards replay
+    their paths' prefix subcircuits through the recorded per-node path keys
+    to rebuild the entry states (accounted only by the owning shard; see
     :meth:`~repro.core.engine.TQSimEngine._replay_prefix`), then traverse
     exactly the assigned children.
+
+    ``fault_injector`` is the deterministic test hook from
+    :mod:`repro.dispatch.faults`; it is ``None`` in production and fires at
+    entry, before any simulation state exists, keyed by
+    ``(spec.index, attempt)``.  Non-aborting injected faults (hangs that
+    return, slow-downs) are recorded under
+    ``result.metadata["injected_faults"]``.
     """
+    injected: tuple[str, ...] = ()
+    if fault_injector is not None:
+        injected = fault_injector.fire(spec.index, attempt)
     engine = TQSimEngine(
         noise_model=spec.noise_model,
         backend=spec.backend,
@@ -46,4 +64,7 @@ def run_shard(spec: ShardSpec) -> SimulationResult:
     result.metadata["shard_estimated_cost"] = spec.estimated_cost
     result.metadata["shard_replayed_prefix_gates"] = spec.replayed_prefix_gates
     result.metadata["num_shards"] = spec.num_shards
+    result.metadata["shard_attempt"] = attempt
+    if injected:
+        result.metadata["injected_faults"] = injected
     return result

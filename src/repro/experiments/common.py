@@ -32,10 +32,12 @@ __all__ = [
     "BatchedTreeMeasurement",
     "DispatchPoint",
     "DispatchScalingMeasurement",
+    "FaultyDispatchMeasurement",
     "compare_simulators",
     "fuse_for_noise_model",
     "measure_batched_tree",
     "measure_dispatch_scaling",
+    "measure_faulty_dispatch",
     "dispatch_worker_counts",
     "DEFAULT_CONFIG",
     "PAPER_SHOTS",
@@ -382,9 +384,25 @@ def measure_dispatch_scaling(
     the shard planner split layers below the first when the plan's ``A0`` is
     smaller than the worker count — the low-arity sweeps would otherwise
     starve the pool at ``A0`` shards.
-    """
-    from repro.dispatch import PoolDispatcher, SerialDispatcher
 
+    ``config.extra["resilient"]`` (the CLI's ``--resilient``) swaps the
+    measured pool for the fault-tolerant
+    :class:`~repro.dispatch.ResilientPoolDispatcher`; the bitwise contract
+    is unchanged (the resilient pool's fault-free path is the plain pool's
+    plus supervision), so ``counts_match_serial`` must stay True and any
+    wall-clock delta is the supervision overhead.
+    """
+    from repro.dispatch import (
+        PoolDispatcher,
+        ResilientPoolDispatcher,
+        SerialDispatcher,
+    )
+
+    pool_class = (
+        ResilientPoolDispatcher
+        if config.extra.get("resilient")
+        else PoolDispatcher
+    )
     if worker_counts is None:
         worker_counts = dispatch_worker_counts(config)
     if max_depth is None:
@@ -405,7 +423,7 @@ def measure_dispatch_scaling(
     points: list[DispatchPoint] = []
     counts_match = True
     for workers in worker_counts:
-        dispatcher = PoolDispatcher(
+        dispatcher = pool_class(
             noise_model, seed=seed, num_workers=workers, num_shards=workers,
             copy_cost_in_gates=config.copy_cost_in_gates,
             max_depth=max_depth,
@@ -436,6 +454,116 @@ def measure_dispatch_scaling(
         serial_seconds=serial_seconds,
         points=points,
         counts_match_serial=counts_match,
+    )
+
+
+@dataclass(frozen=True)
+class FaultyDispatchMeasurement:
+    """Measured fault-tolerant dispatch of one plan, healthy and under fire.
+
+    Three legs share one seed and one shard decomposition: the plain pool
+    (``pool_seconds``), the resilient pool with no faults
+    (``resilient_seconds`` — the supervision overhead leg), and the
+    resilient pool with one injected worker crash (``faulty_seconds`` — the
+    recovery leg).  ``counts_match_serial`` asserts the load-bearing claim:
+    all three produce counts bitwise identical to serial dispatch, crash or
+    no crash.
+    """
+
+    name: str
+    num_qubits: int
+    num_workers: int
+    pool_seconds: float
+    resilient_seconds: float
+    faulty_seconds: float
+    counts_match_serial: bool
+    pool_rebuilds: int
+
+    @property
+    def fault_free_overhead(self) -> float:
+        """Fractional overhead of supervision with no faults (0.03 = 3%)."""
+        return self.resilient_seconds / self.pool_seconds - 1.0
+
+    @property
+    def recovery_overhead_seconds(self) -> float:
+        """Extra wall time the injected crash cost (detect + rerun)."""
+        return self.faulty_seconds - self.resilient_seconds
+
+
+def measure_faulty_dispatch(
+    circuit: Circuit,
+    noise_model: NoiseModel | None,
+    config: ExperimentConfig,
+    plan,
+    num_workers: int = 2,
+    repeats: int = 2,
+) -> FaultyDispatchMeasurement:
+    """Measure resilient-dispatch overhead and crash recovery on one plan.
+
+    The injected fault crashes shard 0's first attempt (``os._exit`` in the
+    worker — a real process death, not an exception), which forces the full
+    recovery path: broken-pool detection, pool rebuild and shard re-run.
+    Timing legs are best-of-``repeats``; the crash leg keeps retry backoff
+    near zero so the measurement isolates detection + re-execution.
+    """
+    from repro.dispatch import (
+        FaultInjector,
+        PoolDispatcher,
+        ResilientPoolDispatcher,
+        SerialDispatcher,
+    )
+
+    seed = config.seed + 2
+    serial = SerialDispatcher(
+        noise_model, seed=seed, num_shards=1,
+        copy_cost_in_gates=config.copy_cost_in_gates,
+    ).run(circuit, config.shots, plan=plan)
+
+    def best_run(dispatcher) -> Any:
+        best = None
+        for _ in range(repeats):
+            candidate = dispatcher.run(circuit, config.shots, plan=plan)
+            if best is None or (
+                candidate.metadata["dispatch"]["wall_time_seconds"]
+                < best.metadata["dispatch"]["wall_time_seconds"]
+            ):
+                best = candidate
+        return best
+
+    pool = best_run(PoolDispatcher(
+        noise_model, seed=seed, num_workers=num_workers,
+        num_shards=num_workers,
+        copy_cost_in_gates=config.copy_cost_in_gates,
+    ))
+    resilient = best_run(ResilientPoolDispatcher(
+        noise_model, seed=seed, num_workers=num_workers,
+        num_shards=num_workers,
+        copy_cost_in_gates=config.copy_cost_in_gates,
+    ))
+    faulty = best_run(ResilientPoolDispatcher(
+        noise_model, seed=seed, num_workers=num_workers,
+        num_shards=num_workers,
+        copy_cost_in_gates=config.copy_cost_in_gates,
+        fault_injector=FaultInjector(crashes=((0, 0),)),
+        backoff_base_seconds=0.0,
+    ))
+
+    counts_match = (
+        pool.counts == serial.counts
+        and resilient.counts == serial.counts
+        and faulty.counts == serial.counts
+    )
+    return FaultyDispatchMeasurement(
+        name=circuit.name or "circuit",
+        num_qubits=circuit.num_qubits,
+        num_workers=num_workers,
+        pool_seconds=pool.metadata["dispatch"]["wall_time_seconds"],
+        resilient_seconds=resilient.metadata["dispatch"]["wall_time_seconds"],
+        faulty_seconds=faulty.metadata["dispatch"]["wall_time_seconds"],
+        counts_match_serial=counts_match,
+        pool_rebuilds=faulty.metadata["dispatch"]["resilience"][
+            "pool_rebuilds"
+        ],
     )
 
 

@@ -26,7 +26,9 @@ from repro.experiments.common import (
     DEFAULT_CONFIG,
     DispatchScalingMeasurement,
     ExperimentConfig,
+    FaultyDispatchMeasurement,
     measure_dispatch_scaling,
+    measure_faulty_dispatch,
 )
 from repro.noise.sycamore import depolarizing_noise_model
 
@@ -34,6 +36,7 @@ __all__ = [
     "MultiNodeResult",
     "measured_dispatch_scaling",
     "measured_deep_dispatch_scaling",
+    "measured_faulty_dispatch_scaling",
     "run",
 ]
 
@@ -61,14 +64,19 @@ class MultiNodeResult:
     ``measured`` holds the real multiprocess sweep (serial dispatcher vs
     process pool on one shared plan); ``measured_deep`` repeats it on a
     low-first-layer-arity plan where only deep (path-based) sharding can
-    feed the pool.  The modeled points keep the paper's cluster story at
-    widths the NumPy substrate cannot time directly.
+    feed the pool.  ``measured_faulty`` runs the fault-tolerance leg: the
+    resilient pool healthy (supervision overhead) and with one injected
+    worker crash (recovery cost), both bitwise-checked against serial — the
+    single-host analogue of a cluster losing a node mid-run.  The modeled
+    points keep the paper's cluster story at widths the NumPy substrate
+    cannot time directly.
     """
 
     strong: dict[str, list[ScalingPoint]]
     weak: dict[str, list[ScalingPoint]]
     measured: DispatchScalingMeasurement | None = None
     measured_deep: DispatchScalingMeasurement | None = None
+    measured_faulty: FaultyDispatchMeasurement | None = None
 
     def strong_scaling_speedups(self, name: str) -> list[float]:
         """Speedup vs the single-node time for one strong-scaling series."""
@@ -126,6 +134,29 @@ def measured_deep_dispatch_scaling(
     )
 
 
+def measured_faulty_dispatch_scaling(
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    num_workers: int = 2,
+) -> FaultyDispatchMeasurement:
+    """Measure fault-tolerant dispatch on the high-arity QFT plan.
+
+    Three legs on the ``measured`` sweep's plan: plain pool, resilient pool
+    (fault-free — its delta over the plain pool is the supervision
+    overhead, kept under a few percent), and resilient pool with shard 0's
+    first attempt killed by a real ``os._exit`` in the worker (the delta
+    over the fault-free leg is the detect-rebuild-rerun recovery cost).
+    """
+    noise_model = depolarizing_noise_model()
+    width = min(config.max_qubits, 10)
+    circuit = qft_circuit(width)
+    plan = ManualPartitioner(MEASURED_TREE_ARITIES).plan(
+        circuit, config.shots, noise_model
+    )
+    return measure_faulty_dispatch(
+        circuit, noise_model, config, plan, num_workers=num_workers
+    )
+
+
 def run(config: ExperimentConfig = DEFAULT_CONFIG) -> MultiNodeResult:
     """Model strong and weak scaling, plus the measured multiprocess sweep."""
     noise_model = depolarizing_noise_model()
@@ -151,4 +182,5 @@ def run(config: ExperimentConfig = DEFAULT_CONFIG) -> MultiNodeResult:
         weak=weak,
         measured=measured_dispatch_scaling(config),
         measured_deep=measured_deep_dispatch_scaling(config),
+        measured_faulty=measured_faulty_dispatch_scaling(config),
     )

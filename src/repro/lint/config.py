@@ -43,7 +43,11 @@ from repro.lint.rules_hygiene import (
     BareExceptRule,
     MutableDefaultRule,
 )
-from repro.lint.rules_multiprocessing import ExecutorCallableRule, ModuleStateRule
+from repro.lint.rules_multiprocessing import (
+    ExecutorCallableRule,
+    ModuleStateRule,
+    SilentExceptRule,
+)
 
 __all__ = ["DEFAULT_ALLOWLIST", "default_rules"]
 
@@ -57,6 +61,7 @@ def default_rules() -> list[Rule]:
         BackendRegistryRule(),
         ExecutorCallableRule(),
         ModuleStateRule(),
+        SilentExceptRule(),
         AnnotationRule(),
         MutableDefaultRule(),
         BareExceptRule(),
@@ -148,6 +153,13 @@ DEFAULT_ALLOWLIST: tuple[AllowlistEntry, ...] = (
         "det-clock", "*dispatch/dispatchers.py", "time.perf_counter*",
         "dispatchers time the end-to-end pool execution for "
         "metadata['dispatch']; metric only",
+    ),
+    AllowlistEntry(
+        "det-clock", "*dispatch/resilient.py", "time.monotonic*",
+        "supervision loop reads the monotonic clock for deadlines, backoff "
+        "release and straggler detection; scheduling only — every random "
+        "draw (including retry jitter) comes from path-keyed streams, so "
+        "merged counts stay bitwise whatever the clock says",
     ),
     # -- det-clock: calibration timers (issue-sanctioned) ------------------
     AllowlistEntry(

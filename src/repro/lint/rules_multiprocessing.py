@@ -17,6 +17,13 @@ exactly the kind of divergence the bitwise contract forbids.
 * ``mp-module-state`` — mutation of module-level mutable state (and
   ``global`` rebinding) inside functions of ``repro.dispatch`` modules, the
   code that runs on both sides of the pool boundary.
+* ``mp-silent-except`` — bare ``except:`` anywhere in ``repro.dispatch``,
+  and broad ``except Exception``/``BaseException`` handlers whose body
+  swallows the error (``pass``/``continue``/``break``/a lone constant).
+  The fault-tolerance contract is that every worker failure becomes a
+  typed :class:`~repro.dispatch.faults.DispatchError` or a telemetry
+  record — a silently-eaten exception is a shard that never reports, which
+  the supervision loop would misread as a hang and retry forever.
 """
 
 from __future__ import annotations
@@ -26,7 +33,7 @@ from typing import Iterator
 
 from repro.lint.framework import Finding, ModuleContext, ModuleRule
 
-__all__ = ["ExecutorCallableRule", "ModuleStateRule"]
+__all__ = ["ExecutorCallableRule", "ModuleStateRule", "SilentExceptRule"]
 
 #: Constructors whose instances cross the process boundary.
 _EXECUTOR_TYPES = {
@@ -278,3 +285,73 @@ class ModuleStateRule(ModuleRule):
                     "worker processes do not share this state",
                     symbol=node.func.value.id,
                 )
+
+
+class SilentExceptRule(ModuleRule):
+    """Flag exception swallowing inside the dispatch package.
+
+    Dispatch code sits between a worker pool that can genuinely crash and a
+    supervision loop whose whole job is to observe those failures.  Every
+    handler must therefore either convert the error into a typed
+    ``DispatchError``, record it (telemetry, retry bookkeeping) or re-raise
+    — a bare ``except:`` (which also eats ``KeyboardInterrupt``) or a broad
+    ``except Exception: pass`` turns a real fault into a silent wrong
+    answer.  ``contextlib.suppress`` of *specific* OS errors around
+    best-effort teardown is fine and not matched here.
+    """
+
+    rule_id = "mp-silent-except"
+    severity = "error"
+    description = (
+        "repro.dispatch handlers must not swallow exceptions: bare except "
+        "and silent broad except Exception/BaseException bodies are "
+        "forbidden; convert failures to DispatchErrors or telemetry"
+    )
+
+    #: Handler types considered "broad": everything lands in them.
+    _BROAD = {"Exception", "BaseException", "builtins.Exception", "builtins.BaseException"}
+
+    def visit_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if "dispatch/" not in ctx.relpath and "/dispatch" not in ctx.relpath:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare except: in dispatch code swallows everything "
+                    "including KeyboardInterrupt; catch a specific type and "
+                    "surface the failure as a DispatchError or telemetry",
+                    symbol="except",
+                )
+                continue
+            if self._is_broad(ctx, node.type) and self._is_silent(node.body):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "broad except handler silently discards the error; "
+                    "dispatch failures must become typed DispatchErrors or "
+                    "telemetry records, never disappear",
+                    symbol="except",
+                )
+
+    # ------------------------------------------------------------------
+    def _is_broad(self, ctx: ModuleContext, node: ast.expr) -> bool:
+        if isinstance(node, ast.Tuple):
+            return any(self._is_broad(ctx, element) for element in node.elts)
+        return ctx.qualified_name(node) in self._BROAD
+
+    @staticmethod
+    def _is_silent(body: list[ast.stmt]) -> bool:
+        """True when the handler body provably does nothing with the error."""
+        for statement in body:
+            if isinstance(statement, (ast.Pass, ast.Continue, ast.Break)):
+                continue
+            if isinstance(statement, ast.Expr) and isinstance(
+                statement.value, ast.Constant
+            ):
+                continue  # docstring / bare ellipsis
+            return False
+        return True

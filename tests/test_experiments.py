@@ -149,6 +149,15 @@ def test_fig13_multinode():
         assert point.num_shards == point.num_workers
         if point.num_workers > 2:
             assert point.shard_depth == 1
+    # The fault-tolerance leg: healthy and crash-recovery runs both merge
+    # to the serial bits, and the injected crash forced a pool rebuild.
+    faulty = result.measured_faulty
+    assert faulty is not None
+    assert faulty.counts_match_serial
+    assert faulty.pool_rebuilds >= 1
+    assert faulty.pool_seconds > 0
+    assert faulty.resilient_seconds > 0
+    assert faulty.faulty_seconds > 0
 
 
 def test_fig17_tradeoff_structures():

@@ -26,7 +26,11 @@ from repro.lint.framework import (
 from repro.lint.rules_backend import BackendRegistryRule, BackendStaticConformanceRule
 from repro.lint.rules_determinism import ForeignRandomRule, WallClockRule
 from repro.lint.rules_hygiene import AnnotationRule, BareExceptRule, MutableDefaultRule
-from repro.lint.rules_multiprocessing import ExecutorCallableRule, ModuleStateRule
+from repro.lint.rules_multiprocessing import (
+    ExecutorCallableRule,
+    ModuleStateRule,
+    SilentExceptRule,
+)
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -339,6 +343,68 @@ def test_mp_negative_module_level_function_submit(tmp_path):
             """
         },
         [ExecutorCallableRule(), ModuleStateRule()],
+    )
+    assert report.findings == []
+
+
+def test_mp_silent_except_flags_bare_and_silent_broad(tmp_path):
+    report = lint_fixture(
+        tmp_path,
+        {
+            "src/repro/dispatch/swallow.py": """
+            def run(futures):
+                results = []
+                for future in futures:
+                    try:
+                        results.append(future.result())
+                    except:
+                        pass
+                    try:
+                        results.append(future.result())
+                    except Exception:
+                        continue
+                    try:
+                        results.append(future.result())
+                    except (ValueError, BaseException):
+                        ...
+                return results
+            """
+        },
+        [SilentExceptRule()],
+    )
+    assert rule_ids(report) == ["mp-silent-except"] * 3
+
+
+def test_mp_silent_except_negative_handled_and_scoped(tmp_path):
+    report = lint_fixture(
+        tmp_path,
+        {
+            # Dispatch code that *handles* broad exceptions (re-raise typed,
+            # record telemetry) is fine, as is catching specific types.
+            "src/repro/dispatch/handled.py": """
+            def run(futures, telemetry):
+                results = []
+                for future in futures:
+                    try:
+                        results.append(future.result())
+                    except Exception as error:
+                        telemetry.append(str(error))
+                    try:
+                        results.append(future.result())
+                    except OSError:
+                        pass
+                return results
+            """,
+            # Outside the dispatch package the rule does not apply at all.
+            "src/repro/metrics/elsewhere.py": """
+            def safe(value):
+                try:
+                    return float(value)
+                except Exception:
+                    pass
+            """,
+        },
+        [SilentExceptRule()],
     )
     assert report.findings == []
 

@@ -1,0 +1,386 @@
+"""Fault-tolerant dispatch: every failure mode, bitwise-checked.
+
+The load-bearing claim of :mod:`repro.dispatch.resilient`: whatever faults
+strike — worker crashes, hangs past the timeout, transient exceptions,
+stragglers racing a speculative re-shard, even a full degrade to in-process
+execution — the merged counts *and* cost counters are bitwise identical to
+the :class:`~repro.dispatch.SerialDispatcher` with the same root seed.  The
+deterministic :class:`~repro.dispatch.FaultInjector` makes each scenario a
+plain assertion instead of a flaky stress test, and the telemetry under
+``metadata["dispatch"]["resilience"]`` must record every injected fault.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+import pytest
+
+from repro.core import ManualPartitioner
+from repro.dispatch import (
+    DispatchError,
+    FaultInjector,
+    InjectedFaultError,
+    PoolBrokenError,
+    PoolDispatcher,
+    ResilientPoolDispatcher,
+    SerialDispatcher,
+    ShardExecutionError,
+    ShardPlanner,
+    ShardRetryExhaustedError,
+    ShardTimeoutError,
+    split_shard_spec,
+)
+from repro.noise import ReadoutError, depolarizing_noise_model
+
+SHOTS = 180
+SEED = 11
+PARTITIONER = ManualPartitioner((12, 5, 3))
+WORKER_COUNTS = (1, 2, 4)
+
+#: Fast-failure knobs shared by the fault scenarios: short timeouts and
+#: near-zero backoff keep each test well under a second of pure waiting.
+FAST = dict(
+    backoff_base_seconds=0.01,
+    backoff_max_seconds=0.05,
+    min_timeout_seconds=20.0,
+)
+
+
+def _noise():
+    model = depolarizing_noise_model()
+    model.readout_error = ReadoutError(0.02)
+    return model
+
+
+def _serial(qft5):
+    return SerialDispatcher(
+        _noise(), seed=SEED, num_shards=3
+    ).run(qft5, SHOTS, partitioner=PARTITIONER)
+
+
+def _resilient(qft5, workers, injector=None, **kwargs):
+    options = {**FAST, **kwargs}
+    dispatcher = ResilientPoolDispatcher(
+        _noise(), seed=SEED, num_shards=3, num_workers=workers,
+        fault_injector=injector, **options,
+    )
+    return dispatcher.run(qft5, SHOTS, partitioner=PARTITIONER)
+
+
+def _assert_bitwise(result, reference):
+    assert result.counts == reference.counts
+    assert result.cost.matches(reference.cost)
+
+
+def _telemetry(result):
+    return result.metadata["dispatch"]["resilience"]
+
+
+# ---------------------------------------------------------------------------
+# Fault-free path
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_fault_free_bitwise_identical_to_serial(qft5, workers):
+    reference = _serial(qft5)
+    result = _resilient(qft5, workers)
+    _assert_bitwise(result, reference)
+    telemetry = _telemetry(result)
+    assert telemetry["attempts"] == [1, 1, 1]
+    assert telemetry["timeouts"] == 0
+    assert telemetry["retries"] == 0
+    assert telemetry["failures"] == []
+    assert telemetry["pool_rebuilds"] == 0
+    assert telemetry["degraded"] is False
+    assert result.metadata["dispatch"]["mode"] == "resilient-pool"
+    # The timeout budget is derived per shard from the cost estimate.
+    assert len(telemetry["timeout_seconds"]) == 3
+    assert all(t > 0 for t in telemetry["timeout_seconds"])
+
+
+# ---------------------------------------------------------------------------
+# Worker crash (BrokenProcessPool -> pool rebuild)
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_worker_crash_recovers_bitwise(qft5, workers):
+    reference = _serial(qft5)
+    injector = FaultInjector(crashes=((1, 0),))
+    result = _resilient(qft5, workers, injector)
+    _assert_bitwise(result, reference)
+    telemetry = _telemetry(result)
+    assert telemetry["pool_rebuilds"] >= 1
+    assert telemetry["degraded"] is False
+    # The crash is recorded against shard 1's first attempt.
+    assert any(
+        f["kind"] == "pool-broken" and f["shard"] == 1 and f["attempt"] == 0
+        for f in telemetry["failures"]
+    )
+    assert telemetry["attempts"][1] >= 2
+
+
+# ---------------------------------------------------------------------------
+# Hang past the per-shard timeout
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_hang_times_out_and_retries_bitwise(qft5, workers):
+    reference = _serial(qft5)
+    injector = FaultInjector(hangs=((0, 0),), hang_seconds=30.0)
+    result = _resilient(
+        qft5, workers, injector,
+        min_timeout_seconds=0.4, max_timeout_seconds=0.4,
+    )
+    _assert_bitwise(result, reference)
+    telemetry = _telemetry(result)
+    assert telemetry["timeouts"] >= 1
+    assert any(
+        f["kind"] == "timeout" and f["shard"] == 0
+        for f in telemetry["failures"]
+    )
+    assert telemetry["attempts"][0] >= 2
+
+
+# ---------------------------------------------------------------------------
+# Transient failure, then success on retry
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_transient_failure_retries_bitwise(qft5, workers):
+    reference = _serial(qft5)
+    injector = FaultInjector(raises=((2, 0),))
+    result = _resilient(qft5, workers, injector)
+    _assert_bitwise(result, reference)
+    telemetry = _telemetry(result)
+    assert telemetry["retries"] >= 1
+    assert telemetry["attempts"][2] == 2
+    record = next(
+        f for f in telemetry["failures"]
+        if f["shard"] == 2 and f["attempt"] == 0
+    )
+    assert record["kind"] == "error"
+    assert "injected" in record["error"]
+
+
+def test_retries_exhausted_raises_typed_error(qft5):
+    # Shard 2 fails on every attempt it is allowed: initial + 1 retry.
+    injector = FaultInjector(raises=((2, 0), (2, 1)))
+    dispatcher = ResilientPoolDispatcher(
+        _noise(), seed=SEED, num_shards=3, num_workers=2,
+        fault_injector=injector, max_retries=1, **FAST,
+    )
+    with pytest.raises(ShardRetryExhaustedError) as excinfo:
+        dispatcher.run(qft5, SHOTS, partitioner=PARTITIONER)
+    assert excinfo.value.shard == 2
+    assert isinstance(excinfo.value, DispatchError)
+
+
+# ---------------------------------------------------------------------------
+# Straggler -> speculative re-shard
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("workers", [2, 4])
+def test_straggler_speculation_wins_bitwise(qft5, workers):
+    reference = _serial(qft5)
+    # Shard 1's first attempt sleeps far past the straggler threshold while
+    # the other workers go idle; the speculative re-shard must win the race
+    # and merge to the same bits.
+    injector = FaultInjector(slowdowns=((1, 0, 8.0),))
+    result = _resilient(
+        qft5, workers, injector,
+        straggler_min_seconds=0.3, straggler_factor=1.0,
+    )
+    _assert_bitwise(result, reference)
+    telemetry = _telemetry(result)
+    assert telemetry["speculative"]["launched"] >= 1
+    assert telemetry["speculative"]["won"] >= 1
+    assert telemetry["degraded"] is False
+
+
+def test_straggler_speculation_loses_gracefully(qft5):
+    reference = _serial(qft5)
+    # Tiny slowdown: the primary finishes long before any speculative part
+    # could (speculation itself is also slowed by the injected delay on
+    # higher attempts being absent — the primary simply wins).
+    injector = FaultInjector(slowdowns=((1, 0, 0.4),))
+    result = _resilient(
+        qft5, 2, injector,
+        straggler_min_seconds=0.1, straggler_factor=1.0,
+    )
+    _assert_bitwise(result, reference)
+    telemetry = _telemetry(result)
+    # Whichever side won the race, the counts are the serial counts and the
+    # accounting is consistent.
+    speculative = telemetry["speculative"]
+    assert speculative["launched"] >= 1
+    assert speculative["won"] + speculative["lost"] == speculative["launched"]
+
+
+# ---------------------------------------------------------------------------
+# Degraded mode: pool-rebuild budget exhausted
+# ---------------------------------------------------------------------------
+def test_degrades_to_in_process_after_rebuild_budget(qft5):
+    reference = _serial(qft5)
+    # Shard 0 crashes every pooled attempt; after max_pool_rebuilds the
+    # dispatcher must finish in-process (injector not threaded there) and
+    # record the downgrade instead of raising.
+    injector = FaultInjector(
+        crashes=((0, 0), (0, 1), (0, 2), (0, 3), (0, 4))
+    )
+    result = _resilient(
+        qft5, 2, injector, max_pool_rebuilds=2, max_retries=10,
+    )
+    _assert_bitwise(result, reference)
+    telemetry = _telemetry(result)
+    assert telemetry["degraded"] is True
+    assert telemetry["pool_rebuilds"] == 2
+    assert 0 in telemetry["degraded_shards"]
+
+
+# ---------------------------------------------------------------------------
+# Determinism of the whole fault pipeline
+# ---------------------------------------------------------------------------
+def test_faulty_run_is_run_to_run_deterministic(qft5):
+    injector = FaultInjector(crashes=((1, 0),), raises=((2, 1),))
+    first = _resilient(qft5, 2, injector)
+    second = _resilient(qft5, 2, injector)
+    _assert_bitwise(first, second)
+    assert _telemetry(first)["attempts"] == _telemetry(second)["attempts"]
+
+
+def test_backoff_jitter_is_deterministic(qft5):
+    dispatcher = ResilientPoolDispatcher(_noise(), seed=SEED, num_workers=2)
+    delays = [dispatcher._backoff_seconds(3, a) for a in (1, 2, 3)]
+    again = [dispatcher._backoff_seconds(3, a) for a in (1, 2, 3)]
+    assert delays == again
+    assert all(d > 0 for d in delays)
+    # Different (shard, attempt) keys draw different jitter.
+    assert dispatcher._backoff_seconds(4, 1) != delays[0]
+
+
+# ---------------------------------------------------------------------------
+# Satellite 1: PoolDispatcher cancels pending futures on shard failure
+# ---------------------------------------------------------------------------
+def test_pool_dispatcher_cancels_pending_on_failure(qft5):
+    # One worker, three shards: shard 0 raises immediately, shards 1 and 2
+    # are slowed by 2 s each and still queued when it does.  Without
+    # cancel_futures the shutdown would run both to completion (~4 s).
+    injector = FaultInjector(
+        raises=((0, 0),), slowdowns=((1, 0, 2.0), (2, 0, 2.0))
+    )
+    dispatcher = PoolDispatcher(
+        _noise(), seed=SEED, num_shards=3, num_workers=1,
+        fault_injector=injector,
+    )
+    start = time.monotonic()
+    # InjectedFaultError is already a typed DispatchError, so it propagates
+    # unwrapped; a foreign exception would be wrapped as ShardExecutionError.
+    with pytest.raises(DispatchError):
+        dispatcher.run(qft5, SHOTS, partitioner=PARTITIONER)
+    elapsed = time.monotonic() - start
+    assert elapsed < 1.5, "pending shards were not cancelled on failure"
+
+
+def test_pool_dispatcher_wraps_worker_crash_as_typed_error(qft5):
+    injector = FaultInjector(crashes=((0, 0),))
+    dispatcher = PoolDispatcher(
+        _noise(), seed=SEED, num_shards=3, num_workers=1,
+        fault_injector=injector,
+    )
+    with pytest.raises(PoolBrokenError):
+        dispatcher.run(qft5, SHOTS, partitioner=PARTITIONER)
+
+
+# ---------------------------------------------------------------------------
+# Satellite 2: shots validation
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("shots", [0, -1])
+@pytest.mark.parametrize(
+    "dispatcher_class",
+    [SerialDispatcher, PoolDispatcher, ResilientPoolDispatcher],
+)
+def test_dispatchers_reject_non_positive_shots(qft5, dispatcher_class, shots):
+    dispatcher = dispatcher_class(_noise(), seed=SEED, num_shards=2)
+    with pytest.raises(ValueError, match="shots must be >= 1"):
+        dispatcher.run(qft5, shots, partitioner=PARTITIONER)
+
+
+# ---------------------------------------------------------------------------
+# Building blocks
+# ---------------------------------------------------------------------------
+def test_split_shard_spec_union_is_bitwise_exact(qft5):
+    from repro.core.results import merge_many
+    from repro.dispatch import run_shard
+
+    shards = ShardPlanner(noise_model=_noise()).plan_shards(
+        qft5, SHOTS, 2, seed=SEED, partitioner=PARTITIONER
+    )
+    whole = run_shard(shards[0])
+    parts = split_shard_spec(shards[0], 3)
+    assert len(parts) == 3
+    merged = merge_many([run_shard(part) for part in parts])
+    assert merged.counts == whole.counts
+    assert merged.cost.matches(whole.cost)
+    # Estimated cost is distributed, child coverage is exactly preserved.
+    total_children = sum(
+        a.child_count for part in parts for a in part.assignments
+    )
+    assert total_children == sum(a.child_count for a in shards[0].assignments)
+
+
+def test_split_shard_spec_validates_and_caps(qft5):
+    shards = ShardPlanner().plan_shards(
+        qft5, SHOTS, 4, seed=SEED, partitioner=PARTITIONER
+    )
+    with pytest.raises(ValueError):
+        split_shard_spec(shards[0], 0)
+    assert split_shard_spec(shards[0], 1) == [shards[0]]
+    # More parts than children: capped, never empty sub-specs.
+    many = split_shard_spec(shards[0], 999)
+    assert all(
+        sum(a.child_count for a in part.assignments) >= 1 for part in many
+    )
+
+
+def test_fault_injector_is_picklable_and_inert_by_default():
+    injector = FaultInjector(
+        crashes=((0, 0),), raises=((1, 2),), hangs=((2, 0),),
+        slowdowns=((3, 1, 0.5),), hang_seconds=9.0,
+    )
+    clone = pickle.loads(pickle.dumps(injector))
+    assert clone == injector
+    assert FaultInjector().empty
+    assert not injector.empty
+    # A non-matching (shard, attempt) does nothing.
+    assert injector.fire(7, 7) == ()
+
+
+def test_dispatch_errors_pickle_round_trip():
+    errors = [
+        ShardExecutionError(3, 1, "boom"),
+        ShardTimeoutError(2, 0, 1.5),
+        ShardRetryExhaustedError(1, 4, "last"),
+        PoolBrokenError("pool died"),
+        InjectedFaultError("injected"),
+    ]
+    for error in errors:
+        clone = pickle.loads(pickle.dumps(error))
+        assert type(clone) is type(error)
+        assert str(clone) == str(error)
+        assert isinstance(clone, DispatchError)
+    clone = pickle.loads(pickle.dumps(errors[0]))
+    assert (clone.shard, clone.attempt) == (3, 1)
+
+
+def test_injector_faults_recorded_in_worker_metadata(qft5):
+    from repro.dispatch import run_shard
+
+    shards = ShardPlanner(noise_model=_noise()).plan_shards(
+        qft5, SHOTS, 2, seed=SEED, partitioner=PARTITIONER
+    )
+    injector = FaultInjector(slowdowns=((0, 0, 0.01),))
+    result = run_shard(shards[0], 0, injector)
+    assert result.metadata["injected_faults"] == ("slowdown",)
+    assert result.metadata["shard_attempt"] == 0
+    # Attempt-independence: a retry produces the same bits.
+    retry = run_shard(shards[0], 1, injector)
+    assert retry.counts == result.counts
+    assert retry.cost.matches(result.cost)
+    assert "injected_faults" not in retry.metadata
