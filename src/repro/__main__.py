@@ -1,6 +1,6 @@
 """Command-line entry point: ``python -m repro``.
 
-Four subcommands:
+Five subcommands:
 
 * ``python -m repro list`` — every reproducible paper artefact with its
   claim.
@@ -12,6 +12,14 @@ Four subcommands:
   first when the first-layer arity would starve the pool.  ``--copy-cost``
   pins the analytic state-copy cost, while ``--calibrated``
   microbenchmarks the batched backend and uses the measured ratio instead.
+  ``--trace [PATH]`` runs the experiment under a tracer (see
+  :mod:`repro.obs`) and writes a Chrome trace next to the summary.
+* ``python -m repro trace <experiment> [--out PATH]
+  [--format chrome|jsonl|summary]`` — run one artefact with tracing on and
+  export the recorded spans: Chrome trace-event JSON (Perfetto-loadable),
+  JSON-lines, or a per-span-name summary table followed by the
+  measured-vs-CostModel drift report.  Tracing is inert, so the traced
+  result is bitwise the ``run`` result.
 * ``python -m repro calibrate [--backend B] [--qubits N] [--cache PATH]``
   — measure the per-primitive cost model (see
   :mod:`repro.core.costmodel`) and print its table, optionally persisting
@@ -19,7 +27,8 @@ Four subcommands:
 * ``python -m repro lint [paths] [--rules ...] [--format json|text]
   [--fail-on warning|error]`` — run the AST-based contract checker (see
   :mod:`repro.lint`) that enforces the seeding, backend-conformance,
-  multiprocessing-safety and API-hygiene invariants; the CI gate.
+  multiprocessing-safety, API-hygiene and clock-confinement invariants;
+  the CI gate.
 """
 
 from __future__ import annotations
@@ -46,32 +55,28 @@ def build_parser() -> argparse.ArgumentParser:
     commands.add_parser("list", help="list the available experiments")
 
     run = commands.add_parser("run", help="run one experiment by id")
-    run.add_argument("experiment", help="experiment id, e.g. fig11 or table2")
-    run.add_argument("--shots", type=int, default=None,
-                     help="outcomes per simulation (default: scaled-down harness value)")
-    run.add_argument("--max-qubits", type=int, default=None,
-                     help="skip benchmarks wider than this")
-    run.add_argument("--seed", type=int, default=None, help="base RNG seed")
-    run.add_argument("--backend", default=None,
-                     help="execution backend name (see repro.backends)")
-    run.add_argument("--workers", type=int, default=None,
-                     help="worker processes for the measured dispatch legs")
-    run.add_argument("--max-depth", type=int, default=None,
-                     help="tree layers the shard planner may split "
-                          "(1 = first layer only; deeper feeds more workers "
-                          "than the first-layer arity at the cost of prefix "
-                          "replays)")
-    run.add_argument("--copy-cost", type=float, default=None,
-                     help="state-copy cost in gate executions handed to the "
-                          "partitioners (default: harness value)")
-    run.add_argument("--calibrated", action="store_true",
-                     help="microbenchmark the batched backend and use the "
-                          "measured copy cost instead of the analytic value")
-    run.add_argument("--resilient", action="store_true",
-                     help="run the measured dispatch legs through the "
-                          "fault-tolerant ResilientPoolDispatcher (per-shard "
-                          "timeouts, deterministic retries, straggler "
-                          "re-shard) instead of the plain pool")
+    _add_experiment_arguments(run)
+    run.add_argument("--trace", nargs="?", const="trace.json", default=None,
+                     metavar="PATH",
+                     help="run under a tracer and write a Chrome trace "
+                          "(default PATH: trace.json); tracing is inert, "
+                          "the printed result is unchanged")
+
+    trace = commands.add_parser(
+        "trace",
+        help="run one experiment with tracing on and export the spans",
+    )
+    _add_experiment_arguments(trace)
+    trace.add_argument("--out", default=None, metavar="PATH",
+                       help="output file (defaults: trace.json for chrome, "
+                            "trace.jsonl for jsonl; summary prints to "
+                            "stdout unless --out is given)")
+    trace.add_argument("--format", choices=("chrome", "jsonl", "summary"),
+                       default="chrome",
+                       help="chrome = trace-event JSON (Perfetto-loadable), "
+                            "jsonl = one span/metric per line, summary = "
+                            "per-span-name totals plus the CostModel drift "
+                            "report (default: chrome)")
 
     calibrate = commands.add_parser(
         "calibrate",
@@ -101,6 +106,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_lint_arguments(lint)
     return parser
+
+
+def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
+    """Arguments shared by ``run`` and ``trace`` (one experiment + config)."""
+    parser.add_argument("experiment",
+                        help="experiment id, e.g. fig11 or table2")
+    parser.add_argument("--shots", type=int, default=None,
+                        help="outcomes per simulation (default: scaled-down "
+                             "harness value)")
+    parser.add_argument("--max-qubits", type=int, default=None,
+                        help="skip benchmarks wider than this")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="base RNG seed")
+    parser.add_argument("--backend", default=None,
+                        help="execution backend name (see repro.backends)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for the measured dispatch legs")
+    parser.add_argument("--max-depth", type=int, default=None,
+                        help="tree layers the shard planner may split "
+                             "(1 = first layer only; deeper feeds more "
+                             "workers than the first-layer arity at the cost "
+                             "of prefix replays)")
+    parser.add_argument("--copy-cost", type=float, default=None,
+                        help="state-copy cost in gate executions handed to "
+                             "the partitioners (default: harness value)")
+    parser.add_argument("--calibrated", action="store_true",
+                        help="microbenchmark the batched backend and use the "
+                             "measured copy cost instead of the analytic "
+                             "value")
+    parser.add_argument("--resilient", action="store_true",
+                        help="run the measured dispatch legs through the "
+                             "fault-tolerant ResilientPoolDispatcher "
+                             "(per-shard timeouts, deterministic retries, "
+                             "straggler re-shard) instead of the plain pool")
 
 
 def _describe(value: Any, indent: str = "  ") -> list[str]:
@@ -142,12 +181,12 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    try:
-        experiment = get_experiment(args.experiment)
-    except KeyError as error:
-        print(error.args[0])
-        return 2
+def _experiment_config(args: argparse.Namespace):
+    """Build the :class:`ExperimentConfig` the shared arguments describe.
+
+    Returns ``None`` after printing a message when an argument is invalid
+    (the caller exits 2).
+    """
     overrides: dict[str, Any] = {}
     if args.shots is not None:
         # Rejected here, not deep inside a worker: zero shards cannot be
@@ -155,7 +194,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # constraint as a ValueError for library callers).
         if args.shots < 1:
             print("--shots must be >= 1")
-            return 2
+            return None
         overrides["shots"] = args.shots
     if args.max_qubits is not None:
         overrides["max_qubits"] = args.max_qubits
@@ -167,22 +206,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.workers is not None:
         if args.workers < 1:
             print("--workers must be >= 1")
-            return 2
+            return None
         extra["workers"] = args.workers
     if args.max_depth is not None:
         if args.max_depth < 1:
             print("--max-depth must be >= 1")
-            return 2
+            return None
         extra["max_depth"] = args.max_depth
     if args.resilient:
         extra["resilient"] = True
     if args.copy_cost is not None and args.calibrated:
         print("--copy-cost and --calibrated are mutually exclusive")
-        return 2
+        return None
     if args.copy_cost is not None:
         if args.copy_cost < 0:
             print("--copy-cost must be non-negative")
-            return 2
+            return None
         overrides["copy_cost_in_gates"] = args.copy_cost
     if args.calibrated:
         width = overrides.get("max_qubits", DEFAULT_CONFIG.max_qubits)
@@ -195,14 +234,87 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
     if extra != DEFAULT_CONFIG.extra:
         overrides["extra"] = extra
-    config = DEFAULT_CONFIG.scaled(**overrides)
+    return DEFAULT_CONFIG.scaled(**overrides)
 
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        experiment = get_experiment(args.experiment)
+    except KeyError as error:
+        print(error.args[0])
+        return 2
+    config = _experiment_config(args)
+    if config is None:
+        return 2
+
+    from repro.obs import NULL_TRACER, Tracer, use_tracer, write_chrome_trace
+
+    tracer = Tracer() if args.trace is not None else NULL_TRACER
     print(f"== {experiment.identifier}: {experiment.title} ==")
     print(f"paper claim: {experiment.paper_claim}")
-    result = experiment.runner(config)
+    with use_tracer(tracer):
+        result = experiment.runner(config)
     print(f"result ({type(result).__name__}):")
     for line in _describe(result):
         print(line)
+    if args.trace is not None:
+        with open(args.trace, "w", encoding="utf-8") as stream:
+            events = write_chrome_trace(tracer, stream)
+        print(f"trace: {events} event(s) -> {args.trace}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run one experiment under a tracer and export the recorded spans."""
+    try:
+        experiment = get_experiment(args.experiment)
+    except KeyError as error:
+        print(error.args[0])
+        return 2
+    config = _experiment_config(args)
+    if config is None:
+        return 2
+
+    from repro.obs import (
+        Tracer,
+        drift_report,
+        render_drift,
+        render_summary,
+        summarize,
+        use_tracer,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    tracer = Tracer()
+    print(f"== {experiment.identifier}: {experiment.title} (traced) ==")
+    with use_tracer(tracer):
+        experiment.runner(config)
+
+    out = args.out
+    if args.format == "chrome":
+        out = out or "trace.json"
+        with open(out, "w", encoding="utf-8") as stream:
+            events = write_chrome_trace(tracer, stream)
+        print(f"trace: {events} event(s) -> {out}")
+    elif args.format == "jsonl":
+        out = out or "trace.jsonl"
+        with open(out, "w", encoding="utf-8") as stream:
+            lines = write_jsonl(tracer, stream)
+        print(f"trace: {lines} line(s) -> {out}")
+    else:
+        rendered = "\n\n".join(
+            (
+                render_summary(summarize(tracer)),
+                render_drift(drift_report(tracer)),
+            )
+        )
+        if out is None:
+            print(rendered)
+        else:
+            with open(out, "w", encoding="utf-8") as stream:
+                stream.write(rendered + "\n")
+            print(f"summary -> {out}")
     return 0
 
 
@@ -255,6 +367,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.lint.cli import run_lint_cli
 
         return run_lint_cli(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     return _cmd_run(args)
 
 

@@ -9,7 +9,6 @@ allocates nothing.
 
 from __future__ import annotations
 
-import time
 
 import numpy as np
 
@@ -17,6 +16,7 @@ from repro.backends import Backend, get_backend
 from repro.circuits.circuit import Circuit
 from repro.core.results import CostCounters, SimulationResult
 from repro.noise.model import NoiseModel
+from repro.obs import clock
 
 __all__ = ["BaselineNoisySimulator"]
 
@@ -43,7 +43,7 @@ class BaselineNoisySimulator:
         counts: dict[str, int] = {}
         cost = CostCounters()
         readout = self.noise_model.readout_error if self.noise_model else None
-        start = time.perf_counter()
+        start = clock.perf_seconds()
         buffer = backend.allocate_state(circuit.num_qubits)
         for _ in range(shots):
             state = backend.reset_state(buffer)
@@ -62,7 +62,7 @@ class BaselineNoisySimulator:
             bitstring = backend.sample_outcome(state, self._rng, readout)
             counts[bitstring] = counts.get(bitstring, 0) + 1
             cost.leaf_samples += 1
-        cost.wall_time_seconds = time.perf_counter() - start
+        cost.wall_time_seconds = clock.perf_seconds() - start
         return SimulationResult(
             counts=counts,
             num_qubits=circuit.num_qubits,

@@ -11,7 +11,6 @@ exactly the effect the paper measures on an A100 in Figure 8.
 
 from __future__ import annotations
 
-import time
 
 import numpy as np
 
@@ -20,6 +19,7 @@ from repro.backends.batched import DEFAULT_BATCH_SIZE
 from repro.circuits.circuit import Circuit
 from repro.core.results import CostCounters, SimulationResult
 from repro.noise.model import NoiseModel
+from repro.obs import clock
 
 __all__ = ["BatchedTrajectorySimulator"]
 
@@ -63,7 +63,7 @@ class BatchedTrajectorySimulator:
         cost = CostCounters()
         readout = noise_model.readout_error if noise_model else None
         passes = 0
-        start = time.perf_counter()
+        start = clock.perf_seconds()
         buffer = backend.allocate_batch(circuit.num_qubits, self.batch_size)
         remaining = shots
         while remaining > 0:
@@ -85,7 +85,7 @@ class BatchedTrajectorySimulator:
             cost.leaf_samples += batch
             passes += 1
             remaining -= batch
-        cost.wall_time_seconds = time.perf_counter() - start
+        cost.wall_time_seconds = clock.perf_seconds() - start
         return SimulationResult(
             counts=counts,
             num_qubits=circuit.num_qubits,

@@ -8,7 +8,6 @@ local machine and provide the paper's reported values as modeled presets.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from statistics import mean
 from typing import Sequence
@@ -16,6 +15,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.circuits.stdgates import h_matrix, cx_matrix
+from repro.obs import clock
 from repro.statevector.apply import apply_unitary
 
 __all__ = [
@@ -66,10 +66,10 @@ class CopyCostProfile:
 
 
 def _time_callable(func, repeats: int) -> float:
-    start = time.perf_counter()
+    start = clock.perf_seconds()
     for _ in range(repeats):
         func()
-    return (time.perf_counter() - start) / repeats
+    return (clock.perf_seconds() - start) / repeats
 
 
 def measure_copy_cost(

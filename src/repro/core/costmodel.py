@@ -30,7 +30,6 @@ from __future__ import annotations
 import json
 import math
 import os
-import time
 from dataclasses import asdict, dataclass
 from typing import Sequence
 
@@ -38,6 +37,7 @@ import numpy as np
 
 from repro.backends import Backend, get_backend
 from repro.circuits.stdgates import cx_matrix, h_matrix
+from repro.obs import clock
 
 __all__ = [
     "CostModel",
@@ -228,10 +228,10 @@ def _best_ns_per_call(fn, repeats: int, rounds: int) -> float:
     """
     best = math.inf
     for _ in range(rounds):
-        start = time.perf_counter_ns()
+        start = clock.perf_ns()
         for _ in range(repeats):
             fn()
-        best = min(best, (time.perf_counter_ns() - start) / repeats)
+        best = min(best, (clock.perf_ns() - start) / repeats)
     return max(best, 1.0)
 
 

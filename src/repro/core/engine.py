@@ -63,7 +63,6 @@ Two properties follow, and they are the engine's signature guarantees:
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -87,12 +86,19 @@ from repro.core.pathrng import (
 )
 from repro.core.results import CostCounters, SimulationResult
 from repro.noise.model import NoiseModel
+from repro.obs import clock
+from repro.obs.tracer import NULL_SPAN, NULL_TRACER, AnyTracer, get_tracer
 
 __all__ = [
     "TQSimEngine",
     "SubtreeAssignment",
     "DEFAULT_MAX_TREE_BATCH",
 ]
+
+
+def _path_label(path: Sequence[int]) -> str:
+    """Span-attribute form of a tree path: ``"1/3"``; the root is ``""``."""
+    return "/".join(str(component) for component in path)
 
 #: Ceiling on the sibling-chunk size of the batched traversal.  Each layer's
 #: pooled buffer holds ``min(A_i, max_batch)`` statevectors, so this bounds
@@ -224,6 +230,7 @@ class TQSimEngine:
         copy_cost_in_gates: float = DEFAULT_COPY_COST_IN_GATES,
         batch_size: int | None = None,
         max_batch: int = DEFAULT_MAX_TREE_BATCH,
+        tracer: AnyTracer | None = None,
     ) -> None:
         """Configure the engine.
 
@@ -253,6 +260,13 @@ class TQSimEngine:
             kernel call; smaller values shrink the ``sum_i min(A_i, cap)``
             statevector footprint toward the sequential engine's one state
             per layer.
+        tracer:
+            Observability hook (see :mod:`repro.obs`).  ``None`` — the
+            default — defers to the process-wide tracer from
+            :func:`repro.obs.get_tracer` at each ``run`` call, which is a
+            no-op ``NullTracer`` unless one was installed.  Tracing is
+            inert by contract: it never changes counts, counters or RNG
+            draws (all clock reads live in :mod:`repro.obs.clock`).
         """
         if backend is None and batch_size is not None:
             backend = "batched"
@@ -271,6 +285,7 @@ class TQSimEngine:
                 )
         self.batch_size = None if batch_size is None else int(batch_size)
         self.max_batch = int(max_batch)
+        self.tracer = tracer
         self._root_key = root_key_from_seed(seed)
         self._runs_started = 0
 
@@ -345,6 +360,10 @@ class TQSimEngine:
                 f"({plan.total_gates} vs {circuit.num_gates} gates)"
             )
         arities = plan.tree.arities
+        # Drift comparisons only make sense for runs covering the whole
+        # tree; explicit assignments execute a slice plus prefix replay,
+        # which CostModel.plan_seconds does not model.
+        full_tree = assignments is None
         if assignments is None:
             if subtree_keys is None:
                 # Advancing the run index is what keeps repeated run() calls
@@ -391,29 +410,55 @@ class TQSimEngine:
                         )
 
         batched = self.backend.supports_batch
+        tracer = self.tracer if self.tracer is not None else get_tracer()
         counts: dict[str, int] = {}
         cost = CostCounters()
         produced = 0
         # Replayed prefix states, keyed by node path: assignments under the
         # same ancestor (deep splits) rebuild it once per run, not once each.
         prefix_cache: dict[tuple[int, ...], np.ndarray] = {}
-        start = time.perf_counter()
-        for assignment in assignments:
-            produced += assignment.outcomes(arities)
-            prefix_state = self._replay_prefix(
-                circuit, plan, assignment, cost, prefix_cache
+        start = clock.perf_seconds()
+        with (
+            tracer.span(
+                "engine.run",
+                tree=str(plan.tree),
+                arities=[int(a) for a in arities],
+                lengths=[int(length) for length in plan.subcircuit_lengths],
+                backend=self.backend.name,
+                qubits=circuit.num_qubits,
+                batched=batched,
+                chunk_cap=self.chunk_cap if batched else 0,
+                full_tree=full_tree,
+                assignments=len(assignments),
             )
-            if batched:
-                self._run_tree_batched(
-                    circuit, plan, counts, cost, assignment.child_keys,
-                    start_layer=assignment.depth, parent_state=prefix_state,
+            if tracer.enabled
+            else NULL_SPAN
+        ) as run_span:
+            for assignment in assignments:
+                produced += assignment.outcomes(arities)
+                prefix_state = self._replay_prefix(
+                    circuit, plan, assignment, cost, prefix_cache, tracer
                 )
-            else:
-                self._run_tree(
-                    circuit, plan, counts, cost, assignment.child_keys,
-                    start_layer=assignment.depth, parent_state=prefix_state,
-                )
-        cost.wall_time_seconds = time.perf_counter() - start
+                if batched:
+                    self._run_tree_batched(
+                        circuit, plan, counts, cost, assignment.child_keys,
+                        start_layer=assignment.depth,
+                        parent_state=prefix_state,
+                        tracer=tracer,
+                        entry_path=assignment.path,
+                        child_start=assignment.child_start,
+                    )
+                else:
+                    self._run_tree(
+                        circuit, plan, counts, cost, assignment.child_keys,
+                        start_layer=assignment.depth,
+                        parent_state=prefix_state,
+                        tracer=tracer,
+                        entry_path=assignment.path,
+                        child_start=assignment.child_start,
+                    )
+            run_span.set(shots=produced)
+        cost.wall_time_seconds = clock.perf_seconds() - start
 
         metadata = {
             "simulator": "tqsim",
@@ -448,6 +493,7 @@ class TQSimEngine:
         assignment: SubtreeAssignment,
         cost: CostCounters,
         cache: dict[tuple[int, ...], np.ndarray],
+        tracer: AnyTracer = NULL_TRACER,
     ) -> np.ndarray | None:
         """Rebuild the intermediate state of the node at ``assignment.path``.
 
@@ -502,9 +548,21 @@ class TQSimEngine:
             stream = PathStream(assignment.prefix_keys[layer])
             # The multi-stream path with a single row consumes the stream
             # exactly as both traversals do, on every backend family.
-            state = self._apply_subcircuit(
-                work, plan.subcircuits[layer], tally, None, row_rngs=[stream]
-            )
+            with (
+                tracer.span(
+                    "engine.prefix_replay",
+                    path=_path_label(assignment.path[: layer + 1]),
+                    layer=layer,
+                    gates=len(plan.subcircuits[layer]),
+                    counted=counted,
+                )
+                if tracer.enabled
+                else NULL_SPAN
+            ):
+                state = self._apply_subcircuit(
+                    work, plan.subcircuits[layer], tally, None,
+                    row_rngs=[stream], tracer=tracer,
+                )
             cache[assignment.path[: layer + 1]] = state
         return state
 
@@ -534,6 +592,9 @@ class TQSimEngine:
         entry_keys: Sequence[int],
         start_layer: int = 0,
         parent_state: np.ndarray | None = None,
+        tracer: AnyTracer = NULL_TRACER,
+        entry_path: tuple[int, ...] = (),
+        child_start: int = 0,
     ) -> None:
         """Iterative depth-first traversal over the pooled state buffers.
 
@@ -544,6 +605,10 @@ class TQSimEngine:
         intermediate state produced by the node of layer ``i`` currently on
         the traversal path; ``progress[i]`` counts how many of that node's
         parent's children have already executed.
+
+        ``entry_path`` / ``child_start`` only label spans (the tree path of
+        the assignment node and the child offset of ``entry_keys[0]``);
+        they never influence execution.
         """
         backend = self.backend
         arities = plan.tree.arities
@@ -556,6 +621,9 @@ class TQSimEngine:
         }
         progress = [0] * num_layers
         keys: list[int] = [0] * num_layers
+        traced = tracer.enabled
+        entry_label = _path_label(entry_path)
+        labels: list[str] = [""] * num_layers
 
         def arity_at(layer: int) -> int:
             return len(entry_keys) if layer == start_layer else arities[layer]
@@ -571,25 +639,56 @@ class TQSimEngine:
             progress[layer] += 1
             if layer == start_layer:
                 key = entry_keys[index]
-                if parent_state is None:
-                    # First-layer nodes start from |0...0> just like the
-                    # baseline; resetting the buffer is not a reuse copy.
-                    state = backend.reset_state(pool[layer])
-                else:
-                    state = backend.copy_into(pool[layer], parent_state)
-                    cost.state_copies += 1
+                node_id = child_start + index
             else:
                 key = child_key(keys[layer - 1], index)
-                state = backend.copy_into(pool[layer], pool[layer - 1])
+                node_id = index
+            if traced:
+                parent_label = (
+                    entry_label if layer == start_layer else labels[layer - 1]
+                )
+                labels[layer] = (
+                    f"{parent_label}/{node_id}" if parent_label
+                    else str(node_id)
+                )
+            if layer == start_layer and parent_state is None:
+                # First-layer nodes start from |0...0> just like the
+                # baseline; resetting the buffer is not a reuse copy.
+                state = backend.reset_state(pool[layer])
+            else:
+                source = (
+                    parent_state if layer == start_layer else pool[layer - 1]
+                )
+                with (
+                    tracer.span("engine.copy", path=labels[layer],
+                                layer=layer, rows=1)
+                    if traced
+                    else NULL_SPAN
+                ):
+                    state = backend.copy_into(pool[layer], source)
                 cost.state_copies += 1
             keys[layer] = key
             rng = PathStream(key)
-            state = self._apply_subcircuit(state, subcircuits[layer], cost, rng)
+            with (
+                tracer.span("engine.subcircuit", path=labels[layer],
+                            layer=layer, gates=len(subcircuits[layer]), rows=1)
+                if traced
+                else NULL_SPAN
+            ):
+                state = self._apply_subcircuit(
+                    state, subcircuits[layer], cost, rng, tracer=tracer
+                )
             # Rebind in case the backend works out of place; in-place
             # backends return the pooled buffer itself.
             pool[layer] = state
             if layer == num_layers - 1:
-                bitstring = backend.sample_outcome(state, rng, readout)
+                with (
+                    tracer.span("engine.leaf_sample", path=labels[layer],
+                                rows=1)
+                    if traced
+                    else NULL_SPAN
+                ):
+                    bitstring = backend.sample_outcome(state, rng, readout)
                 counts[bitstring] = counts.get(bitstring, 0) + 1
                 cost.leaf_samples += 1
             else:
@@ -603,6 +702,7 @@ class TQSimEngine:
         rng: PathStream | np.random.Generator | None,
         weight: int = 1,
         row_rngs: Sequence[PathStream] | None = None,
+        tracer: AnyTracer = NULL_TRACER,
     ) -> np.ndarray:
         """Apply one subcircuit with freshly sampled trajectory noise.
 
@@ -623,6 +723,9 @@ class TQSimEngine:
         per gate into one per subcircuit application.
         """
         backend = self.backend
+        # Kernel-level spans sit behind the tracer's sampling knob; the
+        # common (disabled) case costs one attribute lookup per subcircuit.
+        kernel_interval = tracer.kernel_interval
         if row_rngs is not None and self.noise_model is not None:
             apply_uniforms = getattr(backend, "apply_noise_events_uniforms",
                                      None)
@@ -637,10 +740,22 @@ class TQSimEngine:
                     for events in gate_events
                     for event in events
                 ):
-                    uniforms = draw_block(row_rngs, total)
+                    with (
+                        tracer.span("engine.noise_predraw",
+                                    rows=len(row_rngs), draws=total)
+                        if tracer.enabled
+                        else NULL_SPAN
+                    ):
+                        uniforms = draw_block(row_rngs, total)
                     column = 0
                     for gate, events in zip(subcircuit, gate_events):
-                        state = backend.apply_gate(state, gate)
+                        if kernel_interval:
+                            with tracer.kernel_span(
+                                "backend.kernel", gate=gate.name, rows=weight
+                            ):
+                                state = backend.apply_gate(state, gate)
+                        else:
+                            state = backend.apply_gate(state, gate)
                         cost.gate_applications += weight
                         if events:
                             width = len(events)
@@ -652,7 +767,13 @@ class TQSimEngine:
                             cost.noise_applications += width * weight
                     return state
         for gate in subcircuit:
-            state = backend.apply_gate(state, gate)
+            if kernel_interval:
+                with tracer.kernel_span(
+                    "backend.kernel", gate=gate.name, rows=weight
+                ):
+                    state = backend.apply_gate(state, gate)
+            else:
+                state = backend.apply_gate(state, gate)
             cost.gate_applications += weight
             if self.noise_model is not None:
                 # One events_for_gate lookup serves both the application and
@@ -678,6 +799,9 @@ class TQSimEngine:
         entry_keys: Sequence[int],
         start_layer: int = 0,
         parent_state: np.ndarray | None = None,
+        tracer: AnyTracer = NULL_TRACER,
+        entry_path: tuple[int, ...] = (),
+        child_start: int = 0,
     ) -> None:
         """Depth-first traversal over chunks of sibling subtrees.
 
@@ -729,6 +853,12 @@ class TQSimEngine:
         parent: list[np.ndarray | None] = [None] * num_layers
         parent_key: list[int] = [0] * num_layers
         chunk_keys: list[list[int]] = [[] for _ in range(num_layers)]
+        traced = tracer.enabled
+        # Span labels only: the tree path of the parent node whose children
+        # run at each layer, and the node id of each live chunk's first row.
+        node_label: list[str] = [""] * num_layers
+        chunk_first_id = [0] * num_layers
+        node_label[start_layer] = _path_label(entry_path)
         pending[start_layer] = len(entry_keys)
         layer = start_layer
         while layer >= start_layer:
@@ -736,6 +866,12 @@ class TQSimEngine:
                 # Descend into the next unexpanded row of the live chunk.
                 row = pool[layer][expanded[layer]]
                 row_key = chunk_keys[layer][expanded[layer]]
+                if traced:
+                    row_id = chunk_first_id[layer] + expanded[layer]
+                    node_label[layer + 1] = (
+                        f"{node_label[layer]}/{row_id}" if node_label[layer]
+                        else str(row_id)
+                    )
                 expanded[layer] += 1
                 layer += 1
                 parent[layer] = row
@@ -752,6 +888,10 @@ class TQSimEngine:
             chunk = min(pool[layer].shape[0], pending[layer])
             batch = pool[layer][:chunk]
             base = cursor[layer]
+            if traced:
+                chunk_first_id[layer] = (
+                    child_start + base if layer == start_layer else base
+                )
             if layer == start_layer:
                 key_slice = [int(k) for k in entry_keys[base : base + chunk]]
                 if parent_state is None:
@@ -759,20 +899,41 @@ class TQSimEngine:
                     # resets are not reuse copies.
                     backend.reset_state(batch)
                 else:
-                    backend.broadcast_into(batch, parent_state)
+                    with (
+                        tracer.span("engine.copy", path=node_label[layer],
+                                    layer=layer, rows=chunk)
+                        if traced
+                        else NULL_SPAN
+                    ):
+                        backend.broadcast_into(batch, parent_state)
                     cost.state_copies += chunk
             else:
                 # One vectorised hash derives the whole chunk's node keys.
                 key_slice = [
                     int(k) for k in child_keys(parent_key[layer], base, chunk)
                 ]
-                backend.broadcast_into(batch, parent[layer])
+                with (
+                    tracer.span("engine.copy", path=node_label[layer],
+                                layer=layer, rows=chunk)
+                    if traced
+                    else NULL_SPAN
+                ):
+                    backend.broadcast_into(batch, parent[layer])
                 cost.state_copies += chunk
             row_rngs = [PathStream(key) for key in key_slice]
-            state = self._apply_subcircuit(
-                batch, subcircuits[layer], cost, None,
-                weight=chunk, row_rngs=row_rngs,
-            )
+            with (
+                tracer.span(
+                    "engine.subcircuit", path=node_label[layer], layer=layer,
+                    gates=len(subcircuits[layer]), rows=chunk,
+                    first_child=chunk_first_id[layer],
+                )
+                if traced
+                else NULL_SPAN
+            ):
+                state = self._apply_subcircuit(
+                    batch, subcircuits[layer], cost, None,
+                    weight=chunk, row_rngs=row_rngs, tracer=tracer,
+                )
             if state is not batch:
                 # Honour the mutation contract for out-of-place batch
                 # backends: leaves are sampled from, and children expanded
@@ -781,9 +942,15 @@ class TQSimEngine:
             cursor[layer] = base + chunk
             pending[layer] -= chunk
             if layer == leaf:
-                outcomes = backend.sample_outcomes_multi(
-                    batch, row_rngs, readout
-                )
+                with (
+                    tracer.span("engine.leaf_sample",
+                                path=node_label[layer], rows=chunk)
+                    if traced
+                    else NULL_SPAN
+                ):
+                    outcomes = backend.sample_outcomes_multi(
+                        batch, row_rngs, readout
+                    )
                 for bitstring in outcomes:
                     counts[bitstring] = counts.get(bitstring, 0) + 1
                 cost.leaf_samples += chunk

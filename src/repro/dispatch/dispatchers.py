@@ -34,7 +34,6 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-import time
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -56,6 +55,15 @@ from repro.dispatch.faults import (
 from repro.dispatch.planner import ShardPlanner, ShardSpec
 from repro.dispatch.worker import run_shard
 from repro.noise.model import NoiseModel
+from repro.obs import clock
+from repro.obs.schema import REPLAYED_PREFIX_GATES, replayed_prefix_gates_view
+from repro.obs.tracer import (
+    NULL_SPAN,
+    AnyTracer,
+    MetricSet,
+    SpanBuffer,
+    get_tracer,
+)
 
 __all__ = ["Dispatcher", "SerialDispatcher", "PoolDispatcher"]
 
@@ -82,7 +90,9 @@ class Dispatcher(ABC):
         max_batch: int = DEFAULT_MAX_TREE_BATCH,
         max_depth: int = 1,
         cost_model: CostModel | None = None,
+        tracer: AnyTracer | None = None,
     ) -> None:
+        self.tracer = tracer
         self._planner = ShardPlanner(
             noise_model=noise_model,
             backend=backend,
@@ -135,6 +145,7 @@ class Dispatcher(ABC):
         """
         if shots < 1:
             raise ValueError("shots must be >= 1")
+        tracer = self.tracer if self.tracer is not None else get_tracer()
         shards = self._planner.plan_shards(
             circuit,
             shots,
@@ -143,10 +154,28 @@ class Dispatcher(ABC):
             partitioner=partitioner,
             plan=plan,
         )
-        start = time.perf_counter()
-        shard_results = self._execute(shards)
-        elapsed = time.perf_counter() - start
+        start = clock.perf_seconds()
+        with (
+            tracer.span(
+                "dispatch.execute",
+                mode=self.mode,
+                shards=len(shards),
+                workers=self._num_workers_used(len(shards)),
+            )
+            if tracer.enabled
+            else NULL_SPAN
+        ):
+            shard_results = self._execute(shards, tracer)
+        elapsed = clock.perf_seconds() - start
+        self._absorb_shard_buffers(tracer, shard_results)
         merged = merge_many(shard_results)
+        run_metrics = MetricSet()
+        run_metrics.count(
+            REPLAYED_PREFIX_GATES,
+            sum(spec.replayed_prefix_gates for spec in shards),
+        )
+        if tracer.enabled:
+            tracer.metrics.merge(run_metrics.counters, run_metrics.gauges)
         shard_seconds = [
             result.cost.wall_time_seconds for result in shard_results
         ]
@@ -166,20 +195,52 @@ class Dispatcher(ABC):
                 )
                 for spec in shards
             ],
-            "replayed_prefix_gates": sum(
-                spec.replayed_prefix_gates for spec in shards
-            ),
+            "replayed_prefix_gates": replayed_prefix_gates_view(run_metrics),
         }
         merged.cost.wall_time_seconds = elapsed
         return merged
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _absorb_shard_buffers(
+        tracer: AnyTracer, shard_results: list[SimulationResult]
+    ) -> None:
+        """Merge worker span buffers into the dispatcher's timeline.
+
+        Buffers are *popped* unconditionally so they never leak into the
+        merged metadata (``merge_many`` keeps per-shard metadata verbatim);
+        absorbing preserves shard order, and retry attempts land on their
+        own labelled track so a recovered run shows the failed and the
+        successful attempt side by side.
+        """
+        for result in shard_results:
+            buffer = result.metadata.pop("obs", None)
+            if buffer is None or not tracer.enabled:
+                continue
+            if not isinstance(buffer, SpanBuffer):
+                continue
+            attempt = int(result.metadata.get("shard_attempt", 0))
+            track = buffer.track
+            if attempt:
+                track = f"{track} (attempt {attempt})"
+            tracer.absorb(
+                buffer,
+                track=track,
+                shard=result.metadata.get("shard_index"),
+                attempt=attempt,
+            )
+
+    # ------------------------------------------------------------------
     @abstractmethod
-    def _execute(self, shards: list[ShardSpec]) -> list[SimulationResult]:
+    def _execute(
+        self, shards: list[ShardSpec], tracer: AnyTracer
+    ) -> list[SimulationResult]:
         """Run every shard, returning results in shard order.
 
         Shard order — not completion order — keeps the merged metadata's
         per-shard provenance deterministic regardless of scheduling.
+        ``tracer.enabled`` tells the executor whether workers should build
+        local tracers and ship span buffers back.
         """
 
     def _num_workers_used(self, num_shards: int) -> int:
@@ -199,8 +260,10 @@ class SerialDispatcher(Dispatcher):
 
     mode = "serial"
 
-    def _execute(self, shards: list[ShardSpec]) -> list[SimulationResult]:
-        return [run_shard(spec) for spec in shards]
+    def _execute(
+        self, shards: list[ShardSpec], tracer: AnyTracer
+    ) -> list[SimulationResult]:
+        return [run_shard(spec, 0, None, tracer.enabled) for spec in shards]
 
 
 class PoolDispatcher(Dispatcher):
@@ -224,6 +287,11 @@ class PoolDispatcher(Dispatcher):
         :func:`~repro.dispatch.worker.run_shard` call (see
         :mod:`repro.dispatch.faults`).  ``None`` — the default — is inert;
         this knob exists for fault-injection tests and benchmarks.
+    tracer:
+        Explicit :class:`~repro.obs.tracer.Tracer`; the default ``None``
+        resolves the ambient tracer (:func:`~repro.obs.tracer.get_tracer`)
+        per run.  When tracing is enabled every worker ships its span
+        buffer back and the dispatcher merges them into one timeline.
     """
 
     mode = "pool"
@@ -242,6 +310,7 @@ class PoolDispatcher(Dispatcher):
         cost_model: CostModel | None = None,
         mp_context: str | None = None,
         fault_injector: FaultInjector | None = None,
+        tracer: AnyTracer | None = None,
     ) -> None:
         if num_workers is not None and num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -261,6 +330,7 @@ class PoolDispatcher(Dispatcher):
             max_batch=max_batch,
             max_depth=max_depth,
             cost_model=cost_model,
+            tracer=tracer,
         )
 
     def _effective_num_shards(self) -> int:
@@ -285,10 +355,14 @@ class PoolDispatcher(Dispatcher):
         )
         return ProcessPoolExecutor(max_workers=num_workers, mp_context=context)
 
-    def _execute(self, shards: list[ShardSpec]) -> list[SimulationResult]:
+    def _execute(
+        self, shards: list[ShardSpec], tracer: AnyTracer
+    ) -> list[SimulationResult]:
         with self._make_pool(self._num_workers_used(len(shards))) as pool:
             futures = [
-                pool.submit(run_shard, spec, 0, self.fault_injector)
+                pool.submit(
+                    run_shard, spec, 0, self.fault_injector, tracer.enabled
+                )
                 for spec in shards
             ]
             try:

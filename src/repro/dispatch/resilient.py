@@ -34,12 +34,16 @@ bitwise identical to :class:`~repro.dispatch.dispatchers.SerialDispatcher`
 with the same root seed: every retry, re-split and re-execution draws from
 the same path-addressed streams (see :mod:`repro.core.pathrng`).
 
-Telemetry lands under ``result.metadata["dispatch"]["resilience"]``:
-``attempts`` (submissions per shard), ``timeouts``, ``retries``,
-``failures`` (one record per fault: shard, attempt, kind, error),
-``pool_rebuilds``, ``speculative`` (launched/won/lost), ``degraded`` (+
-``degraded_shards``), ``backoff_seconds_total`` and the derived
-``timeout_seconds`` budget per shard.
+Telemetry accumulates in an obs :class:`~repro.obs.tracer.MetricSet`
+under the ``dispatch.resilience.*`` names of :mod:`repro.obs.schema`
+(merged into the active tracer's metrics when tracing is on), and the
+legacy ``result.metadata["dispatch"]["resilience"]`` dict is rebuilt from
+those counters by :func:`~repro.obs.schema.resilience_view`: ``attempts``
+(submissions per shard), ``timeouts``, ``retries``, ``failures`` (one
+record per fault: shard, attempt, kind, error), ``pool_rebuilds``,
+``speculative`` (launched/won/lost), ``degraded`` (+ ``degraded_shards``),
+``backoff_seconds_total`` and the derived ``timeout_seconds`` budget per
+shard.
 """
 
 from __future__ import annotations
@@ -68,6 +72,13 @@ from repro.dispatch.faults import (
 from repro.dispatch.planner import ShardSpec, split_shard_spec
 from repro.dispatch.worker import run_shard
 from repro.noise.model import NoiseModel
+from repro.obs import clock
+from repro.obs.schema import (
+    RESILIENCE_DEGRADED,
+    RESILIENCE_PREFIX,
+    resilience_view,
+)
+from repro.obs.tracer import AnyTracer, MetricSet
 
 __all__ = ["ResilientPoolDispatcher"]
 
@@ -157,6 +168,7 @@ class ResilientPoolDispatcher(PoolDispatcher):
         straggler_min_seconds: float = 1.0,
         speculate: bool = True,
         max_pool_rebuilds: int = 2,
+        tracer: AnyTracer | None = None,
     ) -> None:
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
@@ -202,6 +214,7 @@ class ResilientPoolDispatcher(PoolDispatcher):
             cost_model=cost_model,
             mp_context=mp_context,
             fault_injector=fault_injector,
+            tracer=tracer,
         )
 
     # ------------------------------------------------------------------
@@ -264,23 +277,22 @@ class ResilientPoolDispatcher(PoolDispatcher):
         return base * jitter
 
     # ------------------------------------------------------------------
-    def _execute(self, shards: list[ShardSpec]) -> list[SimulationResult]:
+    def _execute(
+        self, shards: list[ShardSpec], tracer: AnyTracer
+    ) -> list[SimulationResult]:
         num_workers = self._num_workers_used(len(shards))
+        trace = tracer.enabled
         timeouts = [self._timeout_for(spec) for spec in shards]
         straggler_after = [self._straggler_threshold(s) for s in shards]
-        telemetry: dict[str, Any] = {
-            "attempts": [0] * len(shards),
-            "timeouts": 0,
-            "retries": 0,
-            "failures": [],
-            "pool_rebuilds": 0,
-            "speculative": {"launched": 0, "won": 0, "lost": 0},
-            "degraded": False,
-            "degraded_shards": [],
-            "backoff_seconds_total": 0.0,
-            "timeout_seconds": list(timeouts),
-        }
-        self._last_resilience = telemetry
+        #: Scalar telemetry accumulates under the shared obs schema; the
+        #: structured event logs below stay plain Python and both feed
+        #: :func:`~repro.obs.schema.resilience_view` in the ``finally``.
+        metrics = MetricSet()
+        attempts_made = [0] * len(shards)
+        failures: list[dict[str, Any]] = []
+        degraded_shards: list[int] = []
+        pool_rebuilds = 0
+        self._last_resilience = {}
 
         results: dict[int, SimulationResult] = {}
         #: Next attempt index per shard (== failed attempts so far).
@@ -311,7 +323,7 @@ class ResilientPoolDispatcher(PoolDispatcher):
         def record_failure(
             shard: int, attempt: int, kind: str, error: BaseException | None
         ) -> None:
-            telemetry["failures"].append(
+            failures.append(
                 {
                     "shard": shard,
                     "attempt": attempt,
@@ -334,19 +346,19 @@ class ResilientPoolDispatcher(PoolDispatcher):
                 if future in flights:
                     abandon(future)
             if not won:
-                telemetry["speculative"]["lost"] += 1
+                metrics.count(RESILIENCE_PREFIX + "speculative.lost")
 
         def submit_primary(shard: int) -> None:
             assert pool is not None
             attempt = attempts[shard]
             future = pool.submit(
-                run_shard, shards[shard], attempt, self.fault_injector
+                run_shard, shards[shard], attempt, self.fault_injector, trace
             )
-            now = time.monotonic()
+            now = clock.monotonic_seconds()
             flights[future] = _Flight(
                 shard, attempt, shards[shard], now, now + timeouts[shard]
             )
-            telemetry["attempts"][shard] += 1
+            attempts_made[shard] += 1
 
         def schedule_retry(
             shard: int, kind: str, error: BaseException | None
@@ -360,9 +372,9 @@ class ResilientPoolDispatcher(PoolDispatcher):
                     str(error) if error is not None else kind,
                 )
             delay = self._backoff_seconds(shard, attempts[shard])
-            telemetry["backoff_seconds_total"] += delay
-            telemetry["retries"] += 1
-            pending[shard] = time.monotonic() + delay
+            metrics.count(RESILIENCE_PREFIX + "backoff_seconds_total", delay)
+            metrics.count(RESILIENCE_PREFIX + "retries")
+            pending[shard] = clock.monotonic_seconds() + delay
 
         def handle_failure(
             flight: _Flight, kind: str, error: BaseException | None
@@ -377,7 +389,7 @@ class ResilientPoolDispatcher(PoolDispatcher):
                 return
             record_failure(flight.shard, flight.attempt, kind, error)
             if kind == "timeout":
-                telemetry["timeouts"] += 1
+                metrics.count(RESILIENCE_PREFIX + "timeouts")
             attempts[flight.shard] = max(
                 attempts[flight.shard], flight.attempt + 1
             )
@@ -393,11 +405,26 @@ class ResilientPoolDispatcher(PoolDispatcher):
                 group.results[flight.part] = result
                 if len(group.results) < group.parts:
                     return
-                merged = merge_many(
-                    [group.results[i] for i in range(group.parts)]
-                )
+                part_results = [group.results[i] for i in range(group.parts)]
+                # Pop span buffers before merging: the merged result keeps
+                # only the winning coverage, and each part's timeline gets
+                # its own labelled track.
+                for part_index, part_result in enumerate(part_results):
+                    buffer = part_result.metadata.pop("obs", None)
+                    if buffer is not None and trace:
+                        tracer.absorb(
+                            buffer,
+                            track=(
+                                f"{buffer.track} (attempt "
+                                f"{flight.attempt} part {part_index})"
+                            ),
+                            shard=flight.shard,
+                            attempt=flight.attempt,
+                            part=part_index,
+                        )
+                merged = merge_many(part_results)
                 groups.pop(flight.shard, None)
-                telemetry["speculative"]["won"] += 1
+                metrics.count(RESILIENCE_PREFIX + "speculative.won")
                 for future, other in list(flights.items()):
                     if other.shard == flight.shard and not other.speculative:
                         abandon(future)
@@ -410,7 +437,7 @@ class ResilientPoolDispatcher(PoolDispatcher):
 
         def rebuild_pool() -> bool:
             """Replace the pool and requeue incomplete work; False = budget gone."""
-            nonlocal pool
+            nonlocal pool, pool_rebuilds
             for shard in list(groups):
                 discard_group(shard, won=False)
             for future in list(flights):
@@ -422,11 +449,12 @@ class ResilientPoolDispatcher(PoolDispatcher):
             stop_pool(force=True)
             pool = None
             zombies.clear()
-            if telemetry["pool_rebuilds"] >= self.max_pool_rebuilds:
+            if pool_rebuilds >= self.max_pool_rebuilds:
                 return False
-            telemetry["pool_rebuilds"] += 1
+            pool_rebuilds += 1
+            metrics.count(RESILIENCE_PREFIX + "pool_rebuilds")
             pool = self._make_pool(num_workers)
-            now = time.monotonic()
+            now = clock.monotonic_seconds()
             for shard in range(len(shards)):
                 if shard not in results:
                     pending.setdefault(shard, now)
@@ -446,18 +474,20 @@ class ResilientPoolDispatcher(PoolDispatcher):
             stop_pool(force=True)
             pool = None
             zombies.clear()
-            telemetry["degraded"] = True
+            metrics.gauge(RESILIENCE_DEGRADED, 1)
             for shard in range(len(shards)):
                 if shard in results:
                     continue
-                telemetry["degraded_shards"].append(shard)
-                telemetry["attempts"][shard] += 1
-                results[shard] = run_shard(shards[shard], attempts[shard])
+                degraded_shards.append(shard)
+                attempts_made[shard] += 1
+                results[shard] = run_shard(
+                    shards[shard], attempts[shard], None, trace
+                )
                 pending.pop(shard, None)
 
         # -- supervision loop --------------------------------------------
         try:
-            now = time.monotonic()
+            now = clock.monotonic_seconds()
             for shard in range(len(shards)):
                 pending[shard] = now
 
@@ -467,7 +497,7 @@ class ResilientPoolDispatcher(PoolDispatcher):
                     break
 
                 # Launch whatever backoff has released.
-                now = time.monotonic()
+                now = clock.monotonic_seconds()
                 for shard in sorted(pending):
                     if pending[shard] <= now and shard not in results:
                         del pending[shard]
@@ -475,7 +505,7 @@ class ResilientPoolDispatcher(PoolDispatcher):
 
                 if not flights:
                     if pending:
-                        wake = min(pending.values()) - time.monotonic()
+                        wake = min(pending.values()) - clock.monotonic_seconds()
                         if wake > 0:
                             time.sleep(min(wake, _MAX_POLL_SECONDS))
                         continue
@@ -486,7 +516,7 @@ class ResilientPoolDispatcher(PoolDispatcher):
 
                 # Sleep until the nearest event: a completion (wait() wakes
                 # early), a deadline, a straggler threshold or a retry.
-                now = time.monotonic()
+                now = clock.monotonic_seconds()
                 events = [flight.deadline for flight in flights.values()]
                 events.extend(
                     flight.submitted_at + straggler_after[flight.shard]
@@ -538,7 +568,7 @@ class ResilientPoolDispatcher(PoolDispatcher):
                     continue
 
                 # Deadlines: abandon and retry timed-out attempts.
-                now = time.monotonic()
+                now = clock.monotonic_seconds()
                 for future, flight in list(flights.items()):
                     if now < flight.deadline:
                         continue
@@ -571,7 +601,7 @@ class ResilientPoolDispatcher(PoolDispatcher):
                 idle = num_workers - len(zombies) - len(flights)
                 if not self.speculate or idle < 1:
                     continue
-                now = time.monotonic()
+                now = clock.monotonic_seconds()
                 for future, flight in list(flights.items()):
                     if idle < 1:
                         break
@@ -595,9 +625,13 @@ class ResilientPoolDispatcher(PoolDispatcher):
                     spec_attempt = flight.attempt + 1
                     for part_index, part in enumerate(parts):
                         part_future = pool.submit(
-                            run_shard, part, spec_attempt, self.fault_injector
+                            run_shard,
+                            part,
+                            spec_attempt,
+                            self.fault_injector,
+                            trace,
                         )
-                        submitted = time.monotonic()
+                        submitted = clock.monotonic_seconds()
                         flights[part_future] = _Flight(
                             flight.shard,
                             spec_attempt,
@@ -608,9 +642,20 @@ class ResilientPoolDispatcher(PoolDispatcher):
                             part=part_index,
                         )
                         group.futures.append(part_future)
-                    telemetry["speculative"]["launched"] += 1
+                    metrics.count(RESILIENCE_PREFIX + "speculative.launched")
                     idle -= len(parts)
 
             return [results[index] for index in range(len(shards))]
         finally:
             stop_pool(force=bool(zombies or flights))
+            # Rebuild the legacy telemetry dict from the obs counters even
+            # on failure paths, so a raising run still reports what it did.
+            if trace:
+                tracer.metrics.merge(metrics.counters, metrics.gauges)
+            self._last_resilience = resilience_view(
+                metrics,
+                attempts=attempts_made,
+                failures=failures,
+                degraded_shards=degraded_shards,
+                timeout_seconds=timeouts,
+            )

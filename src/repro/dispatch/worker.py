@@ -13,6 +13,7 @@ from repro.core.engine import TQSimEngine
 from repro.core.results import SimulationResult
 from repro.dispatch.faults import FaultInjector
 from repro.dispatch.planner import ShardSpec
+from repro.obs.tracer import NULL_SPAN, NULL_TRACER, Tracer
 
 __all__ = ["run_shard"]
 
@@ -21,6 +22,7 @@ def run_shard(
     spec: ShardSpec,
     attempt: int = 0,
     fault_injector: FaultInjector | None = None,
+    trace: bool = False,
 ) -> SimulationResult:
     """Execute one shard with a locally built engine and tag its provenance.
 
@@ -41,23 +43,37 @@ def run_shard(
     ``(spec.index, attempt)``.  Non-aborting injected faults (hangs that
     return, slow-downs) are recorded under
     ``result.metadata["injected_faults"]``.
+
+    With ``trace=True`` the shard runs under a local :class:`Tracer` whose
+    picklable buffer ships back in ``result.metadata["obs"]`` for the
+    dispatcher to absorb into one cross-process timeline.  Workers always
+    build their own tracer (or the explicit ``NULL_TRACER``) rather than
+    consulting the process-global default, so a fork-inherited parent
+    tracer can never double-record shard spans.
     """
     injected: tuple[str, ...] = ()
     if fault_injector is not None:
         injected = fault_injector.fire(spec.index, attempt)
+    tracer = Tracer(track=f"shard-{spec.index}") if trace else NULL_TRACER
     engine = TQSimEngine(
         noise_model=spec.noise_model,
         backend=spec.backend,
         copy_cost_in_gates=spec.copy_cost_in_gates,
         batch_size=spec.batch_size,
         max_batch=spec.max_batch,
+        tracer=tracer,
     )
-    result = engine.run(
-        spec.circuit,
-        spec.requested_shots,
-        plan=spec.plan,
-        assignments=spec.assignments,
-    )
+    with (
+        tracer.span("worker.run_shard", shard=spec.index, attempt=attempt)
+        if trace
+        else NULL_SPAN
+    ):
+        result = engine.run(
+            spec.circuit,
+            spec.requested_shots,
+            plan=spec.plan,
+            assignments=spec.assignments,
+        )
     result.metadata["shard_index"] = spec.index
     result.metadata["shard_paths"] = spec.covered_paths
     result.metadata["shard_depth"] = spec.depth
@@ -67,4 +83,6 @@ def run_shard(
     result.metadata["shard_attempt"] = attempt
     if injected:
         result.metadata["injected_faults"] = injected
+    if trace:
+        result.metadata["obs"] = tracer.buffer()
     return result

@@ -24,6 +24,7 @@ from repro.core.results import SimulationResult
 from repro.core.sampling_theory import DEFAULT_MARGIN_OF_ERROR
 from repro.metrics.fidelity import normalized_fidelity
 from repro.noise.model import NoiseModel
+from repro.obs.tracer import AnyTracer
 from repro.statevector.simulator import StatevectorSimulator
 
 __all__ = [
@@ -370,6 +371,7 @@ def measure_dispatch_scaling(
     worker_counts: tuple[int, ...] | None = None,
     repeats: int = 2,
     max_depth: int | None = None,
+    tracer: AnyTracer | None = None,
 ) -> DispatchScalingMeasurement:
     """Time serial vs multiprocess dispatch of one shared plan.
 
@@ -391,6 +393,10 @@ def measure_dispatch_scaling(
     is unchanged (the resilient pool's fault-free path is the plain pool's
     plus supervision), so ``counts_match_serial`` must stay True and any
     wall-clock delta is the supervision overhead.
+
+    ``tracer`` (default: the ambient tracer) is handed to every dispatcher,
+    so a traced sweep collects one merged cross-process timeline; tracing
+    is inert, so the bitwise contracts above are unaffected.
     """
     from repro.dispatch import (
         PoolDispatcher,
@@ -414,6 +420,7 @@ def measure_dispatch_scaling(
         dispatcher = SerialDispatcher(
             noise_model, seed=seed, num_shards=1,
             copy_cost_in_gates=config.copy_cost_in_gates,
+            tracer=tracer,
         )
         candidate = dispatcher.run(circuit, config.shots, plan=plan)
         if candidate.cost.wall_time_seconds < serial_seconds:
@@ -427,6 +434,7 @@ def measure_dispatch_scaling(
             noise_model, seed=seed, num_workers=workers, num_shards=workers,
             copy_cost_in_gates=config.copy_cost_in_gates,
             max_depth=max_depth,
+            tracer=tracer,
         )
         best = None
         for _ in range(repeats):
@@ -497,6 +505,7 @@ def measure_faulty_dispatch(
     plan,
     num_workers: int = 2,
     repeats: int = 2,
+    tracer: AnyTracer | None = None,
 ) -> FaultyDispatchMeasurement:
     """Measure resilient-dispatch overhead and crash recovery on one plan.
 
@@ -505,6 +514,8 @@ def measure_faulty_dispatch(
     recovery path: broken-pool detection, pool rebuild and shard re-run.
     Timing legs are best-of-``repeats``; the crash leg keeps retry backoff
     near zero so the measurement isolates detection + re-execution.
+    ``tracer`` is threaded to all four dispatchers, so a traced measurement
+    yields one timeline covering the healthy legs and the recovery.
     """
     from repro.dispatch import (
         FaultInjector,
@@ -517,6 +528,7 @@ def measure_faulty_dispatch(
     serial = SerialDispatcher(
         noise_model, seed=seed, num_shards=1,
         copy_cost_in_gates=config.copy_cost_in_gates,
+        tracer=tracer,
     ).run(circuit, config.shots, plan=plan)
 
     def best_run(dispatcher) -> Any:
@@ -534,11 +546,13 @@ def measure_faulty_dispatch(
         noise_model, seed=seed, num_workers=num_workers,
         num_shards=num_workers,
         copy_cost_in_gates=config.copy_cost_in_gates,
+        tracer=tracer,
     ))
     resilient = best_run(ResilientPoolDispatcher(
         noise_model, seed=seed, num_workers=num_workers,
         num_shards=num_workers,
         copy_cost_in_gates=config.copy_cost_in_gates,
+        tracer=tracer,
     ))
     faulty = best_run(ResilientPoolDispatcher(
         noise_model, seed=seed, num_workers=num_workers,
@@ -546,6 +560,7 @@ def measure_faulty_dispatch(
         copy_cost_in_gates=config.copy_cost_in_gates,
         fault_injector=FaultInjector(crashes=((0, 0),)),
         backoff_base_seconds=0.0,
+        tracer=tracer,
     ))
 
     counts_match = (

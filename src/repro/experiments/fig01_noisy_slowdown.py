@@ -10,7 +10,6 @@ next to the analytic extrapolation at paper scale.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 from repro.analysis.speedup import noisy_over_ideal_slowdown
@@ -18,6 +17,7 @@ from repro.circuits.library.qft import qft_circuit
 from repro.core.baseline import BaselineNoisySimulator
 from repro.experiments.common import DEFAULT_CONFIG, ExperimentConfig
 from repro.noise.sycamore import depolarizing_noise_model
+from repro.obs import clock
 from repro.statevector.simulator import StatevectorSimulator
 
 __all__ = ["SlowdownResult", "run", "PAPER_SLOWDOWN_RANGE"]
@@ -45,14 +45,14 @@ def run(config: ExperimentConfig = DEFAULT_CONFIG) -> SlowdownResult:
     noise_model = depolarizing_noise_model()
 
     ideal = StatevectorSimulator(seed=config.seed)
-    start = time.perf_counter()
+    start = clock.perf_seconds()
     ideal.sample(circuit, config.shots)
-    ideal_seconds = time.perf_counter() - start
+    ideal_seconds = clock.perf_seconds() - start
 
     noisy = BaselineNoisySimulator(noise_model, seed=config.seed)
-    start = time.perf_counter()
+    start = clock.perf_seconds()
     noisy.run(circuit, config.shots)
-    noisy_seconds = time.perf_counter() - start
+    noisy_seconds = clock.perf_seconds() - start
 
     modeled = noisy_over_ideal_slowdown(
         shots=config.shots,

@@ -9,7 +9,6 @@ to the paper's 10–28-qubit range.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -19,6 +18,7 @@ from repro.circuits.library.bv import bv_circuit
 from repro.core.baseline import BaselineNoisySimulator
 from repro.experiments.common import DEFAULT_CONFIG, ExperimentConfig
 from repro.noise.sycamore import depolarizing_noise_model
+from repro.obs import clock
 
 __all__ = ["BVScalingPoint", "BVScalingResult", "run"]
 
@@ -60,9 +60,9 @@ def run(config: ExperimentConfig = DEFAULT_CONFIG) -> BVScalingResult:
     for width in measured_widths:
         circuit = bv_circuit(width)
         simulator = BaselineNoisySimulator(noise_model, seed=config.seed)
-        start = time.perf_counter()
+        start = clock.perf_seconds()
         simulator.run(circuit, shots)
-        measured[width] = time.perf_counter() - start
+        measured[width] = clock.perf_seconds() - start
 
     widths = np.array(sorted(measured))
     times = np.array([measured[w] for w in widths])

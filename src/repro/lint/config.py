@@ -18,11 +18,12 @@ Grounds for exemption, in the order the rules list them:
   draws circuit *structure* (Haar unitaries, secret strings) before any
   trajectory exists; every entry point takes a seed or Generator, and the
   unseeded fallbacks are user-facing conveniences outside the engine.
-* **Calibration and metric timers** (``core/copycost.py``,
-  ``core/costmodel.py``, engine/dispatcher wall-time counters, experiment
-  harnesses, ``vqa/landscape.py``) read the wall clock to *report* time or
-  to fit the cost model; no timed value ever feeds a random draw or a
-  simulation outcome.
+* **The clock surface** (``obs/clock.py``) is the only module that reads
+  clocks; every metric and calibration timer (engine/dispatcher wall-time
+  counters, ``core/copycost.py``, ``core/costmodel.py``, experiment
+  harnesses, ``vqa/landscape.py``) imports its helpers, and the
+  ``obs-clock`` rule rejects any direct read elsewhere — no timed value
+  ever feeds a random draw or a simulation outcome.
 * **Analysis helpers** (``statevector/sampling.py``,
   ``statevector/state.py``, ``metrics/statistics.py``,
   ``redunelim/simulator.py``) sample from exact distributions for
@@ -37,7 +38,11 @@ from repro.lint.rules_backend import (
     BackendRegistryRule,
     BackendStaticConformanceRule,
 )
-from repro.lint.rules_determinism import ForeignRandomRule, WallClockRule
+from repro.lint.rules_determinism import (
+    ForeignRandomRule,
+    ObsClockRule,
+    WallClockRule,
+)
 from repro.lint.rules_hygiene import (
     AnnotationRule,
     BareExceptRule,
@@ -57,6 +62,7 @@ def default_rules() -> list[Rule]:
     return [
         ForeignRandomRule(),
         WallClockRule(),
+        ObsClockRule(),
         BackendStaticConformanceRule(),
         BackendRegistryRule(),
         ExecutorCallableRule(),
@@ -135,49 +141,16 @@ DEFAULT_ALLOWLIST: tuple[AllowlistEntry, ...] = (
         "cost-model calibration builds scratch states/draws with pinned "
         "seeds; measurement harness, not a simulation path",
     ),
-    # -- det-clock: CostCounters wall-time metrics -------------------------
+    # -- det-clock: the single sanctioned clock site -----------------------
+    # Every other module (engine CostCounters, dispatcher wall times, the
+    # resilient supervision loop, calibration timers, experiment harnesses)
+    # now routes through these helpers, so one entry covers the whole tree
+    # and the ``obs-clock`` rule enforces the routing structurally.
     AllowlistEntry(
-        "det-clock", "*core/engine.py", "time.perf_counter*",
-        "engine records wall_time_seconds in CostCounters; reported as a "
-        "metric, never feeds a draw or an outcome",
-    ),
-    AllowlistEntry(
-        "det-clock", "*core/baseline.py", "time.perf_counter*",
-        "baseline simulator records wall_time_seconds; metric only",
-    ),
-    AllowlistEntry(
-        "det-clock", "*core/batched.py", "time.perf_counter*",
-        "batched baseline records wall_time_seconds; metric only",
-    ),
-    AllowlistEntry(
-        "det-clock", "*dispatch/dispatchers.py", "time.perf_counter*",
-        "dispatchers time the end-to-end pool execution for "
-        "metadata['dispatch']; metric only",
-    ),
-    AllowlistEntry(
-        "det-clock", "*dispatch/resilient.py", "time.monotonic*",
-        "supervision loop reads the monotonic clock for deadlines, backoff "
-        "release and straggler detection; scheduling only — every random "
-        "draw (including retry jitter) comes from path-keyed streams, so "
-        "merged counts stay bitwise whatever the clock says",
-    ),
-    # -- det-clock: calibration timers (issue-sanctioned) ------------------
-    AllowlistEntry(
-        "det-clock", "*core/copycost.py", "time.perf_counter*",
-        "copy-cost calibration timer — measuring time is the entire point",
-    ),
-    AllowlistEntry(
-        "det-clock", "*core/costmodel.py", "time.perf_counter*",
-        "cost-model calibration timer — measuring time is the entire point",
-    ),
-    # -- det-clock: experiment harnesses (issue-sanctioned) ----------------
-    AllowlistEntry(
-        "det-clock", "*experiments/*.py", "time.perf_counter*",
-        "experiment harnesses measure the wall-clock legs the paper's "
-        "figures report",
-    ),
-    AllowlistEntry(
-        "det-clock", "*vqa/landscape.py", "time.perf_counter*",
-        "QAOA landscape sweep reports measured wall time per grid point",
+        "det-clock", "*obs/clock.py", "time.*",
+        "repro.obs.clock is the one sanctioned clock surface: it wraps "
+        "time.perf_counter/perf_counter_ns/monotonic behind helpers every "
+        "timer imports, so timing is observable yet provably unable to "
+        "feed a draw or an outcome",
     ),
 )

@@ -16,9 +16,13 @@ entropy source that is *not* the path-keyed stream:
 * ``det-clock`` — wall-clock reads (``time.time``, ``perf_counter`` and
   friends).  Clocks never feed randomness here, but a clock read inside an
   engine is how "cost model" quietly becomes "load-dependent behaviour";
-  the sanctioned uses (CostCounters wall-time metrics, calibration timers,
-  experiment harnesses) are allowlisted per file in
+  the single sanctioned site (:mod:`repro.obs.clock`) is allowlisted in
   :mod:`repro.lint.config`.
+* ``obs-clock`` — the structural counterpart: *no* module outside
+  ``repro.obs`` may read a clock directly, even for metrics.  Every timer
+  routes through :mod:`repro.obs.clock`, which is what makes tracing
+  provably inert — enabling a tracer cannot change counts, counters or RNG
+  draws because the clock surface is confined to the observability layer.
 """
 
 from __future__ import annotations
@@ -28,7 +32,7 @@ from typing import Iterator
 
 from repro.lint.framework import Finding, ModuleContext, ModuleRule
 
-__all__ = ["ForeignRandomRule", "WallClockRule"]
+__all__ = ["ForeignRandomRule", "ObsClockRule", "WallClockRule"]
 
 #: numpy.random attributes that are *not* entropy sources: types used in
 #: annotations and the seed-folding material pathrng builds keys from.
@@ -133,5 +137,42 @@ class WallClockRule(ModuleRule):
                     node,
                     f"{qualified} reads the wall clock; results must not "
                     "depend on time (allowlist metric/calibration timers)",
+                    symbol=qualified,
+                )
+
+
+class ObsClockRule(ModuleRule):
+    """Confine direct clock reads to the ``repro.obs`` package.
+
+    :mod:`repro.obs.clock` is the one sanctioned call site; everything else
+    imports its helpers (``perf_seconds``, ``monotonic_seconds``,
+    ``Stopwatch``).  Keeping the clock surface in one leaf module is the
+    structural proof that tracing is inert: a tracer can only observe time,
+    never leak it into simulation behaviour, because no engine, dispatcher
+    or experiment module touches :mod:`time` directly.
+    """
+
+    rule_id = "obs-clock"
+    severity = "error"
+    description = (
+        "monotonic/wall clock reads outside repro.obs are forbidden; "
+        "route timers through repro.obs.clock"
+    )
+
+    def visit_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        # The lint root may be the package dir (module "obs.clock") or the
+        # source root (module "repro.obs.clock"); accept both spellings.
+        module = ctx.module_name.removeprefix("repro.")
+        if module == "obs" or module.startswith("obs."):
+            return
+        for node in _maximal_reference_nodes(ctx.tree):
+            qualified = ctx.qualified_name(node)
+            if qualified in _CLOCK_CALLS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{qualified} is a direct clock read outside repro.obs; "
+                    "use repro.obs.clock (perf_seconds / monotonic_seconds "
+                    "/ Stopwatch) so tracing stays provably inert",
                     symbol=qualified,
                 )

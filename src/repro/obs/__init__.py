@@ -1,0 +1,90 @@
+"""``repro.obs`` — low-overhead, determinism-safe tracing and metrics.
+
+The observability substrate the rest of the stack builds on:
+
+* :mod:`repro.obs.clock` — the *only* module in ``repro`` that reads
+  clocks (enforced by the ``obs-clock`` lint rule), so tracing is
+  provably inert with respect to counts and RNG draws.
+* :mod:`repro.obs.tracer` — :class:`Tracer` span context-managers with
+  structured attributes, :class:`MetricSet` counters/gauges, picklable
+  :class:`SpanBuffer` snapshots for the process-pool boundary, and the
+  :class:`NullTracer` default that keeps the disabled hot path at one
+  attribute lookup.
+* :mod:`repro.obs.export` — JSON-lines, per-span-name summary table and
+  Chrome trace-event (Perfetto) exporters.
+* :mod:`repro.obs.schema` — shared telemetry names plus the
+  backward-compatible views of the legacy dispatch metadata keys.
+* :mod:`repro.obs.drift` — measured span totals vs
+  :meth:`~repro.core.costmodel.CostModel.plan_seconds` predictions, the
+  calibration feedback loop.
+
+Typical use::
+
+    from repro.obs import Tracer, use_tracer, chrome_trace
+
+    tracer = Tracer()
+    with use_tracer(tracer):          # engines/dispatchers pick it up
+        dispatcher.run(circuit, shots)
+    json.dump(chrome_trace(tracer), open("trace.json", "w"))
+"""
+
+from repro.obs.clock import Stopwatch, stopwatch
+from repro.obs.drift import DriftRow, drift_report, render_drift
+from repro.obs.export import (
+    SummaryRow,
+    chrome_trace,
+    render_summary,
+    summarize,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.schema import (
+    DISPATCH_PREFIX,
+    REPLAYED_PREFIX_GATES,
+    RESILIENCE_PREFIX,
+    replayed_prefix_gates_view,
+    resilience_view,
+)
+from repro.obs.tracer import (
+    NULL_SPAN,
+    NULL_TRACER,
+    AnyTracer,
+    MetricSet,
+    NullTracer,
+    SpanBuffer,
+    SpanRecord,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "AnyTracer",
+    "DISPATCH_PREFIX",
+    "DriftRow",
+    "MetricSet",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullTracer",
+    "REPLAYED_PREFIX_GATES",
+    "RESILIENCE_PREFIX",
+    "SpanBuffer",
+    "SpanRecord",
+    "Stopwatch",
+    "SummaryRow",
+    "Tracer",
+    "chrome_trace",
+    "drift_report",
+    "get_tracer",
+    "render_drift",
+    "render_summary",
+    "replayed_prefix_gates_view",
+    "resilience_view",
+    "set_tracer",
+    "stopwatch",
+    "summarize",
+    "use_tracer",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,84 @@
+"""The single sanctioned clock site in the repro package.
+
+Every wall/monotonic-clock read in ``repro`` goes through this module.
+That concentration is what makes tracing *provably* inert: the
+``obs-clock`` lint rule forbids ``time.perf_counter`` / ``time.monotonic``
+and friends anywhere outside ``repro.obs``, so a reviewer (and CI) can
+check by inspection that no clock value ever feeds an RNG draw, a branch
+in the traversal, or anything else that could perturb counts.  Clock
+values flow one way: out of here, into measurements.
+
+All helpers are thin wrappers over :mod:`time` — same resolution, same
+monotonic guarantees — so migrating a call site is a rename, not a
+semantic change.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "Stopwatch",
+    "monotonic_seconds",
+    "perf_ns",
+    "perf_seconds",
+    "stopwatch",
+]
+
+
+def perf_seconds() -> float:
+    """Monotonic high-resolution timestamp in seconds (``perf_counter``)."""
+    return time.perf_counter()
+
+
+def perf_ns() -> int:
+    """Monotonic high-resolution timestamp in nanoseconds."""
+    return time.perf_counter_ns()
+
+
+def monotonic_seconds() -> float:
+    """Coarse monotonic timestamp in seconds (``time.monotonic``).
+
+    Used by supervision loops (deadlines, backoff accounting) where the
+    cheaper clock is adequate and consistency with ``sleep`` matters.
+    """
+    return time.monotonic()
+
+
+class Stopwatch:
+    """A started timer; ``elapsed`` is seconds since construction/``start``."""
+
+    __slots__ = ("_start", "elapsed")
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self._start = time.perf_counter()
+
+    def restart(self) -> None:
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        self.elapsed = time.perf_counter() - self._start
+        return self.elapsed
+
+    def peek(self) -> float:
+        """Elapsed seconds so far without stopping."""
+        return time.perf_counter() - self._start
+
+
+@contextmanager
+def stopwatch() -> Iterator[Stopwatch]:
+    """Context manager timing its body: ``with stopwatch() as sw: ...``.
+
+    After the block exits, ``sw.elapsed`` holds the wall-clock duration in
+    seconds (``perf_counter`` based).  This is the one timing helper the
+    experiment scripts use, replacing scattered raw ``time.perf_counter()``
+    pairs.
+    """
+    sw = Stopwatch()
+    try:
+        yield sw
+    finally:
+        sw.stop()

@@ -1,0 +1,235 @@
+"""Exporters for recorded spans: JSON-lines, summary table, Chrome trace.
+
+All three accept either a live :class:`~repro.obs.tracer.Tracer` or a
+picklable :class:`~repro.obs.tracer.SpanBuffer` snapshot.  The Chrome
+exporter emits the legacy trace-event JSON (``{"traceEvents": [...]}``)
+that both ``chrome://tracing`` and Perfetto load: each track (the main
+process plus every absorbed worker shard/attempt) becomes its own
+synthetic ``pid`` with a ``process_name`` metadata record, and spans
+become ``"X"`` complete events with microsecond timestamps.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence, TextIO, Union
+
+from repro.obs.tracer import NullTracer, SpanBuffer, SpanRecord, Tracer
+
+__all__ = [
+    "SummaryRow",
+    "chrome_trace",
+    "render_summary",
+    "summarize",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+TraceSource = Union[Tracer, NullTracer, SpanBuffer]
+
+
+def _spans_of(source: TraceSource) -> list[SpanRecord]:
+    return list(source.spans)
+
+
+def _counters_of(source: TraceSource) -> dict[str, float]:
+    if isinstance(source, SpanBuffer):
+        return dict(source.counters)
+    if isinstance(source, Tracer):
+        return dict(source.metrics.counters)
+    return {}
+
+
+def _gauges_of(source: TraceSource) -> dict[str, float]:
+    if isinstance(source, SpanBuffer):
+        return dict(source.gauges)
+    if isinstance(source, Tracer):
+        return dict(source.metrics.gauges)
+    return {}
+
+
+def _main_track(source: TraceSource) -> str:
+    return source.track if source.track else "main"
+
+
+def _json_safe(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _json_safe(item) for key, item in value.items()}
+    return str(value)
+
+
+# ----------------------------------------------------------------------
+# JSON-lines
+# ----------------------------------------------------------------------
+def _jsonl_records(source: TraceSource) -> Iterator[dict[str, Any]]:
+    main = _main_track(source)
+    for span in sorted(_spans_of(source), key=lambda s: (s.start, s.index)):
+        yield {
+            "type": "span",
+            "name": span.name,
+            "track": span.track or main,
+            "start": span.start,
+            "duration": span.duration,
+            "depth": span.depth,
+            "index": span.index,
+            "parent": span.parent,
+            "attributes": _json_safe(span.attributes),
+        }
+    for name, value in sorted(_counters_of(source).items()):
+        yield {"type": "counter", "name": name, "value": value}
+    for name, value in sorted(_gauges_of(source).items()):
+        yield {"type": "gauge", "name": name, "value": value}
+
+
+def write_jsonl(source: TraceSource, stream: TextIO) -> int:
+    """Write one JSON object per line; returns the number of lines."""
+    lines = 0
+    for record in _jsonl_records(source):
+        stream.write(json.dumps(record, sort_keys=True))
+        stream.write("\n")
+        lines += 1
+    return lines
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event format
+# ----------------------------------------------------------------------
+def chrome_trace(source: TraceSource) -> dict[str, Any]:
+    """Build a Chrome/Perfetto trace-event document from recorded spans."""
+    main = _main_track(source)
+    spans = sorted(_spans_of(source), key=lambda s: (s.start, s.index))
+    track_pids: dict[str, int] = {}
+    events: list[dict[str, Any]] = []
+
+    def pid_for(track: str) -> int:
+        pid = track_pids.get(track)
+        if pid is None:
+            pid = len(track_pids) + 1
+            track_pids[track] = pid
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": track},
+                }
+            )
+        return pid
+
+    pid_for(main)
+    for span in spans:
+        events.append(
+            {
+                "ph": "X",
+                "cat": "repro",
+                "name": span.name,
+                "ts": round(span.start * 1e6, 3),
+                "dur": round(span.duration * 1e6, 3),
+                "pid": pid_for(span.track or main),
+                "tid": 0,
+                "args": _json_safe(span.attributes),
+            }
+        )
+    counters = _counters_of(source)
+    gauges = _gauges_of(source)
+    metadata: dict[str, Any] = {"tracks": dict(track_pids)}
+    if counters:
+        metadata["counters"] = _json_safe(counters)
+    if gauges:
+        metadata["gauges"] = _json_safe(gauges)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": metadata,
+    }
+
+
+def write_chrome_trace(source: TraceSource, stream: TextIO) -> int:
+    """Serialize :func:`chrome_trace` to ``stream``; returns the event count."""
+    document = chrome_trace(source)
+    json.dump(document, stream, sort_keys=True)
+    stream.write("\n")
+    return len(document["traceEvents"])
+
+
+# ----------------------------------------------------------------------
+# Per-span-name summary
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SummaryRow:
+    name: str
+    calls: int
+    total_seconds: float
+    mean_seconds: float
+    max_seconds: float
+    self_seconds: float
+
+
+def summarize(source: TraceSource) -> list[SummaryRow]:
+    """Aggregate spans by name, most total time first.
+
+    ``self_seconds`` subtracts the time spent in *recorded* child spans,
+    so a parent whose children are also traced doesn't double-count.
+    """
+    spans = _spans_of(source)
+    child_time: dict[tuple[str, int], float] = {}
+    by_index: dict[tuple[str, int], SpanRecord] = {
+        (span.track, span.index): span for span in spans
+    }
+    for span in spans:
+        if span.parent >= 0 and (span.track, span.parent) in by_index:
+            key = (span.track, span.parent)
+            child_time[key] = child_time.get(key, 0.0) + span.duration
+    totals: dict[str, list[float]] = {}
+    selfs: dict[str, float] = {}
+    for span in spans:
+        totals.setdefault(span.name, []).append(span.duration)
+        own = span.duration - child_time.get((span.track, span.index), 0.0)
+        selfs[span.name] = selfs.get(span.name, 0.0) + max(own, 0.0)
+    rows = [
+        SummaryRow(
+            name=name,
+            calls=len(durations),
+            total_seconds=sum(durations),
+            mean_seconds=sum(durations) / len(durations),
+            max_seconds=max(durations),
+            self_seconds=selfs[name],
+        )
+        for name, durations in totals.items()
+    ]
+    rows.sort(key=lambda row: (-row.total_seconds, row.name))
+    return rows
+
+
+def render_summary(rows: Sequence[SummaryRow]) -> str:
+    """Plain-text table of :func:`summarize` rows."""
+    header = ("span", "calls", "total s", "self s", "mean ms", "max ms")
+    table = [header]
+    for row in rows:
+        table.append(
+            (
+                row.name,
+                str(row.calls),
+                f"{row.total_seconds:.4f}",
+                f"{row.self_seconds:.4f}",
+                f"{row.mean_seconds * 1e3:.3f}",
+                f"{row.max_seconds * 1e3:.3f}",
+            )
+        )
+    widths = [max(len(line[col]) for line in table) for col in range(len(header))]
+    rendered = []
+    for line_index, line in enumerate(table):
+        cells = [
+            line[0].ljust(widths[0]),
+            *(line[col].rjust(widths[col]) for col in range(1, len(header))),
+        ]
+        rendered.append("  ".join(cells).rstrip())
+        if line_index == 0:
+            rendered.append("  ".join("-" * width for width in widths))
+    return "\n".join(rendered)

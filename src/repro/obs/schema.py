@@ -1,0 +1,92 @@
+"""Shared telemetry schema: obs counter names plus legacy metadata views.
+
+Dispatch telemetry used to be ad-hoc nested dicts assembled inline
+(``metadata["dispatch"]["resilience"]``, ``replayed_prefix_gates``).
+The counters now live in an obs :class:`~repro.obs.tracer.MetricSet`
+under the dotted names below, and the old metadata keys are rebuilt from
+those counters by the view helpers — so downstream readers (experiments,
+tests, the fig10 fault-injection sweeps) keep working unchanged while
+traced runs see the same numbers as ``tracer.metrics`` counters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.obs.tracer import MetricSet
+
+__all__ = [
+    "DISPATCH_PREFIX",
+    "REPLAYED_PREFIX_GATES",
+    "RESILIENCE_PREFIX",
+    "replayed_prefix_gates_view",
+    "resilience_view",
+]
+
+#: Every dispatch-layer counter lives under this namespace.
+DISPATCH_PREFIX = "dispatch."
+#: Counter mirroring ``metadata["dispatch"]["replayed_prefix_gates"]``.
+REPLAYED_PREFIX_GATES = DISPATCH_PREFIX + "replayed_prefix_gates"
+#: Namespace for the resilient supervision loop's scalar telemetry.
+RESILIENCE_PREFIX = DISPATCH_PREFIX + "resilience."
+
+#: Scalar counts kept as counters (``RESILIENCE_PREFIX + name``).
+RESILIENCE_COUNTERS = (
+    "timeouts",
+    "retries",
+    "pool_rebuilds",
+    "speculative.launched",
+    "speculative.won",
+    "speculative.lost",
+    "backoff_seconds_total",
+)
+#: 0/1 flag kept as a gauge.
+RESILIENCE_DEGRADED = RESILIENCE_PREFIX + "degraded"
+
+
+def _counter(metrics: MetricSet, name: str) -> float:
+    return metrics.counters.get(name, 0)
+
+
+def replayed_prefix_gates_view(metrics: MetricSet) -> int:
+    """Legacy ``metadata["dispatch"]["replayed_prefix_gates"]`` value."""
+    return int(_counter(metrics, REPLAYED_PREFIX_GATES))
+
+
+def resilience_view(
+    metrics: MetricSet,
+    *,
+    attempts: Sequence[int],
+    failures: Sequence[dict[str, Any]],
+    degraded_shards: Sequence[int],
+    timeout_seconds: Sequence[float],
+) -> dict[str, Any]:
+    """Rebuild the legacy ``metadata["dispatch"]["resilience"]`` dict.
+
+    Scalars come from obs counters/gauges; the structured per-shard
+    records (attempt counts, failure log, degraded shard list, planned
+    timeouts) are passed through as-is — they are event logs, not
+    counters, and stay outside the metric namespace.
+    """
+
+    def count(name: str) -> int:
+        return int(_counter(metrics, RESILIENCE_PREFIX + name))
+
+    return {
+        "attempts": list(attempts),
+        "timeouts": count("timeouts"),
+        "retries": count("retries"),
+        "failures": [dict(record) for record in failures],
+        "pool_rebuilds": count("pool_rebuilds"),
+        "speculative": {
+            "launched": count("speculative.launched"),
+            "won": count("speculative.won"),
+            "lost": count("speculative.lost"),
+        },
+        "degraded": bool(metrics.gauges.get(RESILIENCE_DEGRADED, 0)),
+        "degraded_shards": list(degraded_shards),
+        "backoff_seconds_total": float(
+            _counter(metrics, RESILIENCE_PREFIX + "backoff_seconds_total")
+        ),
+        "timeout_seconds": [float(value) for value in timeout_seconds],
+    }

@@ -1,0 +1,327 @@
+"""Determinism-safe tracing and metrics primitives.
+
+Design constraints, in order:
+
+1. **Inert by construction.** Tracing must never change simulation
+   results.  Spans record clock readings (via :mod:`repro.obs.clock`) and
+   plain-data attributes; nothing here touches RNG state, counts, or
+   control flow in the instrumented code.  The five-way bitwise-identity
+   test in ``tests/test_obs.py`` checks this end to end.
+2. **Near-zero cost when disabled.** The default tracer is a
+   :class:`NullTracer` whose ``span()`` returns a shared no-op context
+   manager.  Instrumented hot loops guard attribute construction behind
+   a single ``tracer.enabled`` lookup, so a disabled tracer costs one
+   attribute read (plus, where a span is unconditionally opened, two
+   no-op method calls).
+3. **Picklable across the pool boundary.** A worker process builds its
+   own :class:`Tracer`, and :meth:`Tracer.buffer` snapshots it into a
+   :class:`SpanBuffer` — plain dataclasses of plain data — that ships
+   back with the shard result.  The dispatcher :meth:`Tracer.absorb`\\ s
+   worker buffers into one cross-process timeline, rebasing timestamps
+   onto the parent's origin (``perf_counter`` shares one clock domain
+   across processes on every platform we run on) and tagging every span
+   with ``(shard, attempt)``.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Union
+
+from repro.obs import clock
+
+__all__ = [
+    "MetricSet",
+    "NULL_SPAN",
+    "NullTracer",
+    "SpanBuffer",
+    "SpanRecord",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+]
+
+
+@dataclass
+class SpanRecord:
+    """One completed span: plain data, picklable, JSON-friendly.
+
+    ``start`` is seconds since the owning buffer's ``origin``; ``index``
+    orders spans by *entry* (spans are appended on exit, so the list
+    itself is exit-ordered).  ``parent`` is the index of the enclosing
+    span in the same buffer, or ``-1`` at top level.  ``track`` is empty
+    for spans recorded by the buffer's own tracer and set to the source
+    track label for spans absorbed from another process.
+    """
+
+    name: str
+    start: float
+    duration: float
+    depth: int
+    index: int
+    parent: int
+    attributes: dict[str, Any] = field(default_factory=dict)
+    track: str = ""
+
+
+@dataclass
+class SpanBuffer:
+    """A picklable snapshot of a tracer: spans plus counters/gauges."""
+
+    track: str
+    origin: float
+    pid: int
+    spans: list[SpanRecord] = field(default_factory=list)
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+
+
+class MetricSet:
+    """Monotonic counters and last-write-wins gauges."""
+
+    __slots__ = ("counters", "gauges")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+
+    def count(self, name: str, value: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def merge(self, counters: dict[str, float], gauges: dict[str, float]) -> None:
+        for name, value in counters.items():
+            self.count(name, value)
+        self.gauges.update(gauges)
+
+
+class _Span:
+    """Live span handle; records itself on the owning tracer at exit."""
+
+    __slots__ = (
+        "_attributes",
+        "_depth",
+        "_index",
+        "_name",
+        "_parent",
+        "_start",
+        "_tracer",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attributes = attributes
+
+    def set(self, **attributes: Any) -> None:
+        """Attach (or overwrite) attributes while the span is open."""
+        self._attributes.update(attributes)
+
+    def __enter__(self) -> "_Span":
+        tracer = self._tracer
+        self._index = tracer._sequence
+        tracer._sequence += 1
+        self._depth = len(tracer._stack)
+        self._parent = tracer._stack[-1]._index if tracer._stack else -1
+        tracer._stack.append(self)
+        self._start = clock.perf_seconds()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        end = clock.perf_seconds()
+        tracer = self._tracer
+        tracer._stack.pop()
+        tracer._spans.append(
+            SpanRecord(
+                name=self._name,
+                start=self._start - tracer._origin,
+                duration=end - self._start,
+                depth=self._depth,
+                index=self._index,
+                parent=self._parent,
+                attributes=self._attributes,
+            )
+        )
+
+
+class _NullSpan:
+    """Shared no-op span: the entire cost of tracing when disabled."""
+
+    __slots__ = ()
+
+    def set(self, **attributes: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Records nested spans with monotonic durations plus counters/gauges.
+
+    ``kernel_interval`` is the kernel-level sampling knob: backends'
+    per-gate spans go through :meth:`kernel_span`, which records every
+    ``kernel_interval``-th call (0 — the default — records none, keeping
+    per-gate overhead to a counter increment even when tracing is on).
+    """
+
+    enabled = True
+
+    def __init__(self, track: str = "main", kernel_interval: int = 0) -> None:
+        self.track = track
+        self.kernel_interval = int(kernel_interval)
+        self.metrics = MetricSet()
+        self._origin = clock.perf_seconds()
+        self._pid = os.getpid()
+        self._spans: list[SpanRecord] = []
+        self._stack: list[_Span] = []
+        self._sequence = 0
+        self._kernel_calls = 0
+
+    # -- recording ------------------------------------------------------
+    def span(self, name: str, **attributes: Any) -> _Span:
+        return _Span(self, name, attributes)
+
+    def kernel_span(self, name: str, **attributes: Any) -> Union[_Span, _NullSpan]:
+        interval = self.kernel_interval
+        if interval <= 0:
+            return NULL_SPAN
+        self._kernel_calls += 1
+        if (self._kernel_calls - 1) % interval:
+            return NULL_SPAN
+        return _Span(self, name, attributes)
+
+    def count(self, name: str, value: float = 1) -> None:
+        self.metrics.count(name, value)
+
+    def gauge(self, name: str, value: float) -> None:
+        self.metrics.gauge(name, value)
+
+    # -- snapshot / merge ----------------------------------------------
+    @property
+    def spans(self) -> list[SpanRecord]:
+        """Completed spans, in exit order."""
+        return self._spans
+
+    def buffer(self) -> SpanBuffer:
+        return SpanBuffer(
+            track=self.track,
+            origin=self._origin,
+            pid=self._pid,
+            spans=list(self._spans),
+            counters=dict(self.metrics.counters),
+            gauges=dict(self.metrics.gauges),
+        )
+
+    def absorb(
+        self,
+        buffer: SpanBuffer,
+        track: str | None = None,
+        **tags: Any,
+    ) -> None:
+        """Merge a (typically worker-produced) buffer into this tracer.
+
+        Foreign spans are re-indexed after this tracer's own sequence,
+        rebased onto this tracer's origin (``perf_counter`` is one clock
+        domain across processes), tagged with ``tags`` (conventionally
+        ``shard=…, attempt=…``) and labelled with the source track so
+        exporters can lay them out as separate timeline tracks.
+        """
+        label = track if track is not None else buffer.track
+        base = self._sequence
+        offset = buffer.origin - self._origin
+        width = 0
+        for record in buffer.spans:
+            attributes = dict(record.attributes)
+            attributes.update(tags)
+            self._spans.append(
+                SpanRecord(
+                    name=record.name,
+                    start=record.start + offset,
+                    duration=record.duration,
+                    depth=record.depth,
+                    index=base + record.index,
+                    parent=record.parent if record.parent < 0 else base + record.parent,
+                    attributes=attributes,
+                    track=record.track or label,
+                )
+            )
+            if record.index >= width:
+                width = record.index + 1
+        self._sequence = base + width
+        self.metrics.merge(buffer.counters, buffer.gauges)
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a no-op.
+
+    The module default — instrumented code checks ``tracer.enabled``
+    (one attribute lookup) before doing any per-span work.
+    """
+
+    enabled = False
+    kernel_interval = 0
+    track = "null"
+
+    def span(self, name: str, **attributes: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    def kernel_span(self, name: str, **attributes: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    def count(self, name: str, value: float = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    @property
+    def spans(self) -> list[SpanRecord]:
+        return []
+
+    def buffer(self) -> SpanBuffer:
+        return SpanBuffer(track=self.track, origin=0.0, pid=os.getpid())
+
+    def absorb(self, buffer: SpanBuffer, track: str | None = None, **tags: Any) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+AnyTracer = Union[Tracer, NullTracer]
+
+_default_tracer: AnyTracer = NULL_TRACER
+
+
+def get_tracer() -> AnyTracer:
+    """The process-wide default tracer (a ``NullTracer`` unless set)."""
+    return _default_tracer
+
+
+def set_tracer(tracer: AnyTracer | None) -> AnyTracer:
+    """Install ``tracer`` as the default; ``None`` resets. Returns the old one."""
+    global _default_tracer
+    previous = _default_tracer
+    _default_tracer = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: AnyTracer) -> Iterator[AnyTracer]:
+    """Scoped default tracer: ``with use_tracer(t): run_experiment()``."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

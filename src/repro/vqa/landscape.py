@@ -7,7 +7,6 @@ kind of repetitive multi-shot workload TQSim accelerates.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import networkx as nx
@@ -20,6 +19,7 @@ from repro.core.engine import TQSimEngine
 from repro.core.results import CostCounters
 from repro.metrics.fidelity import distribution_mse
 from repro.noise.model import NoiseModel
+from repro.obs import clock
 from repro.vqa.maxcut import expected_cut_from_counts
 
 __all__ = ["LandscapeResult", "qaoa_cost_landscape", "compare_landscapes"]
@@ -73,7 +73,7 @@ def qaoa_cost_landscape(
     betas = np.linspace(-np.pi, np.pi, 5) if betas is None else np.asarray(betas)
     costs = np.zeros((len(gammas), len(betas)))
     total_cost = CostCounters()
-    start = time.perf_counter()
+    start = clock.perf_seconds()
     for i, gamma in enumerate(gammas):
         for j, beta in enumerate(betas):
             circuit = qaoa_maxcut_circuit(graph, betas=[float(beta)],
@@ -87,7 +87,7 @@ def qaoa_cost_landscape(
                 result = engine.run(circuit, shots, partitioner=partitioner)
             costs[i, j] = expected_cut_from_counts(graph, result.counts)
             total_cost = total_cost.merged_with(result.cost)
-    wall = time.perf_counter() - start
+    wall = clock.perf_seconds() - start
     return LandscapeResult(
         graph_name=graph_name,
         gammas=gammas,
