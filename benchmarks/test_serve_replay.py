@@ -1,0 +1,103 @@
+"""Heavy-traffic replay of the serving layer: cache-hit speedup, measured.
+
+The serving claim: on a repeated-circuit request mix, the cross-request
+caches (transpile, plan, prefix states) turn the second encounter of each
+circuit into a sampling-only fast path — at least 2x faster end-to-end —
+while every warm response stays *bitwise* identical to its cold twin.
+The correctness half (identity, full warm coverage, ok statuses, sane
+percentiles) asserts unconditionally; the wall-clock half is skipped on
+shared CI runners where scheduling noise swamps millisecond budgets.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from conftest import print_table
+from repro.serve import SimulationServer, run_replay
+
+NUM_REQUESTS = 24
+NUM_QUBITS = 6
+SHOTS = 256
+
+
+@pytest.fixture(scope="module")
+def replay_report():
+    with SimulationServer() as server:
+        report = run_replay(
+            server,
+            num_requests=NUM_REQUESTS,
+            num_qubits=NUM_QUBITS,
+            shots=SHOTS,
+        )
+        counters = server.counters()
+    print_table(
+        "serve replay: cold vs warm pass "
+        f"({NUM_REQUESTS} requests, {NUM_QUBITS} qubits, {SHOTS} shots)",
+        [
+            {
+                "pass": "cold",
+                "seconds": report.cold_seconds,
+                "req/s": report.cold_rps,
+            },
+            {
+                "pass": "warm",
+                "seconds": report.warm_seconds,
+                "req/s": report.warm_rps,
+            },
+        ],
+    )
+    print_table(
+        "latency and cache counters",
+        [
+            {"metric": "speedup (x)", "value": report.speedup},
+            {"metric": "p50 (ms)", "value": report.p50_ms},
+            {"metric": "p99 (ms)", "value": report.p99_ms},
+            {"metric": "warm hits", "value": report.warm_hits},
+            *(
+                {"metric": name, "value": value}
+                for name, value in sorted(report.cache_counters.items())
+            ),
+        ],
+    )
+    return report, counters
+
+
+def test_replay_warm_pass_bitwise_identical(replay_report):
+    report, _ = replay_report
+    assert report.identical, report.mismatches
+    assert report.statuses == {"ok": 2 * NUM_REQUESTS}
+
+
+def test_replay_warm_pass_fully_cache_served(replay_report):
+    report, counters = replay_report
+    # The second pass replays against fully warmed caches: every request
+    # takes the sampling-only fast path.  (The *cold* pass also warms up
+    # mid-flight once each circuit's states are populated, and concurrent
+    # first encounters may race to the same cache entry, so only lower
+    # bounds hold for the raw counters.)
+    assert report.warm_hits == NUM_REQUESTS
+    assert counters["serve.requests.warm"] >= NUM_REQUESTS
+    assert counters["serve.cache.transpile.misses"] >= 3
+    assert counters["serve.cache.transpile.hits"] >= NUM_REQUESTS
+    assert counters["serve.cache.prefix.hits"] >= NUM_REQUESTS
+
+
+def test_replay_latency_percentiles_counter_backed(replay_report):
+    report, _ = replay_report
+    assert report.p50_ms > 0
+    assert report.p99_ms >= report.p50_ms
+
+
+def test_replay_cache_hit_speedup(replay_report):
+    report, _ = replay_report
+    if os.environ.get("CI"):
+        pytest.skip(
+            "timing assertion skipped on CI (scheduling noise); the "
+            "bitwise-identity and coverage assertions above still ran"
+        )
+    assert report.speedup >= 2.0, (
+        f"warm pass only {report.speedup:.2f}x faster than cold"
+    )

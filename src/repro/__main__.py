@@ -29,6 +29,11 @@ Five subcommands:
   :mod:`repro.lint`) that enforces the seeding, backend-conformance,
   multiprocessing-safety, API-hygiene and clock-confinement invariants;
   the CI gate.
+* ``python -m repro serve [--port P | --replay]`` — the
+  simulation-as-a-service front end (see :mod:`repro.serve`): either a
+  line-delimited-JSON TCP server, or ``--replay`` to drive the synthetic
+  heavy-traffic benchmark against an in-process server and print the
+  cold/warm comparison (``--json PATH`` persists the report for CI).
 """
 
 from __future__ import annotations
@@ -105,6 +110,33 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.lint.cli import add_lint_arguments
 
     add_lint_arguments(lint)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the simulation service (TCP) or its replay benchmark",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address for the TCP server")
+    serve.add_argument("--port", type=int, default=8753,
+                       help="TCP port accepting line-delimited JSON requests")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="worker processes per request (1 = in-process "
+                            "engine; more fans shards out through the pool "
+                            "dispatcher)")
+    serve.add_argument("--replay", action="store_true",
+                       help="instead of listening, run the synthetic "
+                            "heavy-traffic replay (cold pass, then the same "
+                            "mix warm) and print the comparison")
+    serve.add_argument("--requests", type=int, default=24,
+                       help="replay request count")
+    serve.add_argument("--qubits", type=int, default=6,
+                       help="replay circuit width")
+    serve.add_argument("--shots", type=int, default=256,
+                       help="shots per replay request")
+    serve.add_argument("--noise", default=None,
+                       help="replay noise model code (default: ideal)")
+    serve.add_argument("--json", default=None, metavar="PATH",
+                       help="write the replay report as JSON to PATH")
     return parser
 
 
@@ -356,6 +388,67 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the simulation service: TCP listener or the replay benchmark."""
+    if args.workers < 1:
+        print("--workers must be >= 1")
+        return 2
+    if args.replay:
+        if args.requests < 1:
+            print("--requests must be >= 1")
+            return 2
+        import json as json_module
+
+        from repro.serve import SimulationServer, run_replay
+
+        with SimulationServer(workers=args.workers) as server:
+            report = run_replay(
+                server,
+                num_requests=args.requests,
+                num_qubits=args.qubits,
+                shots=args.shots,
+                noise=args.noise,
+            )
+        print(f"== serve replay: {report.num_requests} request(s), "
+              f"{args.qubits} qubits, {args.shots} shots ==")
+        rows = [
+            ("cold pass", f"{report.cold_seconds:.3f} s",
+             f"{report.cold_rps:8.1f} req/s"),
+            ("warm pass", f"{report.warm_seconds:.3f} s",
+             f"{report.warm_rps:8.1f} req/s"),
+        ]
+        for name, seconds, rps in rows:
+            print(f"  {name}: {seconds}  {rps}")
+        print(f"  speedup: {report.speedup:.2f}x  "
+              f"warm hits: {report.warm_hits}/{report.num_requests}")
+        print(f"  p50: {report.p50_ms:.3g} ms  p99: {report.p99_ms:.3g} ms")
+        verdict = "identical" if report.identical else "DIVERGED"
+        print(f"  cold vs warm counts: {verdict}")
+        for mismatch in report.mismatches:
+            print(f"    {mismatch}")
+        for name, value in sorted(report.cache_counters.items()):
+            print(f"  {name}: {value:g}")
+        if args.json is not None:
+            with open(args.json, "w", encoding="utf-8") as stream:
+                json_module.dump(report.to_json(), stream, indent=2)
+                stream.write("\n")
+            print(f"report -> {args.json}")
+        return 0 if report.identical else 1
+
+    import asyncio
+
+    from repro.serve import SimulationServer, serve_forever
+
+    server = SimulationServer(workers=args.workers)
+    try:
+        asyncio.run(serve_forever(server, host=args.host, port=args.port))
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        server.close()
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Run the CLI; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -369,6 +462,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return run_lint_cli(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return _cmd_run(args)
 
 

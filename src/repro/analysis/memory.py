@@ -171,6 +171,7 @@ def admit_plan(
     memory_bytes: float,
     cost_model: CostModel | None = None,
     max_batch: int = 64,
+    prefix_states: int = 0,
 ) -> AdmissionDecision:
     """Admit one plan under a memory budget and pick its traversal.
 
@@ -182,24 +183,37 @@ def admit_plan(
     admitted cap is too small to amortise the batched-kernel overhead is
     steered back to the sequential traversal by measurement, not by a
     hard-coded threshold.
+
+    ``prefix_states`` is the number of *extra* resident statevectors the
+    run keeps outside the traversal pool — replayed/memoised prefix states
+    (the engine's bounded prefix cache, or the serving layer's
+    cross-request state cache).  Their bytes are charged against the
+    budget before the batch cap is computed and reported as part of
+    ``peak_bytes``, so a deep-sharded or cache-warmed run cannot be
+    admitted past what it will actually hold resident.
     """
     if max_batch < 1:
         raise ValueError("max_batch must be >= 1")
+    if prefix_states < 0:
+        raise ValueError("prefix_states must be >= 0")
     if len(tuple(arities)) != len(tuple(subcircuit_lengths)):
         raise ValueError("need one arity per subcircuit")
+    prefix_bytes = prefix_states * statevector_bytes(num_qubits)
+    pool_budget = memory_bytes - prefix_bytes
     requested = min(max_batch, max(int(a) for a in arities))
     peak = batched_tree_simulation_bytes(num_qubits, arities, requested)
-    if peak <= memory_bytes:
+    if peak <= pool_budget:
         cap = requested
         reason = "requested batch cap fits the budget"
     else:
-        cap = max_batch_for_budget(num_qubits, arities, memory_bytes)
+        cap = max_batch_for_budget(num_qubits, arities, pool_budget)
         peak = batched_tree_simulation_bytes(num_qubits, arities, cap)
         reason = (
             "batch cap lowered to fit the budget"
-            if peak <= memory_bytes
+            if peak <= pool_budget
             else "even the sequential pool exceeds the budget"
         )
+    peak += prefix_bytes
     fits = peak <= memory_bytes
     use_batched = cap > 1
     batched_seconds = sequential_seconds = None

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from collections import Counter
 from typing import Iterable, Iterator, Sequence
 
@@ -258,6 +260,32 @@ class Circuit:
         for gate in self._gates:
             used.update(gate.qubits)
         return used
+
+    def content_hash(self) -> str:
+        """Stable content fingerprint of the circuit's semantics.
+
+        Hashes exactly what determines simulation behaviour — the width and,
+        per gate, the name, operand tuple, parameters (as float64 bytes) and
+        any explicit matrix (as contiguous complex128 bytes).  Cosmetic
+        fields (circuit ``name``, gate ``label``) are excluded, so a renamed
+        copy of a circuit hashes identically.  This is the cache key the
+        serving layer (:mod:`repro.serve`) memoises partition plans,
+        transpile output and noiseless prefix states under; two circuits
+        with equal hashes are bitwise-interchangeable simulation inputs.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(struct.pack("<q", self.num_qubits))
+        for gate in self._gates:
+            digest.update(gate.name.encode("utf-8"))
+            digest.update(struct.pack(f"<{len(gate.qubits) + 1}q",
+                                      len(gate.qubits), *gate.qubits))
+            digest.update(struct.pack(f"<q{len(gate.params)}d",
+                                      len(gate.params), *gate.params))
+            if gate.matrix is not None:
+                matrix = np.ascontiguousarray(gate.matrix,
+                                              dtype=np.complex128)
+                digest.update(matrix.tobytes())
+        return digest.hexdigest()
 
     # ------------------------------------------------------------------
     # Transformation

@@ -85,6 +85,11 @@ from repro.core.pathrng import (
     root_key_from_seed,
 )
 from repro.core.results import CostCounters, SimulationResult
+from repro.core.statecache import (
+    DEFAULT_PREFIX_CACHE_BYTES,
+    NamespacedStateCache,
+    PrefixStateCache,
+)
 from repro.noise.model import NoiseModel
 from repro.obs import clock
 from repro.obs.tracer import NULL_SPAN, NULL_TRACER, AnyTracer, get_tracer
@@ -306,6 +311,7 @@ class TQSimEngine:
         plan: PartitionPlan | None = None,
         subtree_keys: Sequence[int] | None = None,
         assignments: Sequence[SubtreeAssignment] | None = None,
+        prefix_cache: PrefixStateCache | NamespacedStateCache | None = None,
     ) -> SimulationResult:
         """Simulate ``circuit`` with computation reuse.
 
@@ -333,6 +339,16 @@ class TQSimEngine:
             prefix node), then traverses exactly the covered children —
             reproducing bitwise the outcomes the full run produces for those
             subtrees.  Mutually exclusive with ``subtree_keys``.
+        prefix_cache:
+            Memo of replayed prefix states.  ``None`` (default) gives the
+            run a private byte-bounded LRU
+            (:class:`~repro.core.statecache.PrefixStateCache`), so deep
+            splits replay each shared ancestor once without the memo
+            growing past ``DEFAULT_PREFIX_CACHE_BYTES``.  Callers may pass
+            a longer-lived cache (e.g. the serving layer's cross-request
+            cache via a :class:`~repro.core.statecache.NamespacedStateCache`
+            view); cached entries are never mutated, and eviction only
+            costs a replay — counters and counts are unaffected either way.
 
         Returns
         -------
@@ -416,7 +432,9 @@ class TQSimEngine:
         produced = 0
         # Replayed prefix states, keyed by node path: assignments under the
         # same ancestor (deep splits) rebuild it once per run, not once each.
-        prefix_cache: dict[tuple[int, ...], np.ndarray] = {}
+        # Byte-bounded so deep-sharded runs can't pin one state per path.
+        if prefix_cache is None:
+            prefix_cache = PrefixStateCache(DEFAULT_PREFIX_CACHE_BYTES)
         start = clock.perf_seconds()
         with (
             tracer.span(
@@ -492,7 +510,7 @@ class TQSimEngine:
         plan: PartitionPlan,
         assignment: SubtreeAssignment,
         cost: CostCounters,
-        cache: dict[tuple[int, ...], np.ndarray],
+        cache: PrefixStateCache | NamespacedStateCache,
         tracer: AnyTracer = NULL_TRACER,
     ) -> np.ndarray | None:
         """Rebuild the intermediate state of the node at ``assignment.path``.
@@ -500,9 +518,11 @@ class TQSimEngine:
         The prefix subcircuits are replayed through the recorded per-node
         streams, so the resulting state is bitwise the one the full run hands
         to that node's children.  ``cache`` memoises every rebuilt node state
-        by path for the duration of one run: assignments sharing an ancestor
-        (deep splits) replay it once and resume from the deepest cached
-        prefix.
+        by path: assignments sharing an ancestor (deep splits) replay it once
+        and resume from the deepest cached prefix.  The cache is byte-bounded
+        (and may outlive the run — see ``run``'s ``prefix_cache``), so an
+        entry may have been evicted; a miss just replays the prefix, which
+        cannot change counts or counters.
 
         Work is added to ``cost`` only for prefix layers this assignment owns
         (``counted_prefix_layers``): sibling shards replay the same prefix,
@@ -563,7 +583,7 @@ class TQSimEngine:
                     work, plan.subcircuits[layer], tally, None,
                     row_rngs=[stream], tracer=tracer,
                 )
-            cache[assignment.path[: layer + 1]] = state
+            cache.put(assignment.path[: layer + 1], state)
         return state
 
     def _account_subcircuit(

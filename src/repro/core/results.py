@@ -149,62 +149,72 @@ def _metadata_values_equal(first: Any, second: Any) -> bool:
         return False
 
 
-def _merge_metadata(first: dict[str, Any], second: dict[str, Any]
-                    ) -> dict[str, Any]:
-    """Union of two metadata dicts that never drops a shard's values.
+def _merge_metadata_many(metadatas: Sequence[dict[str, Any]]
+                         ) -> dict[str, Any]:
+    """Single-pass union of N metadata dicts that never drops a shard's values.
 
-    Keys whose values agree (or appear on one side only) stay at the top
-    level.  Conflicting keys — two shards' ``tree`` / ``seed`` entries, for
-    example — are moved into ``metadata["shards"]``, a list with one dict of
-    the conflicting values per merged shard, so repeated merges keep every
-    shard's provenance instead of letting the last merge win.
+    Keys whose values agree across every input that carries them (and are
+    not already sharded anywhere) stay at the top level.  Conflicting keys —
+    N shards' ``tree`` / ``seed`` entries, for example — are recorded
+    per input under ``metadata["shards"]``, in input order, so every shard's
+    provenance survives the merge.  An input that already carries a
+    ``shards`` list (a previously merged result) contributes those dicts
+    unchanged; its remaining conflicting top-level keys are recorded into
+    them, mirroring what a pairwise fold does.
+
+    Each key is classified exactly once against all inputs, so merging N
+    shard results is linear in the total metadata size — the old pairwise
+    fold re-walked (and re-copied) the accumulated shard list on every
+    step, quadratic in shard count, and padded shard-less sides with ``{}``
+    placeholders that could leak empty dicts into ``metadata["shards"]``.
+    A fresh per-input shard dict is created only when a conflicting key
+    actually lands in it.
     """
-    first_shards = [dict(shard) for shard in first.get("shards", ())]
-    second_shards = [dict(shard) for shard in second.get("shards", ())]
-    first_plain = {k: v for k, v in first.items() if k != "shards"}
-    second_plain = {k: v for k, v in second.items() if k != "shards"}
-    first_shard_keys = {key for shard in first_shards for key in shard}
-    second_shard_keys = {key for shard in second_shards for key in shard}
+    plains = [{k: v for k, v in m.items() if k != "shards"} for m in metadatas]
+    shard_lists = [
+        [dict(shard) for shard in m.get("shards", ())] for m in metadatas
+    ]
+    sharded_keys = {
+        key for shards in shard_lists for shard in shards for key in shard
+    }
+
+    ordered_keys: list[str] = []
+    seen: set[str] = set()
+    for plain in plains:
+        for key in plain:
+            if key not in seen:
+                seen.add(key)
+                ordered_keys.append(key)
 
     merged: dict[str, Any] = {}
-    push_first: list[str] = []  # keys to record per-shard on the first side
-    push_second: list[str] = []
-    for key in {**first_plain, **second_plain}:
-        in_first = key in first_plain
-        in_second = key in second_plain
-        already_sharded = key in first_shard_keys or key in second_shard_keys
-        if in_first and in_second:
-            if not already_sharded and _metadata_values_equal(
-                first_plain[key], second_plain[key]
-            ):
-                merged[key] = first_plain[key]
-            else:
-                push_first.append(key)
-                push_second.append(key)
-        elif in_first:
-            if key in second_shard_keys:
-                push_first.append(key)
-            else:
-                merged[key] = first_plain[key]
-        else:
-            if key in first_shard_keys:
-                push_second.append(key)
-            else:
-                merged[key] = second_plain[key]
-
-    if push_first or push_second or first_shards or second_shards:
-        first_shards = first_shards or [{}]
-        second_shards = second_shards or [{}]
-        # The pushed value was uniform across that side's prior shards (it
+    fresh: list[dict[str, Any]] = [{} for _ in metadatas]
+    for key in ordered_keys:
+        holders = [i for i, plain in enumerate(plains) if key in plain]
+        reference = plains[holders[0]][key]
+        conflicted = key in sharded_keys or not all(
+            _metadata_values_equal(reference, plains[i][key])
+            for i in holders[1:]
+        )
+        if not conflicted:
+            merged[key] = reference
+            continue
+        # The pushed value was uniform across that input's prior shards (it
         # sat at the top level), so record it in each of them; shards that
         # already carry the key keep their own value.
-        for key in push_first:
-            for shard in first_shards:
-                shard.setdefault(key, first_plain[key])
-        for key in push_second:
-            for shard in second_shards:
-                shard.setdefault(key, second_plain[key])
-        merged["shards"] = first_shards + second_shards
+        for i in holders:
+            if shard_lists[i]:
+                for shard in shard_lists[i]:
+                    shard.setdefault(key, plains[i][key])
+            else:
+                fresh[i].setdefault(key, plains[i][key])
+
+    out_shards: list[dict[str, Any]] = []
+    for i in range(len(metadatas)):
+        out_shards.extend(shard_lists[i])
+        if fresh[i]:
+            out_shards.append(fresh[i])
+    if out_shards:
+        merged["shards"] = out_shards
     return merged
 
 
@@ -213,8 +223,8 @@ def merge_results(first: SimulationResult, second: SimulationResult
     """Merge two results of the same circuit (counts and costs are summed).
 
     Metadata keys on which the two results disagree are preserved per shard
-    under ``metadata["shards"]`` (see :func:`_merge_metadata`) rather than
-    silently clobbered by the second result.
+    under ``metadata["shards"]`` (see :func:`_merge_metadata_many`) rather
+    than silently clobbered by the second result.
     """
     if first.num_qubits != second.num_qubits:
         raise ValueError("cannot merge results of different widths")
@@ -226,7 +236,7 @@ def merge_results(first: SimulationResult, second: SimulationResult
         num_qubits=first.num_qubits,
         shots=first.shots + second.shots,
         cost=first.cost.merged_with(second.cost),
-        metadata=_merge_metadata(first.metadata, second.metadata),
+        metadata=_merge_metadata_many([first.metadata, second.metadata]),
     )
 
 
@@ -237,10 +247,11 @@ def merge_many(results: Sequence[SimulationResult]) -> SimulationResult:
     counter object (no per-step copies, unlike a pairwise
     :func:`merge_results` fold), which is how dispatchers fold an arbitrary
     number of shard results.  Counts, shots and costs are order-insensitive
-    sums; metadata goes through the same conflict-preserving merge as
-    :func:`merge_results`, so per-shard values survive under
-    ``metadata["shards"]`` in input order.  A single result merges to a
-    detached copy of itself.
+    sums; metadata goes through the single-pass conflict-preserving
+    :func:`_merge_metadata_many`, so per-shard values survive under
+    ``metadata["shards"]`` in input order — linear in the shard count, with
+    no placeholder dicts.  A single result merges to a detached copy of
+    itself.
     """
     results = list(results)
     if not results:
@@ -249,7 +260,6 @@ def merge_many(results: Sequence[SimulationResult]) -> SimulationResult:
     counts = dict(first.counts)
     shots = first.shots
     cost = CostCounters().merged_with(first.cost)
-    metadata = dict(first.metadata)
     for other in results[1:]:
         if other.num_qubits != first.num_qubits:
             raise ValueError("cannot merge results of different widths")
@@ -257,11 +267,10 @@ def merge_many(results: Sequence[SimulationResult]) -> SimulationResult:
             counts[key] = counts.get(key, 0) + value
         shots += other.shots
         cost = cost.merged_with(other.cost)
-        metadata = _merge_metadata(metadata, other.metadata)
     return SimulationResult(
         counts=counts,
         num_qubits=first.num_qubits,
         shots=shots,
         cost=cost,
-        metadata=metadata,
+        metadata=_merge_metadata_many([result.metadata for result in results]),
     )

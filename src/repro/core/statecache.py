@@ -1,0 +1,206 @@
+"""Byte-bounded LRU caches for replayed/memoised statevectors.
+
+The engine's prefix replay (:meth:`~repro.core.engine.TQSimEngine.
+_replay_prefix`) memoises rebuilt intermediate states so assignments sharing
+an ancestor replay it once.  Before this module that memo was a bare dict:
+unbounded, invisible to the :mod:`repro.analysis.memory` admission model,
+and confined to one ``run()`` call.  :class:`PrefixStateCache` replaces it
+with a byte-bounded LRU that
+
+* **caps resident bytes** — inserts evict least-recently-used entries until
+  the configured budget holds (an entry larger than the whole budget is
+  rejected outright rather than evicting everything for nothing);
+* **counts hits / misses / evictions** (:class:`CacheStats`) so callers can
+  surface cache behaviour as obs counters;
+* **is shareable** — a lock makes ``get``/``put`` safe from the serving
+  layer's worker threads, and :meth:`PrefixStateCache.namespaced` returns a
+  keyspace view (key prefix + optional key transform) that lets one
+  cross-request cache hold entries for many circuits, keyed by
+  ``(circuit-hash, ..., path)`` (see :mod:`repro.serve.cache`).
+
+Entries are immutable by convention: the engine never evolves a cached
+state in place (it copies first), so sharing references across runs,
+requests and threads is sound.  Eviction can never change simulation
+results — prefix accounting follows assignment *ownership*, not cache
+behaviour, and a missing entry is simply replayed.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable
+
+import numpy as np
+
+__all__ = [
+    "CacheStats",
+    "DEFAULT_PREFIX_CACHE_BYTES",
+    "NamespacedStateCache",
+    "PrefixStateCache",
+]
+
+#: Default byte budget of a per-run prefix cache: generous for the widths
+#: this package simulates (a 24-qubit statevector is 256 MiB) while keeping
+#: deep-sharded runs from pinning one state per replayed path indefinitely.
+DEFAULT_PREFIX_CACHE_BYTES = 256 * 1024 * 1024
+
+
+@dataclass
+class CacheStats:
+    """Monotonic counters describing one cache's behaviour."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    puts: int = 0
+    rejected: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict form (obs counter material)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "puts": self.puts,
+            "rejected": self.rejected,
+        }
+
+
+@dataclass
+class _Entry:
+    value: np.ndarray
+    nbytes: int = field(default=0)
+
+
+class PrefixStateCache:
+    """A byte-bounded, thread-safe LRU cache of statevector arrays.
+
+    Parameters
+    ----------
+    max_bytes:
+        Resident-byte budget.  ``None`` disables the bound (the pre-fix
+        behaviour, kept for callers that manage lifetime themselves).
+    """
+
+    def __init__(self, max_bytes: int | None = DEFAULT_PREFIX_CACHE_BYTES
+                 ) -> None:
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0 (or None for unbounded)")
+        self.max_bytes = max_bytes
+        self.stats = CacheStats()
+        self._entries: OrderedDict[Hashable, _Entry] = OrderedDict()
+        self._current_bytes = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @property
+    def current_bytes(self) -> int:
+        """Bytes currently resident."""
+        return self._current_bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable) -> np.ndarray | None:
+        """The cached state for ``key`` (marked most-recently-used), or None."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry.value
+
+    def put(self, key: Hashable, state: np.ndarray) -> bool:
+        """Insert ``state`` under ``key``, evicting LRU entries to fit.
+
+        Returns False (and counts a rejection) when the entry alone exceeds
+        the byte budget — caching it would evict everything else for a
+        single-use resident.  Re-putting an existing key replaces the entry.
+        """
+        nbytes = int(state.nbytes)
+        with self._lock:
+            if self.max_bytes is not None and nbytes > self.max_bytes:
+                self.stats.rejected += 1
+                return False
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self._current_bytes -= previous.nbytes
+            self._entries[key] = _Entry(state, nbytes)
+            self._current_bytes += nbytes
+            self.stats.puts += 1
+            if self.max_bytes is not None:
+                while self._current_bytes > self.max_bytes and self._entries:
+                    _, evicted = self._entries.popitem(last=False)
+                    self._current_bytes -= evicted.nbytes
+                    self.stats.evictions += 1
+            return True
+
+    def clear(self) -> None:
+        """Drop every entry (stats are preserved)."""
+        with self._lock:
+            self._entries.clear()
+            self._current_bytes = 0
+
+    # ------------------------------------------------------------------
+    def namespaced(
+        self,
+        *prefix: Hashable,
+        key_fn: Callable[[Any], Hashable] | None = None,
+    ) -> "NamespacedStateCache":
+        """A view of this cache under a key prefix (plus optional transform).
+
+        The view exposes the same ``get``/``put`` surface the engine's
+        prefix replay consumes, mapping each key ``k`` to
+        ``(*prefix, key_fn(k))`` in the shared cache.  ``key_fn`` is the
+        normalisation hook: a noiseless circuit's prefix state is
+        path-independent (identical for every sibling), so the serving
+        layer passes ``key_fn=len`` to collapse all paths of one depth onto
+        a single shared entry.
+        """
+        return NamespacedStateCache(self, prefix, key_fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        bound = "unbounded" if self.max_bytes is None else f"{self.max_bytes}B"
+        return (
+            f"<PrefixStateCache {len(self._entries)} entries, "
+            f"{self._current_bytes}B resident, {bound}>"
+        )
+
+
+class NamespacedStateCache:
+    """A keyspace view over a shared :class:`PrefixStateCache`."""
+
+    __slots__ = ("parent", "prefix", "key_fn")
+
+    def __init__(
+        self,
+        parent: PrefixStateCache,
+        prefix: tuple[Hashable, ...],
+        key_fn: Callable[[Any], Hashable] | None = None,
+    ) -> None:
+        self.parent = parent
+        self.prefix = tuple(prefix)
+        self.key_fn = key_fn
+
+    def _map(self, key: Any) -> Hashable:
+        mapped = self.key_fn(key) if self.key_fn is not None else key
+        return (*self.prefix, mapped)
+
+    def get(self, key: Any) -> np.ndarray | None:
+        return self.parent.get(self._map(key))
+
+    def put(self, key: Any, state: np.ndarray) -> bool:
+        return self.parent.put(self._map(key), state)
+
+    @property
+    def stats(self) -> CacheStats:
+        """The shared parent's stats (views do not keep their own)."""
+        return self.parent.stats

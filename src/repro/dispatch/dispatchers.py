@@ -37,6 +37,7 @@ import os
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import suppress
 
 import numpy as np
 
@@ -71,6 +72,38 @@ __all__ = ["Dispatcher", "SerialDispatcher", "PoolDispatcher"]
 def _default_worker_count() -> int:
     """Conservative default: every core, but at least one."""
     return max(os.cpu_count() or 1, 1)
+
+
+def _reap_executor_processes(
+    pool: ProcessPoolExecutor, grace_seconds: float = 2.0
+) -> None:
+    """Shut ``pool`` down and terminate (then kill) its live workers.
+
+    ``shutdown(wait=False, cancel_futures=True)`` only cancels *queued*
+    futures: a worker stuck inside a running shard (a hang, a wedged kernel)
+    keeps running — and keeps its memory — long after the dispatcher has
+    timed it out and moved on.  This reaps such orphans for real: SIGTERM
+    each live worker, give the batch ``grace_seconds`` to exit, then SIGKILL
+    whatever ignored it, and ``join`` so no zombie survives.  The worker
+    table must be snapshotted *before* shutdown (which drops the pool's
+    ``_processes`` reference), so this helper owns the shutdown call too.
+    Workers that already exited are skipped; races with the executor's own
+    cleanup (process gone, handle closed) are tolerated.
+    """
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        with suppress(OSError, ValueError, AttributeError):
+            if process.is_alive():
+                process.terminate()
+    deadline = clock.monotonic_seconds() + grace_seconds
+    for process in processes:
+        with suppress(OSError, ValueError, AttributeError):
+            remaining = deadline - clock.monotonic_seconds()
+            process.join(timeout=max(remaining, 0.0))
+            if process.is_alive():
+                process.kill()
+                process.join()
 
 
 class Dispatcher(ABC):
@@ -374,8 +407,10 @@ class PoolDispatcher(Dispatcher):
                 # Cancel everything still queued before teardown: without
                 # this, the context manager's shutdown(wait=True) would run
                 # every remaining shard to completion just to throw the
-                # results away.
-                pool.shutdown(wait=False, cancel_futures=True)
+                # results away.  Cancellation never stops an already-running
+                # shard, so reap the workers too — otherwise a hung shard
+                # outlives the dispatcher as an orphaned process.
+                _reap_executor_processes(pool)
                 if isinstance(error, BrokenProcessPool):
                     raise PoolBrokenError(
                         "a worker process died mid-run; "

@@ -51,7 +51,6 @@ from __future__ import annotations
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from contextlib import suppress
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -63,7 +62,10 @@ from repro.core.engine import DEFAULT_MAX_TREE_BATCH
 from repro.core.partitioners import CircuitPartitioner, PartitionPlan
 from repro.core.pathrng import PathStream, child_key, run_root_key
 from repro.core.results import SimulationResult, merge_many
-from repro.dispatch.dispatchers import PoolDispatcher
+from repro.dispatch.dispatchers import (
+    PoolDispatcher,
+    _reap_executor_processes,
+)
 from repro.dispatch.faults import (
     FaultInjector,
     ShardRetryExhaustedError,
@@ -310,15 +312,15 @@ class ResilientPoolDispatcher(PoolDispatcher):
         def stop_pool(force: bool) -> None:
             if pool is None:
                 return
-            pool.shutdown(wait=False, cancel_futures=True)
             if force:
                 # Abandoned attempts keep their worker processes busy past
                 # shutdown; terminating through the executor's process table
-                # is the only way to reclaim them.
-                processes = dict(getattr(pool, "_processes", None) or {})
-                for process in processes.values():
-                    with suppress(OSError):
-                        process.terminate()
+                # is the only way to reclaim them.  Reap for real (TERM →
+                # join → KILL → join) so a hung worker can't outlive the
+                # dispatcher as an orphan holding a statevector's memory.
+                _reap_executor_processes(pool)
+            else:
+                pool.shutdown(wait=False, cancel_futures=True)
 
         def record_failure(
             shard: int, attempt: int, kind: str, error: BaseException | None

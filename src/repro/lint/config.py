@@ -53,6 +53,7 @@ from repro.lint.rules_multiprocessing import (
     ModuleStateRule,
     SilentExceptRule,
 )
+from repro.lint.rules_serve import ServeEntropyRule
 
 __all__ = ["DEFAULT_ALLOWLIST", "default_rules"]
 
@@ -63,6 +64,7 @@ def default_rules() -> list[Rule]:
         ForeignRandomRule(),
         WallClockRule(),
         ObsClockRule(),
+        ServeEntropyRule(),
         BackendStaticConformanceRule(),
         BackendRegistryRule(),
         ExecutorCallableRule(),

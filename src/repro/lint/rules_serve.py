@@ -1,0 +1,90 @@
+"""Serving-layer rule: no entropy or clock surface inside ``repro.serve``.
+
+The serving front end is where non-determinism would be easiest to smuggle
+in and hardest to notice: request IDs minted from ``uuid``, latency stamps
+from ``time.time``, shuffle-by-default queues.  The repository's contract
+is stricter — a response is a pure function of ``(circuit, noise, shots,
+seed)`` and request IDs come from a :mod:`repro.core.pathrng` key chain —
+so inside ``repro.serve`` this rule flags the *whole* entropy and clock
+surface, not just the known draw calls:
+
+* every reference into ``uuid``, ``secrets``, ``random``, ``os.urandom``
+  and ``numpy.random`` (minus the entropy-free types);
+* every reference into ``time`` and ``datetime`` — the serving layer has
+  no sanctioned timer site at all; latency measurement goes through
+  :mod:`repro.obs.clock` and histogram counters.
+
+``det-rng``/``obs-clock`` already cover the draw/clock *calls* everywhere;
+``serve-entropy`` additionally rejects mere imports and any helper of
+those modules inside the serve package, so the boundary is visible at
+review time rather than at the first nondeterministic incident.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.framework import Finding, ModuleContext, ModuleRule
+from repro.lint.rules_determinism import (
+    _ALLOWED_NP_RANDOM,
+    _maximal_reference_nodes,
+)
+
+__all__ = ["ServeEntropyRule"]
+
+#: Modules whose entire surface is banned inside ``repro.serve``.
+_BANNED_MODULES = ("uuid", "secrets", "random", "time", "datetime")
+
+
+class ServeEntropyRule(ModuleRule):
+    """Forbid entropy sources and direct clocks inside ``repro.serve``."""
+
+    rule_id = "serve-entropy"
+    severity = "error"
+    description = (
+        "repro.serve may not touch uuid/secrets/random/numpy.random or "
+        "time/datetime — request IDs come from pathrng, timers from "
+        "repro.obs.clock"
+    )
+
+    def visit_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        # The lint root may be the package dir (module "serve.server") or
+        # the source root (module "repro.serve.server"); accept both.
+        module = ctx.module_name.removeprefix("repro.")
+        if not (module == "serve" or module.startswith("serve.")):
+            return
+        for node in _maximal_reference_nodes(ctx.tree):
+            qualified = ctx.qualified_name(node)
+            if qualified is None:
+                continue
+            reason = self._flag_reason(qualified)
+            if reason is not None:
+                yield self.finding(ctx, node, reason, symbol=qualified)
+
+    @staticmethod
+    def _flag_reason(qualified: str) -> str | None:
+        for banned in _BANNED_MODULES:
+            if qualified == banned or qualified.startswith(banned + "."):
+                hint = (
+                    "timers route through repro.obs.clock"
+                    if banned in ("time", "datetime")
+                    else "request IDs and draws come from repro.core.pathrng"
+                )
+                return (
+                    f"{qualified} inside repro.serve breaks the "
+                    f"deterministic-service contract; {hint}"
+                )
+        if qualified == "os.urandom":
+            return (
+                "os.urandom inside repro.serve breaks the deterministic-"
+                "service contract; request IDs come from repro.core.pathrng"
+            )
+        if qualified == "numpy.random" or qualified.startswith("numpy.random."):
+            leaf = qualified[len("numpy.random") :].lstrip(".").split(".")[0]
+            if leaf in _ALLOWED_NP_RANDOM:
+                return None
+            return (
+                f"{qualified} inside repro.serve breaks the deterministic-"
+                "service contract; draw from a pathrng PathStream"
+            )
+        return None

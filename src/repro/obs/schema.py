@@ -17,10 +17,17 @@ from repro.obs.tracer import MetricSet
 
 __all__ = [
     "DISPATCH_PREFIX",
+    "LATENCY_BUCKET_BOUNDS_MS",
     "REPLAYED_PREFIX_GATES",
     "RESILIENCE_PREFIX",
+    "SERVE_CACHE_PREFIX",
+    "SERVE_LATENCY_PREFIX",
+    "SERVE_PREFIX",
+    "latency_percentiles_ms",
+    "record_latency",
     "replayed_prefix_gates_view",
     "resilience_view",
+    "serve_cache_view",
 ]
 
 #: Every dispatch-layer counter lives under this namespace.
@@ -42,6 +49,85 @@ RESILIENCE_COUNTERS = (
 )
 #: 0/1 flag kept as a gauge.
 RESILIENCE_DEGRADED = RESILIENCE_PREFIX + "degraded"
+
+
+#: Every serving-layer counter lives under this namespace.
+SERVE_PREFIX = "serve."
+#: Per-cache hit/miss/eviction counters:
+#: ``serve.cache.{plan,transpile,prefix}.{hits,misses,evictions,...}``.
+SERVE_CACHE_PREFIX = SERVE_PREFIX + "cache."
+#: Request-latency histogram counters: ``serve.latency.le_<bound>ms`` is the
+#: number of requests completed in at most ``<bound>`` milliseconds.
+SERVE_LATENCY_PREFIX = SERVE_PREFIX + "latency.le_"
+
+#: Geometric upper bounds (milliseconds) of the request-latency histogram.
+#: Counter-backed percentiles (p50/p99) are read off these cumulative
+#: buckets — no per-request timestamps are retained, so latency telemetry
+#: stays O(1) per request and aggregates by plain counter addition.
+LATENCY_BUCKET_BOUNDS_MS: tuple[float, ...] = tuple(
+    0.25 * 2.0**i for i in range(22)  # 0.25 ms .. ~8.7 min
+)
+_LATENCY_OVERFLOW = "inf"
+
+
+def _bucket_name(bound: float) -> str:
+    text = f"{bound:g}"
+    return SERVE_LATENCY_PREFIX + f"{text}ms"
+
+
+def record_latency(metrics: MetricSet, seconds: float) -> None:
+    """Count one request latency into its cumulative histogram buckets.
+
+    Cumulative (Prometheus-style) buckets: the observation increments every
+    bucket whose bound is >= the latency, plus the ``inf`` overflow bucket,
+    so percentile reads never have to re-sum a prefix.
+    """
+    millis = seconds * 1e3
+    for bound in LATENCY_BUCKET_BOUNDS_MS:
+        if millis <= bound:
+            metrics.count(_bucket_name(bound))
+    metrics.count(SERVE_LATENCY_PREFIX + _LATENCY_OVERFLOW)
+
+
+def latency_percentiles_ms(
+    metrics: MetricSet, percentiles: Sequence[float] = (50.0, 99.0)
+) -> dict[float, float]:
+    """Percentile latencies (ms) read off the cumulative histogram counters.
+
+    Each percentile maps to the smallest bucket bound whose cumulative count
+    covers it — an upper bound with one-bucket resolution, the standard
+    histogram-percentile estimate.  Returns ``inf`` for percentiles beyond
+    the largest bound and an empty estimate of 0.0 when nothing was
+    recorded.
+    """
+    total = _counter(metrics, SERVE_LATENCY_PREFIX + _LATENCY_OVERFLOW)
+    out: dict[float, float] = {}
+    for percentile in percentiles:
+        if not 0 < percentile <= 100:
+            raise ValueError("percentiles must be in (0, 100]")
+        if total == 0:
+            out[percentile] = 0.0
+            continue
+        needed = percentile / 100.0 * total
+        for bound in LATENCY_BUCKET_BOUNDS_MS:
+            if _counter(metrics, _bucket_name(bound)) >= needed:
+                out[percentile] = bound
+                break
+        else:
+            out[percentile] = float("inf")
+    return out
+
+
+def serve_cache_view(metrics: MetricSet) -> dict[str, dict[str, int]]:
+    """Per-cache stat dicts rebuilt from the ``serve.cache.*`` counters."""
+    view: dict[str, dict[str, int]] = {}
+    for name, value in sorted(metrics.counters.items()):
+        if not name.startswith(SERVE_CACHE_PREFIX):
+            continue
+        cache, _, stat = name[len(SERVE_CACHE_PREFIX):].partition(".")
+        if stat:
+            view.setdefault(cache, {})[stat] = int(value)
+    return view
 
 
 def _counter(metrics: MetricSet, name: str) -> float:

@@ -1,0 +1,196 @@
+"""Synthetic heavy-traffic replay: the serving layer's benchmark harness.
+
+Production traffic is many concurrent requests over a shared *zoo* of
+circuits — most submissions repeat a circuit someone already ran.  This
+module synthesises such a mix deterministically (library circuits cycled
+over a small zoo, seeds and shot counts fixed by request index), drives it
+through one :class:`~repro.serve.server.SimulationServer` twice, and
+reports:
+
+* **cold** pass wall time (every cache empty) vs **warm** pass wall time
+  (same requests again — plan, transpile and prefix-state hits);
+* per-request bitwise count identity between the passes (the correctness
+  gate: caching must never change a response);
+* requests/sec per pass, and p50/p99 latency read from the server's
+  counter-backed ``serve.latency.*`` histogram;
+* the ``serve.cache.*`` hit/miss/eviction counters.
+
+Used by ``python -m repro serve --replay`` and the
+``benchmarks/test_serve_replay.py`` tier-1 benchmark; all timing goes
+through :mod:`repro.obs.clock`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.library import bv_circuit, ghz_circuit, qft_circuit
+from repro.obs import clock
+from repro.serve.server import (
+    SimulationRequest,
+    SimulationResponse,
+    SimulationServer,
+)
+
+__all__ = ["ReplayReport", "build_request_mix", "run_replay"]
+
+
+def _zoo(num_qubits: int) -> list[Circuit]:
+    """The replay's circuit zoo: three structurally different families."""
+    return [
+        qft_circuit(num_qubits),
+        ghz_circuit(num_qubits),
+        bv_circuit(num_qubits),
+    ]
+
+
+def build_request_mix(
+    num_requests: int,
+    num_qubits: int = 6,
+    shots: int = 256,
+    noise: str | None = None,
+    distinct_seeds: int = 4,
+) -> list[SimulationRequest]:
+    """A deterministic repeated-circuit request mix.
+
+    Request ``i`` cycles through the zoo and through ``distinct_seeds``
+    seeds, so the mix exercises both cache hits (same circuit again) and
+    distinct ensembles (different seeds over one circuit) — no entropy
+    anywhere, so every replay run issues the identical workload.
+    """
+    if num_requests < 1:
+        raise ValueError("num_requests must be >= 1")
+    zoo = _zoo(num_qubits)
+    return [
+        SimulationRequest(
+            circuit=zoo[index % len(zoo)],
+            noise=noise,
+            shots=shots,
+            seed=index % distinct_seeds,
+        )
+        for index in range(num_requests)
+    ]
+
+
+@dataclass
+class ReplayReport:
+    """Everything the replay measured, JSON-ready."""
+
+    num_requests: int
+    cold_seconds: float
+    warm_seconds: float
+    cold_rps: float
+    warm_rps: float
+    #: Warm counts bitwise equal to cold counts, per request.
+    identical: bool
+    mismatches: list[str] = field(default_factory=list)
+    p50_ms: float = 0.0
+    p99_ms: float = 0.0
+    warm_hits: int = 0
+    statuses: dict[str, int] = field(default_factory=dict)
+    cache_counters: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        """Cold-pass wall time over warm-pass wall time."""
+        if self.warm_seconds <= 0:
+            return float("inf")
+        return self.cold_seconds / self.warm_seconds
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "num_requests": self.num_requests,
+            "cold_seconds": self.cold_seconds,
+            "warm_seconds": self.warm_seconds,
+            "cold_rps": self.cold_rps,
+            "warm_rps": self.warm_rps,
+            "speedup": self.speedup,
+            "identical": self.identical,
+            "mismatches": self.mismatches,
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+            "warm_hits": self.warm_hits,
+            "statuses": self.statuses,
+            "cache_counters": self.cache_counters,
+        }
+
+
+async def _run_pass(
+    server: SimulationServer, requests: list[SimulationRequest]
+) -> list[SimulationResponse]:
+    return list(
+        await asyncio.gather(
+            *(server.submit(request) for request in requests)
+        )
+    )
+
+
+def run_replay(
+    server: SimulationServer | None = None,
+    num_requests: int = 24,
+    num_qubits: int = 6,
+    shots: int = 256,
+    noise: str | None = None,
+) -> ReplayReport:
+    """Drive the request mix through the server twice and compare passes.
+
+    Pass 1 starts with cold caches; pass 2 replays the identical mix
+    against the now-warm caches.  The report's ``identical`` flag is the
+    correctness verdict (every warm response's counts bitwise equal to its
+    cold twin's), and ``speedup`` the headline cache-hit win.
+    """
+    owned = server is None
+    if server is None:
+        server = SimulationServer()
+    try:
+        requests = build_request_mix(
+            num_requests, num_qubits=num_qubits, shots=shots, noise=noise
+        )
+        start = clock.perf_seconds()
+        cold = asyncio.run(_run_pass(server, requests))
+        cold_seconds = clock.perf_seconds() - start
+        start = clock.perf_seconds()
+        warm = asyncio.run(_run_pass(server, requests))
+        warm_seconds = clock.perf_seconds() - start
+
+        mismatches: list[str] = []
+        for index, (before, after) in enumerate(zip(cold, warm)):
+            if before.status != after.status:
+                mismatches.append(
+                    f"request {index}: status {before.status} -> "
+                    f"{after.status}"
+                )
+            elif before.counts != after.counts:
+                mismatches.append(
+                    f"request {index}: counts diverged "
+                    f"({before.request_id} vs {after.request_id})"
+                )
+        statuses: dict[str, int] = {}
+        for response in cold + warm:
+            statuses[response.status] = statuses.get(response.status, 0) + 1
+        percentiles = server.percentiles((50.0, 99.0))
+        counters = server.counters()
+        return ReplayReport(
+            num_requests=num_requests,
+            cold_seconds=cold_seconds,
+            warm_seconds=warm_seconds,
+            cold_rps=num_requests / cold_seconds if cold_seconds else 0.0,
+            warm_rps=num_requests / warm_seconds if warm_seconds else 0.0,
+            identical=not mismatches,
+            mismatches=mismatches,
+            p50_ms=percentiles[50.0],
+            p99_ms=percentiles[99.0],
+            warm_hits=sum(1 for response in warm if response.cached),
+            statuses=statuses,
+            cache_counters={
+                name: value
+                for name, value in sorted(counters.items())
+                if name.startswith("serve.cache.")
+            },
+        )
+    finally:
+        if owned:
+            server.close()

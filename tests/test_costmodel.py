@@ -308,6 +308,59 @@ def test_admit_plan_shrinks_batch_under_tight_budget():
     assert "lowered" in decision.reason
 
 
+def test_admit_plan_accounts_prefix_replay_states():
+    # Prefix-replay (and serve-layer prefix cache) states are resident
+    # alongside the batch buffer pool: the admitted peak must include them
+    # and the batch cap must be computed against the *reduced* budget.
+    base = admit_plan(
+        num_qubits=20,
+        arities=(64,),
+        subcircuit_lengths=(10,),
+        memory_bytes=256 * 2**20,
+        max_batch=64,
+    )
+    held = admit_plan(
+        num_qubits=20,
+        arities=(64,),
+        subcircuit_lengths=(10,),
+        memory_bytes=256 * 2**20,
+        max_batch=64,
+        prefix_states=4,
+    )
+    # Each held 20-qubit state (16 MiB) displaces exactly one pool row, so
+    # the cap drops by prefix_states while total resident bytes stay at
+    # the budget.
+    assert held.fits_memory
+    assert held.max_batch == base.max_batch - 4
+    assert held.peak_bytes == base.peak_bytes
+    assert held.peak_bytes <= 256 * 2**20
+
+
+def test_admit_plan_rejects_when_prefix_states_exhaust_budget():
+    # 32 held 20-qubit states are 512 MiB: over budget before any batch
+    # buffer is allocated, so even batch=1 cannot be admitted.
+    decision = admit_plan(
+        num_qubits=20,
+        arities=(8,),
+        subcircuit_lengths=(4,),
+        memory_bytes=256 * 2**20,
+        prefix_states=32,
+    )
+    assert not decision.fits_memory
+    assert decision.peak_bytes > 256 * 2**20
+
+
+def test_admit_plan_validates_prefix_states():
+    with pytest.raises(ValueError):
+        admit_plan(
+            num_qubits=4,
+            arities=(4,),
+            subcircuit_lengths=(3,),
+            memory_bytes=2**30,
+            prefix_states=-1,
+        )
+
+
 def test_admit_plan_consults_cost_model():
     # Make batching catastrophically expensive: the model should veto it
     # even though memory admits the full batch.

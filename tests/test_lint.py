@@ -31,6 +31,7 @@ from repro.lint.rules_multiprocessing import (
     ModuleStateRule,
     SilentExceptRule,
 )
+from repro.lint.rules_serve import ServeEntropyRule
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -120,6 +121,89 @@ def test_det_negative_annotations_and_seed_material_pass(tmp_path):
             """
         },
         [ForeignRandomRule(), WallClockRule()],
+    )
+    assert report.findings == []
+
+
+# ----------------------------------------------------------------------
+# serve family
+# ----------------------------------------------------------------------
+_ENTROPIC_SERVICE = """
+import time
+import uuid
+
+def request_id():
+    return str(uuid.uuid4())
+
+def stamp():
+    return time.time()
+"""
+
+
+def test_serve_entropy_flags_uuid_and_clock_in_serve(tmp_path):
+    report = lint_fixture(
+        tmp_path,
+        {"src/repro/serve/handlers.py": _ENTROPIC_SERVICE},
+        [ServeEntropyRule()],
+    )
+    flagged = {finding.symbol for finding in report.findings}
+    assert set(rule_ids(report)) == {"serve-entropy"}
+    # Both the imports and the call sites are rejected: the whole module
+    # surface is banned inside repro.serve, not just known draw calls.
+    assert {"uuid.uuid4", "time.time"} <= flagged
+
+
+def test_serve_entropy_flags_secrets_random_and_urandom(tmp_path):
+    report = lint_fixture(
+        tmp_path,
+        {
+            "src/repro/serve/tokens.py": """
+            import os
+            import random
+            import secrets
+
+            def token():
+                return secrets.token_hex(8), random.random(), os.urandom(4)
+            """
+        },
+        [ServeEntropyRule()],
+    )
+    flagged = {finding.symbol for finding in report.findings}
+    assert {"secrets.token_hex", "random.random", "os.urandom"} <= flagged
+
+
+def test_serve_entropy_scoped_to_serve_package(tmp_path):
+    # The identical source outside repro.serve is this rule's problem no
+    # longer (det-rng/det-clock still police the call sites there).
+    report = lint_fixture(
+        tmp_path,
+        {"src/repro/core/handlers.py": _ENTROPIC_SERVICE},
+        [ServeEntropyRule()],
+    )
+    assert report.findings == []
+
+
+def test_serve_entropy_negative_pathrng_and_obs_clock_pass(tmp_path):
+    report = lint_fixture(
+        tmp_path,
+        {
+            "src/repro/serve/clean.py": """
+            import numpy as np
+
+            from repro.core.pathrng import child_key, run_root_key
+            from repro.obs import clock
+
+            def request_id(seed: int, sequence: int) -> str:
+                return f"req-{child_key(run_root_key(seed), sequence):016x}"
+
+            def elapsed(stopwatch: clock.Stopwatch) -> float:
+                return stopwatch.elapsed_seconds()
+
+            def fold(seed: int) -> np.random.SeedSequence:
+                return np.random.SeedSequence(seed)
+            """
+        },
+        [ServeEntropyRule()],
     )
     assert report.findings == []
 

@@ -12,6 +12,7 @@ plain assertion instead of a flaky stress test, and the telemetry under
 
 from __future__ import annotations
 
+import multiprocessing
 import pickle
 import time
 
@@ -78,6 +79,26 @@ def _telemetry(result):
     return result.metadata["dispatch"]["resilience"]
 
 
+def _assert_no_orphans(pre_existing, deadline_seconds=5.0):
+    """No worker process outlives its dispatcher.
+
+    Polls briefly because a reaped worker needs a moment to be joined;
+    the bound is far below the injected 30 s hang, so a leaked (still
+    sleeping) worker cannot pass.
+    """
+    deadline = time.monotonic() + deadline_seconds
+    leaked = []
+    while time.monotonic() < deadline:
+        leaked = [
+            process for process in multiprocessing.active_children()
+            if process not in pre_existing
+        ]
+        if not leaked:
+            return
+        time.sleep(0.05)
+    assert not leaked, f"orphaned worker processes: {leaked}"
+
+
 # ---------------------------------------------------------------------------
 # Fault-free path
 # ---------------------------------------------------------------------------
@@ -125,6 +146,7 @@ def test_worker_crash_recovers_bitwise(qft5, workers):
 @pytest.mark.parametrize("workers", WORKER_COUNTS)
 def test_hang_times_out_and_retries_bitwise(qft5, workers):
     reference = _serial(qft5)
+    pre_existing = set(multiprocessing.active_children())
     injector = FaultInjector(hangs=((0, 0),), hang_seconds=30.0)
     result = _resilient(
         qft5, workers, injector,
@@ -138,6 +160,10 @@ def test_hang_times_out_and_retries_bitwise(qft5, workers):
         for f in telemetry["failures"]
     )
     assert telemetry["attempts"][0] >= 2
+    # The hung worker is still inside its 30 s sleep when the pool is torn
+    # down; the force-stop must terminate and join it rather than leave it
+    # orphaned behind the cancelled executor.
+    _assert_no_orphans(pre_existing)
 
 
 # ---------------------------------------------------------------------------

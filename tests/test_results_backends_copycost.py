@@ -177,6 +177,53 @@ def test_merge_many_preserves_per_shard_metadata_beyond_two():
     ]
 
 
+def test_merge_many_32_shards_single_pass_no_placeholders():
+    """Regression: a wide merge folds metadata once, without ``{}`` filler.
+
+    The pairwise fold used to re-merge intermediate metadata at every step
+    and pad ``metadata["shards"]`` with empty placeholder dicts when a
+    pre-sharded side met an agreeing plain side; the n-way fold must emit
+    exactly one non-empty shard record per input and still agree with the
+    pairwise reduction on counts, shots and cost.
+    """
+    shards = [
+        _shard_result(i, {format(i % 4, "02b"): i + 1}, 3 * i + 1)
+        for i in range(32)
+    ]
+    merged = merge_many(shards)
+
+    pairwise = shards[0]
+    for shard in shards[1:]:
+        pairwise = merge_results(pairwise, shard)
+    assert merged.counts == pairwise.counts
+    assert merged.shots == pairwise.shots
+    assert merged.cost.matches(pairwise.cost)
+
+    records = merged.metadata["shards"]
+    assert len(records) == 32
+    assert all(record for record in records), "empty placeholder shard dict"
+    assert [record["shard_index"] for record in records] == list(range(32))
+    assert [record["tree"] for record in records] == [
+        f"({i},)" for i in range(32)
+    ]
+    # Agreeing keys stay flat at the top level instead of being exploded
+    # into the shard records.
+    assert merged.metadata["simulator"] == "tqsim"
+    assert all("simulator" not in record for record in records)
+
+
+def test_merge_results_no_placeholder_for_presharded_agreeing_side():
+    """Regression: pre-sharded + agreeing plain input adds no ``{}`` entry."""
+    presharded = merge_many(
+        [_shard_result(0, {"00": 1}, 2), _shard_result(1, {"01": 1}, 3)]
+    )
+    plain = _result({"11": 2}, CostCounters(gate_applications=4))
+    plain.metadata.update({"simulator": "tqsim"})
+    merged = merge_results(presharded, plain)
+    assert all(record for record in merged.metadata["shards"])
+    assert merged.metadata["simulator"] == "tqsim"
+
+
 def test_merge_many_single_result_is_detached_copy():
     original = _shard_result(0, {"00": 2}, 5)
     merged = merge_many([original])
